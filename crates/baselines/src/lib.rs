@@ -1,0 +1,51 @@
+//! # bingo-baselines — the prefetchers Bingo is compared against
+//!
+//! From-scratch implementations of every baseline in the paper's evaluation
+//! (Section V-B), all implementing [`bingo_sim::Prefetcher`]:
+//!
+//! | Prefetcher | Class | Paper configuration |
+//! |------------|-------|---------------------|
+//! | [`Bop`]    | shared-history | 256-entry recent-requests table, degree 1 |
+//! | [`Spp`]    | shared-history | 256-entry signature table, 512-entry pattern table, 1024-entry filter |
+//! | [`Vldp`]   | shared-history | 16-entry DHB, 64-entry OPT, three 64-entry DPTs, degree ≤ 4 |
+//! | [`Ampm`]   | per-page-history | access map covering the 8 MB LLC |
+//! | [`Sms`]    | per-page-history | 16 K-entry 16-way `PC+Offset` pattern table |
+//! | [`StridePrefetcher`] | shared-history | classic PC-stride reference |
+//!
+//! The `aggressive()` constructors of [`BopConfig`], [`SppConfig`], and
+//! [`VldpConfig`] provide the lifted-degree variants of the iso-degree
+//! study (Fig. 10): BOP/VLDP at degree 32, SPP at a 1 % confidence
+//! threshold.
+//!
+//! ## Example
+//!
+//! ```
+//! use bingo_baselines::{Bop, BopConfig, Sms, Vldp, VldpConfig};
+//! use bingo_sim::Prefetcher;
+//!
+//! let prefetchers: Vec<Box<dyn Prefetcher>> = vec![
+//!     Box::new(Bop::new(BopConfig::paper())),
+//!     Box::new(Vldp::new(VldpConfig::paper())),
+//!     Box::new(Sms::default()),
+//! ];
+//! for p in &prefetchers {
+//!     assert!(!p.name().is_empty());
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ampm;
+pub mod bop;
+pub mod sms;
+pub mod spp;
+pub mod stride;
+pub mod vldp;
+
+pub use ampm::{Ampm, AmpmConfig};
+pub use bop::{Bop, BopConfig, DEFAULT_OFFSETS};
+pub use sms::{Sms, SmsConfig};
+pub use spp::{Spp, SppConfig};
+pub use stride::{StrideConfig, StridePrefetcher};
+pub use vldp::{Vldp, VldpConfig};

@@ -1,0 +1,182 @@
+//! Spatial Memory Streaming (SMS) — Somogyi et al., ISCA 2006.
+//!
+//! SMS is the strongest prior per-page-history prefetcher in the paper's
+//! comparison and the direct base of Bingo: it records region footprints in
+//! an accumulation structure and associates each footprint with the
+//! **single** `PC+Offset` event of the trigger access. Bingo's central
+//! criticism (Section II/III) is precisely this single-event association:
+//! `PC+Offset` generalizes across regions (covering compulsory misses) but
+//! cannot exploit the higher accuracy of an exact `PC+Address` recurrence.
+//!
+//! The implementation reuses the accumulation table and the generic
+//! event-keyed history table from the `bingo` crate, configured with the
+//! paper's SMS parameters: a 16 K-entry, 16-way pattern history table.
+
+use bingo::multi_event::{MultiEventConfig, MultiEventPrefetcher};
+use bingo::EventKind;
+use bingo_sim::{AccessInfo, BlockAddr, Prefetcher, RegionGeometry};
+
+/// Configuration of an [`Sms`] prefetcher.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct SmsConfig {
+    /// Spatial region geometry (2 KB, as for Bingo).
+    pub region: RegionGeometry,
+    /// Pattern-history-table entries (16 K in the paper's comparison).
+    pub pattern_entries: usize,
+    /// Pattern-history-table associativity (16-way in the paper).
+    pub ways: usize,
+    /// Accumulation-table capacity.
+    pub accumulation_entries: usize,
+}
+
+impl SmsConfig {
+    /// The paper's SMS configuration (Section V-B).
+    pub fn paper() -> Self {
+        SmsConfig {
+            region: RegionGeometry::default(),
+            pattern_entries: 16 * 1024,
+            ways: 16,
+            accumulation_entries: 64,
+        }
+    }
+}
+
+impl Default for SmsConfig {
+    fn default() -> Self {
+        SmsConfig::paper()
+    }
+}
+
+/// The SMS prefetcher.
+#[derive(Debug)]
+pub struct Sms {
+    inner: MultiEventPrefetcher,
+}
+
+impl Sms {
+    /// Creates an SMS prefetcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid table geometry.
+    pub fn new(cfg: SmsConfig) -> Self {
+        Sms {
+            inner: MultiEventPrefetcher::new(MultiEventConfig {
+                events: vec![EventKind::PcOffset],
+                entries_per_table: cfg.pattern_entries,
+                ways: cfg.ways,
+                region: cfg.region,
+                accumulation_entries: cfg.accumulation_entries,
+                min_footprint_blocks: 2,
+            }),
+        }
+    }
+
+    /// Fraction of trigger lookups that found a pattern.
+    pub fn match_probability(&self) -> f64 {
+        self.inner.stats.match_probability()
+    }
+}
+
+impl Default for Sms {
+    fn default() -> Self {
+        Sms::new(SmsConfig::paper())
+    }
+}
+
+impl Prefetcher for Sms {
+    fn name(&self) -> &str {
+        "SMS"
+    }
+
+    fn on_access(&mut self, info: &AccessInfo, out: &mut Vec<BlockAddr>) {
+        self.inner.on_access(info, out);
+    }
+
+    fn on_eviction(&mut self, block: BlockAddr) {
+        self.inner.on_eviction(block);
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.inner.storage_bits()
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, f64)> {
+        self.inner.metrics()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bingo_sim::{CoreId, Pc};
+
+    fn info(pc: u64, block: u64) -> AccessInfo {
+        let g = RegionGeometry::default();
+        let b = BlockAddr::new(block);
+        AccessInfo {
+            core: CoreId(0),
+            pc: Pc::new(pc),
+            addr: b.base_addr(),
+            block: b,
+            region: g.region_of(b),
+            offset: g.offset_of(b),
+            is_write: false,
+            hit: false,
+            cycle: 0,
+        }
+    }
+
+    fn visit(s: &mut Sms, pc: u64, region: u64, offsets: &[u32]) -> Vec<BlockAddr> {
+        let mut out = Vec::new();
+        let mut first = Vec::new();
+        for (i, &off) in offsets.iter().enumerate() {
+            out.clear();
+            s.on_access(&info(pc, region * 32 + off as u64), &mut out);
+            if i == 0 {
+                first = out.clone();
+            }
+        }
+        s.on_eviction(BlockAddr::new(region * 32 + offsets[0] as u64));
+        first
+    }
+
+    #[test]
+    fn generalizes_across_regions_via_pc_offset() {
+        let mut s = Sms::default();
+        visit(&mut s, 0x400, 1, &[2, 6, 9]);
+        let p = visit(&mut s, 0x400, 77, &[2]);
+        let mut blocks: Vec<u64> = p.iter().map(|b| b.index()).collect();
+        blocks.sort_unstable();
+        assert_eq!(blocks, vec![77 * 32 + 6, 77 * 32 + 9]);
+    }
+
+    #[test]
+    fn cannot_distinguish_same_pc_offset_with_different_addresses() {
+        // Two regions with the same trigger PC+Offset but different
+        // footprints: SMS keeps only the latest pattern, so a revisit of
+        // the first region replays the *wrong* footprint — exactly the
+        // inaccuracy Bingo's long event fixes.
+        let mut s = Sms::default();
+        visit(&mut s, 0x400, 1, &[2, 6]);
+        visit(&mut s, 0x400, 2, &[2, 11]);
+        let p = visit(&mut s, 0x400, 1, &[2]);
+        let blocks: Vec<u64> = p.iter().map(|b| b.index()).collect();
+        assert_eq!(blocks, vec![32 + 11], "SMS replays the latest pattern");
+    }
+
+    #[test]
+    fn different_pc_does_not_match() {
+        let mut s = Sms::default();
+        visit(&mut s, 0x400, 1, &[2, 6]);
+        let p = visit(&mut s, 0x500, 50, &[2]);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn storage_is_about_100_kb() {
+        let s = Sms::default();
+        let kb = s.storage_bits() as f64 / 8.0 / 1024.0;
+        assert!(kb > 80.0 && kb < 140.0, "SMS storage {kb:.1} KB");
+    }
+}

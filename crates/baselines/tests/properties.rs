@@ -1,0 +1,106 @@
+//! Property-based robustness tests: every baseline prefetcher must accept
+//! arbitrary access streams without panicking, with bounded output, and
+//! with its internal invariants intact.
+
+use proptest::prelude::*;
+
+use bingo_baselines::{
+    Ampm, AmpmConfig, Bop, BopConfig, Sms, Spp, SppConfig, StridePrefetcher, Vldp, VldpConfig,
+    DEFAULT_OFFSETS,
+};
+use bingo_sim::{AccessInfo, BlockAddr, CoreId, Pc, Prefetcher, RegionGeometry};
+
+fn info(pc: u64, block: u64, is_write: bool) -> AccessInfo {
+    let g = RegionGeometry::default();
+    let b = BlockAddr::new(block);
+    AccessInfo {
+        core: CoreId(0),
+        pc: Pc::new(pc),
+        addr: b.base_addr(),
+        block: b,
+        region: g.region_of(b),
+        offset: g.offset_of(b),
+        is_write,
+        hit: false,
+        cycle: 0,
+    }
+}
+
+fn drive(p: &mut dyn Prefetcher, stream: &[(u64, u64, bool)]) -> proptest::test_runner::TestCaseResult {
+    let mut out = Vec::new();
+    for &(pc, block, w) in stream {
+        out.clear();
+        p.on_access(&info(0x400 + (pc % 64) * 4, block, w), &mut out);
+        prop_assert!(
+            out.len() <= 64,
+            "{} emitted {} candidates for one access",
+            p.name(),
+            out.len()
+        );
+        if block % 7 == 0 {
+            p.on_eviction(BlockAddr::new(block));
+        }
+    }
+    prop_assert!(p.storage_bits() > 0, "{} must account storage", p.name());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_prefetchers_survive_arbitrary_streams(
+        stream in proptest::collection::vec((any::<u64>(), 0u64..(1 << 30), any::<bool>()), 1..500),
+    ) {
+        let mut prefetchers: Vec<Box<dyn Prefetcher>> = vec![
+            Box::new(Bop::new(BopConfig::paper())),
+            Box::new(Bop::new(BopConfig::aggressive())),
+            Box::new(Spp::new(SppConfig::paper())),
+            Box::new(Spp::new(SppConfig::aggressive())),
+            Box::new(Vldp::new(VldpConfig::paper())),
+            Box::new(Vldp::new(VldpConfig::aggressive())),
+            Box::new(Ampm::new(AmpmConfig::paper())),
+            Box::new(Sms::default()),
+            Box::new(StridePrefetcher::default()),
+        ];
+        for p in &mut prefetchers {
+            drive(p.as_mut(), &stream)?;
+        }
+    }
+
+    /// BOP's selected offset always comes from its candidate list.
+    #[test]
+    fn bop_offset_always_from_candidates(
+        stream in proptest::collection::vec(0u64..(1 << 20), 1..2000),
+    ) {
+        let mut bop = Bop::new(BopConfig::paper());
+        let mut out = Vec::new();
+        for &block in &stream {
+            out.clear();
+            bop.on_access(&info(0x400, block, false), &mut out);
+        }
+        prop_assert!(
+            DEFAULT_OFFSETS.contains(&bop.best_offset()),
+            "offset {} not a candidate",
+            bop.best_offset()
+        );
+    }
+
+    /// Prefetch candidates never equal the demanded block itself for the
+    /// footprint-based prefetchers (the demand fetch already covers it).
+    #[test]
+    fn sms_never_prefetches_the_trigger(
+        stream in proptest::collection::vec((0u64..8, 0u64..4096), 1..400),
+    ) {
+        let mut sms = Sms::default();
+        let mut out = Vec::new();
+        for &(pc, block) in &stream {
+            out.clear();
+            sms.on_access(&info(0x400 + pc * 4, block, false), &mut out);
+            prop_assert!(
+                !out.contains(&BlockAddr::new(block)),
+                "prefetched the demanded block"
+            );
+        }
+    }
+}

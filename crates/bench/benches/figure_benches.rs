@@ -1,0 +1,78 @@
+//! Criterion end-to-end benches: one small-scale simulation per paper
+//! figure family, so `cargo bench` exercises every experiment path and
+//! tracks simulator-throughput regressions.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use bingo::EventKind;
+use bingo_bench::{run_one, PrefetcherKind, RunScale};
+use bingo_workloads::Workload;
+
+fn tiny_scale() -> RunScale {
+    RunScale {
+        instructions_per_core: 30_000,
+        warmup_per_core: 20_000,
+        seed: 42,
+    }
+}
+
+fn bench_simulation_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.bench_function("baseline_em3d", |b| {
+        b.iter(|| black_box(run_one(Workload::Em3d, PrefetcherKind::None, tiny_scale())))
+    });
+    group.bench_function("bingo_em3d", |b| {
+        b.iter(|| black_box(run_one(Workload::Em3d, PrefetcherKind::Bingo, tiny_scale())))
+    });
+    group.bench_function("bingo_data_serving", |b| {
+        b.iter(|| {
+            black_box(run_one(
+                Workload::DataServing,
+                PrefetcherKind::Bingo,
+                tiny_scale(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_figure_paths(c: &mut Criterion) {
+    // One representative (workload, prefetcher) per figure family, at a
+    // scale small enough for Criterion's repeated sampling.
+    let cases: [(&str, Workload, PrefetcherKind); 6] = [
+        (
+            "fig2_single_event",
+            Workload::DataServing,
+            PrefetcherKind::SingleEvent(EventKind::PcOffset),
+        ),
+        (
+            "fig3_multi_event",
+            Workload::DataServing,
+            PrefetcherKind::MultiEvent(5),
+        ),
+        (
+            "fig6_small_table",
+            Workload::Streaming,
+            PrefetcherKind::BingoEntries(1024),
+        ),
+        ("fig7_sms", Workload::Streaming, PrefetcherKind::Sms),
+        ("fig8_vldp", Workload::Mix1, PrefetcherKind::Vldp),
+        (
+            "fig10_spp_aggressive",
+            Workload::Mix1,
+            PrefetcherKind::SppAggressive,
+        ),
+    ];
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for (name, w, k) in cases {
+        group.bench_function(name, move |b| {
+            b.iter(|| black_box(run_one(w, k, tiny_scale())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation_throughput, bench_figure_paths);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Criterion microbenchmarks of the prefetcher data structures: per-access
+//! costs of Bingo's tables versus the baselines, and the unified history
+//! table's three operations (the storage-consolidation contribution).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use bingo::multi_event::{MultiEventConfig, MultiEventPrefetcher};
+use bingo::{Bingo, BingoConfig, Footprint, UnifiedHistoryTable};
+use bingo_baselines::{Ampm, AmpmConfig, Bop, BopConfig, Sms, Spp, SppConfig, Vldp, VldpConfig};
+use bingo_sim::{AccessInfo, BlockAddr, CoreId, Pc, Prefetcher, RegionGeometry};
+
+fn info(pc: u64, block: u64) -> AccessInfo {
+    let g = RegionGeometry::default();
+    let b = BlockAddr::new(block);
+    AccessInfo {
+        core: CoreId(0),
+        pc: Pc::new(pc),
+        addr: b.base_addr(),
+        block: b,
+        region: g.region_of(b),
+        offset: g.offset_of(b),
+        is_write: false,
+        hit: false,
+        cycle: 0,
+    }
+}
+
+/// Drives a prefetcher with a deterministic mixed access stream.
+fn drive(p: &mut dyn Prefetcher, accesses: u64) -> usize {
+    let mut out = Vec::with_capacity(64);
+    let mut issued = 0;
+    let mut x = 0x1234_5678_9abc_def0u64;
+    for i in 0..accesses {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let block = if i % 4 == 0 {
+            x % (1 << 22)
+        } else {
+            i * 3 % (1 << 22)
+        };
+        out.clear();
+        p.on_access(&info(0x400 + (i % 16) * 4, block), &mut out);
+        issued += out.len();
+        if i % 64 == 0 {
+            p.on_eviction(BlockAddr::new(block));
+        }
+    }
+    issued
+}
+
+fn bench_prefetcher_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefetcher_access");
+    group.bench_function("bingo", |b| {
+        let mut p = Bingo::new(BingoConfig::paper());
+        b.iter(|| drive(black_box(&mut p), 2_000))
+    });
+    group.bench_function("bingo_naive_two_table", |b| {
+        let mut p = MultiEventPrefetcher::new(MultiEventConfig::first_n(2));
+        b.iter(|| drive(black_box(&mut p), 2_000))
+    });
+    group.bench_function("sms", |b| {
+        let mut p = Sms::default();
+        b.iter(|| drive(black_box(&mut p), 2_000))
+    });
+    group.bench_function("ampm", |b| {
+        let mut p = Ampm::new(AmpmConfig::paper());
+        b.iter(|| drive(black_box(&mut p), 2_000))
+    });
+    group.bench_function("vldp", |b| {
+        let mut p = Vldp::new(VldpConfig::paper());
+        b.iter(|| drive(black_box(&mut p), 2_000))
+    });
+    group.bench_function("spp", |b| {
+        let mut p = Spp::new(SppConfig::paper());
+        b.iter(|| drive(black_box(&mut p), 2_000))
+    });
+    group.bench_function("bop", |b| {
+        let mut p = Bop::new(BopConfig::paper());
+        b.iter(|| drive(black_box(&mut p), 2_000))
+    });
+    group.finish();
+}
+
+fn bench_history_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unified_history_table");
+    group.bench_function("insert", |b| {
+        let mut t = UnifiedHistoryTable::new(16 * 1024, 16, 32);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            t.insert(
+                black_box(i),
+                black_box(i % 512),
+                Footprint::from_bits(i & 0xffff_ffff, 32),
+            );
+        })
+    });
+    group.bench_function("lookup_long", |b| {
+        let mut t = UnifiedHistoryTable::new(16 * 1024, 16, 32);
+        for i in 0..16_384u64 {
+            t.insert(i, i % 1024, Footprint::from_bits(i & 0xffff_ffff, 32));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(t.lookup_long(black_box(i % 16_384), black_box(i % 1024)))
+        })
+    });
+    group.bench_function("lookup_short_vote", |b| {
+        let mut t = UnifiedHistoryTable::new(16 * 1024, 16, 32);
+        for i in 0..16_384u64 {
+            t.insert(i, i % 64, Footprint::from_bits(i & 0xffff_ffff, 32));
+        }
+        let mut matches = Vec::with_capacity(16);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            t.lookup_short(black_box(i % 64), &mut matches);
+            black_box(Footprint::vote(&matches, 0.2))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prefetcher_access, bench_history_table);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Ablation — spatial region size (1 KB / 2 KB / 4 KB).
+//!
+//! The region is the unit over which footprints are recorded and
+//! prefetched; 2 KB is the reference ChampSim Bingo choice. Larger regions
+//! amortize more blocks per trigger but dilute pattern stability.
+
+use bingo::{Bingo, BingoConfig};
+use bingo_bench::{geometric_mean, mean, pct, RunScale, Table};
+use bingo_sim::{CoverageReport, NoPrefetcher, RegionGeometry, System, SystemConfig};
+use bingo_workloads::Workload;
+
+fn run(w: Workload, region_bytes: Option<u64>, scale: RunScale) -> bingo_sim::SimResult {
+    let mut cfg = SystemConfig::paper();
+    if let Some(bytes) = region_bytes {
+        cfg.region = RegionGeometry::new(bytes);
+    }
+    let sources = w.sources(cfg.cores, scale.seed);
+    let system = System::with_prefetchers(
+        cfg,
+        sources,
+        |_| match region_bytes {
+            Some(bytes) => Box::new(Bingo::new(BingoConfig {
+                region: RegionGeometry::new(bytes),
+                ..BingoConfig::paper()
+            })),
+            None => Box::new(NoPrefetcher),
+        },
+        scale.instructions_per_core,
+    )
+    .with_warmup(scale.warmup_per_core);
+    system.run()
+}
+
+fn main() {
+    let scale = RunScale::from_args();
+    let mut t = Table::new(vec!["Region", "Perf gmean", "Coverage", "Overprediction"]);
+    let baselines: Vec<_> = Workload::ALL
+        .iter()
+        .map(|&w| {
+            eprintln!("baseline {w}");
+            run(w, None, scale)
+        })
+        .collect();
+    for bytes in [1024u64, 2048, 4096] {
+        let mut speedups = Vec::new();
+        let mut covs = Vec::new();
+        let mut ovs = Vec::new();
+        for (i, &w) in Workload::ALL.iter().enumerate() {
+            let r = run(w, Some(bytes), scale);
+            let c = CoverageReport::from_runs(&r, &baselines[i]);
+            speedups.push(r.speedup_over(&baselines[i]));
+            covs.push(c.coverage);
+            ovs.push(c.overprediction);
+            eprintln!("done {w} / {bytes} B");
+        }
+        t.row(vec![
+            format!("{} KB", bytes / 1024),
+            pct(geometric_mean(&speedups) - 1.0),
+            pct(mean(&covs)),
+            pct(mean(&ovs)),
+        ]);
+    }
+    println!("Ablation: spatial region size for Bingo.\n\n{t}");
+}

@@ -1,0 +1,69 @@
+//! Ablation — Bingo's end-of-residency training signal.
+//!
+//! The paper (following SMS) ends a region's residency — and trains the
+//! history table — "whenever a block from the page is invalidated or
+//! evicted from the cache". The alternative is to train only when the
+//! accumulation table overflows (no cache feedback at all). This ablation
+//! quantifies how much the eviction signal matters.
+
+use bingo::{Bingo, BingoConfig};
+use bingo_bench::{geometric_mean, mean, pct, RunScale, Table};
+use bingo_sim::{CoverageReport, NoPrefetcher, Prefetcher, System, SystemConfig};
+use bingo_workloads::Workload;
+
+fn run(w: Workload, pf: Option<BingoConfig>, scale: RunScale) -> bingo_sim::SimResult {
+    let cfg = SystemConfig::paper();
+    System::with_prefetchers(
+        cfg,
+        w.sources(cfg.cores, scale.seed),
+        |_| match pf {
+            Some(c) => Box::new(Bingo::new(c)) as Box<dyn Prefetcher>,
+            None => Box::new(NoPrefetcher),
+        },
+        scale.instructions_per_core,
+    )
+    .with_warmup(scale.warmup_per_core)
+    .run()
+}
+
+fn main() {
+    let scale = RunScale::from_args();
+    let variants = [
+        ("eviction + overflow (paper)", BingoConfig::paper()),
+        (
+            "overflow only",
+            BingoConfig {
+                train_on_eviction: false,
+                ..BingoConfig::paper()
+            },
+        ),
+    ];
+    let baselines: Vec<_> = Workload::ALL
+        .iter()
+        .map(|&w| {
+            eprintln!("baseline {w}");
+            run(w, None, scale)
+        })
+        .collect();
+    let mut t = Table::new(vec!["Training signal", "Perf gmean", "Coverage", "Overprediction"]);
+    for (name, cfg) in variants {
+        let mut speedups = Vec::new();
+        let mut covs = Vec::new();
+        let mut ovs = Vec::new();
+        for (i, &w) in Workload::ALL.iter().enumerate() {
+            let r = run(w, Some(cfg), scale);
+            let c = CoverageReport::from_runs(&r, &baselines[i]);
+            speedups.push(r.speedup_over(&baselines[i]));
+            covs.push(c.coverage);
+            ovs.push(c.overprediction);
+            eprintln!("done {w} / {name}");
+        }
+        t.row(vec![
+            name.to_string(),
+            pct(geometric_mean(&speedups) - 1.0),
+            pct(mean(&covs)),
+            pct(mean(&ovs)),
+        ]);
+    }
+    println!("Ablation: Bingo end-of-residency training signal.\n\n{t}");
+}

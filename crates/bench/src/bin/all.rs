@@ -1,0 +1,35 @@
+//! Runs every experiment binary in sequence, printing all tables/figures.
+//! Pass `--quick` to run at CI scale.
+
+use std::process::Command;
+
+const BINARIES: [&str; 14] = [
+    "table1_config",
+    "table2_workloads",
+    "fig2_events",
+    "fig3_num_events",
+    "fig4_redundancy",
+    "fig6_table_size",
+    "fig7_coverage",
+    "fig8_performance",
+    "fig9_density",
+    "fig10_isodegree",
+    "ablation_voting",
+    "ablation_region",
+    "ablation_training",
+    "workload_stats",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("exe directory").to_path_buf();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    for bin in BINARIES {
+        println!("\n================ {bin} ================\n");
+        let status = Command::new(dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

@@ -1,0 +1,36 @@
+//! Calibration diagnostic: baseline MPKI vs Table II, plus quick
+//! coverage/speedup sanity for a few prefetchers. Not one of the paper's
+//! figures — a development tool for tuning the workload generators.
+
+use bingo_bench::{pct, Harness, PrefetcherKind, RunScale, Table};
+use bingo_workloads::Workload;
+
+fn main() {
+    let scale = RunScale::from_args();
+    let mut harness = Harness::new(scale);
+    let mut table = Table::new(vec![
+        "Workload", "MPKI", "Paper", "IPC", "Bingo cov", "Bingo ov", "Bingo spd", "SMS cov",
+        "SMS spd", "BOP cov", "BOP spd",
+    ]);
+    for w in Workload::ALL {
+        let base = harness.baseline(w).clone();
+        let bingo = harness.evaluate(w, PrefetcherKind::Bingo);
+        let sms = harness.evaluate(w, PrefetcherKind::Sms);
+        let bop = harness.evaluate(w, PrefetcherKind::Bop);
+        table.row(vec![
+            w.name().to_string(),
+            format!("{:.1}", base.llc_mpki()),
+            format!("{:.1}", w.paper_mpki()),
+            format!("{:.2}", base.aggregate_ipc()),
+            pct(bingo.coverage.coverage),
+            pct(bingo.coverage.overprediction),
+            pct(bingo.improvement()),
+            pct(sms.coverage.coverage),
+            pct(sms.improvement()),
+            pct(bop.coverage.coverage),
+            pct(bop.improvement()),
+        ]);
+        eprintln!("done {w}");
+    }
+    println!("{table}");
+}

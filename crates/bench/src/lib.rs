@@ -1,0 +1,31 @@
+//! # bingo-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation. Each
+//! binary in `src/bin/` prints one figure's data; `cargo run -p bingo-bench
+//! --release --bin all` regenerates everything. Pass `--quick` for a
+//! reduced instruction budget (CI scale).
+//!
+//! | Binary | Reproduces |
+//! |--------|------------|
+//! | `table1_config` | Table I system configuration + Bingo storage (§VI-A) |
+//! | `table2_workloads` | Table II baseline LLC MPKI |
+//! | `fig2_events` | Fig. 2: accuracy & match probability of 5 event heuristics |
+//! | `fig3_num_events` | Fig. 3: coverage & accuracy vs number of events |
+//! | `fig4_redundancy` | Fig. 4: metadata redundancy of two-table TAGE |
+//! | `fig6_table_size` | Fig. 6: Bingo coverage vs history entries |
+//! | `fig7_coverage` | Fig. 7: coverage & overprediction, 6 prefetchers |
+//! | `fig8_performance` | Fig. 8: performance improvement |
+//! | `fig9_density` | Fig. 9: performance-density improvement |
+//! | `fig10_isodegree` | Fig. 10: iso-degree comparison |
+//! | `ablation_voting` / `ablation_region` | design-choice ablations |
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod area;
+pub mod runner;
+pub mod table;
+
+pub use area::AreaModel;
+pub use runner::{geometric_mean, mean, run_one, Evaluation, Harness, PrefetcherKind, RunScale};
+pub use table::{f2, pct, Table};

@@ -1,0 +1,332 @@
+//! Experiment runner: builds (workload × prefetcher) simulations, caches
+//! no-prefetcher baselines, and derives the paper's metrics.
+
+use std::collections::HashMap;
+
+use bingo::{Bingo, BingoConfig, EventKind, MultiEventConfig, MultiEventPrefetcher};
+use bingo_baselines::{
+    Ampm, AmpmConfig, Bop, BopConfig, Sms, SmsConfig, Spp, SppConfig, StrideConfig,
+    StridePrefetcher, Vldp, VldpConfig,
+};
+use bingo_sim::{
+    CoverageReport, NextLinePrefetcher, NoPrefetcher, Prefetcher, SimResult, System, SystemConfig,
+};
+use bingo_workloads::Workload;
+
+/// Which prefetcher to attach to every core.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum PrefetcherKind {
+    /// No prefetcher (baseline).
+    None,
+    /// Best-Offset prefetcher, paper configuration.
+    Bop,
+    /// BOP at degree 32 (Fig. 10 "Aggr").
+    BopAggressive,
+    /// Signature Path prefetcher, paper configuration.
+    Spp,
+    /// SPP at a 1 % confidence threshold (Fig. 10 "Aggr").
+    SppAggressive,
+    /// Variable-Length Delta prefetcher, paper configuration.
+    Vldp,
+    /// VLDP at degree 32 (Fig. 10 "Aggr").
+    VldpAggressive,
+    /// Access Map Pattern Matching.
+    Ampm,
+    /// Spatial Memory Streaming.
+    Sms,
+    /// Bingo, paper configuration (16 K-entry unified table).
+    Bingo,
+    /// Bingo with a non-default history size (Fig. 6 sweep).
+    BingoEntries(usize),
+    /// Bingo with a non-default footprint-voting threshold (ablation).
+    BingoVote(f64),
+    /// Single-event TAGE-like prefetcher (Fig. 2 sweep).
+    SingleEvent(EventKind),
+    /// Multi-event cascade over the first `n` events (Fig. 3 sweep; also
+    /// the Fig. 4 redundancy vehicle at `n = 2`).
+    MultiEvent(usize),
+    /// Classic PC-stride prefetcher (reference).
+    Stride,
+    /// Next-line prefetcher with the given degree (reference).
+    NextLine(usize),
+}
+
+impl PrefetcherKind {
+    /// The six prefetchers of the paper's headline comparison, figure
+    /// order.
+    pub const HEADLINE: [PrefetcherKind; 6] = [
+        PrefetcherKind::Bop,
+        PrefetcherKind::Spp,
+        PrefetcherKind::Vldp,
+        PrefetcherKind::Ampm,
+        PrefetcherKind::Sms,
+        PrefetcherKind::Bingo,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> String {
+        match self {
+            PrefetcherKind::None => "None".into(),
+            PrefetcherKind::Bop => "BOP".into(),
+            PrefetcherKind::BopAggressive => "BOP-Aggr".into(),
+            PrefetcherKind::Spp => "SPP".into(),
+            PrefetcherKind::SppAggressive => "SPP-Aggr".into(),
+            PrefetcherKind::Vldp => "VLDP".into(),
+            PrefetcherKind::VldpAggressive => "VLDP-Aggr".into(),
+            PrefetcherKind::Ampm => "AMPM".into(),
+            PrefetcherKind::Sms => "SMS".into(),
+            PrefetcherKind::Bingo => "Bingo".into(),
+            PrefetcherKind::BingoEntries(n) => format!("Bingo-{}K", n / 1024),
+            PrefetcherKind::BingoVote(t) => format!("Bingo-vote{:.0}%", t * 100.0),
+            PrefetcherKind::SingleEvent(k) => k.label().into(),
+            PrefetcherKind::MultiEvent(n) => format!("{n}-event"),
+            PrefetcherKind::Stride => "Stride".into(),
+            PrefetcherKind::NextLine(d) => format!("NextLine-{d}"),
+        }
+    }
+
+    /// Builds one prefetcher instance.
+    pub fn build(self) -> Box<dyn Prefetcher> {
+        match self {
+            PrefetcherKind::None => Box::new(NoPrefetcher),
+            PrefetcherKind::Bop => Box::new(Bop::new(BopConfig::paper())),
+            PrefetcherKind::BopAggressive => Box::new(Bop::new(BopConfig::aggressive())),
+            PrefetcherKind::Spp => Box::new(Spp::new(SppConfig::paper())),
+            PrefetcherKind::SppAggressive => Box::new(Spp::new(SppConfig::aggressive())),
+            PrefetcherKind::Vldp => Box::new(Vldp::new(VldpConfig::paper())),
+            PrefetcherKind::VldpAggressive => Box::new(Vldp::new(VldpConfig::aggressive())),
+            PrefetcherKind::Ampm => Box::new(Ampm::new(AmpmConfig::paper())),
+            PrefetcherKind::Sms => Box::new(Sms::new(SmsConfig::paper())),
+            PrefetcherKind::Bingo => Box::new(Bingo::new(BingoConfig::paper())),
+            PrefetcherKind::BingoEntries(n) => {
+                Box::new(Bingo::new(BingoConfig::with_history_entries(n)))
+            }
+            PrefetcherKind::BingoVote(t) => Box::new(Bingo::new(BingoConfig {
+                vote_threshold: t,
+                ..BingoConfig::paper()
+            })),
+            PrefetcherKind::SingleEvent(k) => {
+                Box::new(MultiEventPrefetcher::new(MultiEventConfig::single(k)))
+            }
+            PrefetcherKind::MultiEvent(n) => {
+                Box::new(MultiEventPrefetcher::new(MultiEventConfig::first_n(n)))
+            }
+            PrefetcherKind::Stride => Box::new(StridePrefetcher::new(StrideConfig::typical())),
+            PrefetcherKind::NextLine(d) => Box::new(NextLinePrefetcher::new(d)),
+        }
+    }
+
+    /// Per-core metadata storage in KB (for the performance-density model).
+    pub fn storage_kb(self) -> f64 {
+        self.build().storage_bits() as f64 / 8.0 / 1024.0
+    }
+}
+
+/// Simulation scale for an experiment run.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct RunScale {
+    /// Instructions retired per core in the measurement window.
+    pub instructions_per_core: u64,
+    /// Warmup instructions per core (caches and predictor tables live,
+    /// statistics discarded) — the SimFlex warmed-checkpoint methodology.
+    pub warmup_per_core: u64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl RunScale {
+    /// The full scale used for the published numbers in EXPERIMENTS.md.
+    pub fn full() -> Self {
+        RunScale {
+            instructions_per_core: 1_000_000,
+            warmup_per_core: 1_500_000,
+            seed: 42,
+        }
+    }
+
+    /// A reduced scale for CI and Criterion.
+    pub fn quick() -> Self {
+        RunScale {
+            instructions_per_core: 150_000,
+            warmup_per_core: 100_000,
+            seed: 42,
+        }
+    }
+
+    /// Reads `--quick` from the process arguments (any position), then
+    /// applies the `BINGO_WARMUP` / `BINGO_INSTR` environment overrides
+    /// (development knobs for calibration sweeps).
+    pub fn from_args() -> Self {
+        let mut scale = if std::env::args().any(|a| a == "--quick") {
+            Self::quick()
+        } else {
+            Self::full()
+        };
+        if let Some(w) = std::env::var("BINGO_WARMUP").ok().and_then(|v| v.parse().ok()) {
+            scale.warmup_per_core = w;
+        }
+        if let Some(n) = std::env::var("BINGO_INSTR").ok().and_then(|v| v.parse().ok()) {
+            scale.instructions_per_core = n;
+        }
+        scale
+    }
+}
+
+/// Runs one (workload, prefetcher) simulation on the paper's 4-core system.
+pub fn run_one(workload: Workload, kind: PrefetcherKind, scale: RunScale) -> SimResult {
+    let cfg = SystemConfig::paper();
+    let sources = workload.sources(cfg.cores, scale.seed);
+    let system =
+        System::with_prefetchers(cfg, sources, |_| kind.build(), scale.instructions_per_core)
+            .with_warmup(scale.warmup_per_core);
+    system.run()
+}
+
+/// Runner with per-workload baseline caching.
+#[derive(Debug, Default)]
+pub struct Harness {
+    scale: RunScale,
+    baselines: HashMap<Workload, SimResult>,
+}
+
+impl Default for RunScale {
+    fn default() -> Self {
+        RunScale::full()
+    }
+}
+
+impl Harness {
+    /// Creates a harness at the given scale.
+    pub fn new(scale: RunScale) -> Self {
+        Harness {
+            scale,
+            baselines: HashMap::new(),
+        }
+    }
+
+    /// The scale in use.
+    pub fn scale(&self) -> RunScale {
+        self.scale
+    }
+
+    /// The cached no-prefetcher baseline for a workload.
+    pub fn baseline(&mut self, workload: Workload) -> &SimResult {
+        let scale = self.scale;
+        self.baselines
+            .entry(workload)
+            .or_insert_with(|| run_one(workload, PrefetcherKind::None, scale))
+    }
+
+    /// Runs a prefetcher on a workload and reports coverage/overprediction
+    /// against the cached baseline, plus the speedup.
+    pub fn evaluate(&mut self, workload: Workload, kind: PrefetcherKind) -> Evaluation {
+        let result = run_one(workload, kind, self.scale);
+        let baseline = self.baseline(workload).clone();
+        let coverage = CoverageReport::from_runs(&result, &baseline);
+        let speedup = result.speedup_over(&baseline);
+        Evaluation {
+            workload,
+            kind,
+            coverage,
+            speedup,
+            result,
+            baseline,
+        }
+    }
+}
+
+/// The outcome of one prefetcher-on-workload evaluation.
+#[derive(Clone, Debug)]
+pub struct Evaluation {
+    /// Workload evaluated.
+    pub workload: Workload,
+    /// Prefetcher evaluated.
+    pub kind: PrefetcherKind,
+    /// Coverage / overprediction / accuracy vs the baseline.
+    pub coverage: CoverageReport,
+    /// Geometric-mean per-core speedup over the baseline.
+    pub speedup: f64,
+    /// The prefetching run.
+    pub result: SimResult,
+    /// The baseline run.
+    pub baseline: SimResult,
+}
+
+impl Evaluation {
+    /// Performance improvement as a fraction (paper's Fig. 8 metric).
+    pub fn improvement(&self) -> f64 {
+        self.speedup - 1.0
+    }
+}
+
+/// Geometric mean over a nonempty slice of positive values.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of empty slice");
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean over a nonempty slice.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "mean of empty slice");
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_build_and_have_names() {
+        for k in [
+            PrefetcherKind::None,
+            PrefetcherKind::Bop,
+            PrefetcherKind::Spp,
+            PrefetcherKind::Vldp,
+            PrefetcherKind::Ampm,
+            PrefetcherKind::Sms,
+            PrefetcherKind::Bingo,
+            PrefetcherKind::BingoEntries(4096),
+            PrefetcherKind::SingleEvent(EventKind::Offset),
+            PrefetcherKind::MultiEvent(3),
+            PrefetcherKind::Stride,
+            PrefetcherKind::NextLine(2),
+        ] {
+            let p = k.build();
+            assert!(!p.name().is_empty());
+            assert!(!k.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn bingo_has_the_largest_headline_storage() {
+        let bingo_kb = PrefetcherKind::Bingo.storage_kb();
+        for k in [PrefetcherKind::Bop, PrefetcherKind::Spp, PrefetcherKind::Vldp] {
+            assert!(
+                k.storage_kb() < bingo_kb,
+                "{} should be smaller than Bingo",
+                k.name()
+            );
+        }
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[3.0]) - 3.0).abs() < 1e-12);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quick_scale_is_smaller() {
+        assert!(RunScale::quick().instructions_per_core < RunScale::full().instructions_per_core);
+    }
+}

@@ -1,0 +1,180 @@
+//! Plain-text table / series formatting for the experiment binaries.
+//!
+//! Every figure binary prints its data as an aligned text table with the
+//! same rows/series the paper's figure shows, so results can be diffed
+//! against EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    let _ = write!(out, "{:<width$}", c, width = widths[i]);
+                } else {
+                    let _ = write!(out, "  {:>width$}", c, width = widths[i]);
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl Table {
+    /// Renders the table as RFC 4180-ish CSV (quotes fields containing
+    /// commas or quotes), for downstream plotting.
+    pub fn to_csv(&self) -> String {
+        let escape = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let mut write_row = |cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| escape(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        write_row(&self.header);
+        for row in &self.rows {
+            write_row(row);
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path` when the process was launched
+    /// with `--csv <dir>`; returns whether a file was written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be written to.
+    pub fn write_csv_if_requested(&self, name: &str) -> bool {
+        let args: Vec<String> = std::env::args().collect();
+        let Some(pos) = args.iter().position(|a| a == "--csv") else {
+            return false;
+        };
+        let dir = args.get(pos + 1).cloned().unwrap_or_else(|| ".".into());
+        let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
+        std::fs::create_dir_all(&dir).expect("create csv directory");
+        std::fs::write(&path, self.to_csv()).expect("write csv");
+        eprintln!("wrote {}", path.display());
+        true
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["Workload", "MPKI"]);
+        t.row(vec!["em3d", "32.4"]);
+        t.row(vec!["Data Serving", "6.7"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Workload"));
+        assert!(lines[2].contains("em3d"));
+        // Right-aligned numeric column: both numbers end at same offset.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn pct_and_f2() {
+        assert_eq!(pct(0.634), "63.4%");
+        assert_eq!(f2(1.23456), "1.23");
+    }
+
+    #[test]
+    fn csv_escapes_fields() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["plain", "with,comma"]);
+        t.row(vec!["with\"quote", "x"]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "plain,\"with,comma\"");
+        assert_eq!(lines[2], "\"with\"\"quote\",x");
+    }
+
+    #[test]
+    fn csv_round_trips_simple_tables() {
+        let mut t = Table::new(vec!["Workload", "MPKI"]);
+        t.row(vec!["em3d", "32.4"]);
+        assert_eq!(t.to_csv(), "Workload,MPKI\nem3d,32.4\n");
+    }
+}

@@ -1,0 +1,352 @@
+//! The accumulation structures: Bingo's "small auxiliary storage" that
+//! records spatial patterns while the processor actively accesses a region
+//! (Section IV), organized as in SMS:
+//!
+//! * a **filter table** holds regions that have seen only their trigger
+//!   access so far — single-access regions (pointer chases, random reads)
+//!   churn here without disturbing patterns under construction;
+//! * the **accumulation table** holds regions with at least two accesses
+//!   and collects their footprints until the end of residency.
+//!
+//! A residency ends when a block of the region is evicted from the cache,
+//! or early when the accumulation table overflows; either way the recorded
+//! pattern is handed to the history table for training.
+
+use bingo_sim::{AccessInfo, RegionId};
+
+use crate::event::EventKind;
+use crate::footprint::Footprint;
+
+/// A completed (or force-ended) region residency: the trigger information
+/// plus the accumulated footprint, ready for history training.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Residency {
+    /// Region observed.
+    pub region: RegionId,
+    /// PC of the trigger access.
+    pub trigger_pc: u64,
+    /// Block index of the trigger access.
+    pub trigger_block: u64,
+    /// In-region offset of the trigger access.
+    pub trigger_offset: u32,
+    /// Blocks touched during the residency (always includes the trigger).
+    pub footprint: Footprint,
+}
+
+impl Residency {
+    /// The event key of the given kind for this residency's trigger.
+    pub fn key(&self, kind: EventKind) -> u64 {
+        kind.key_parts(self.trigger_pc, self.trigger_block, self.trigger_offset as u64)
+    }
+}
+
+#[derive(Copy, Clone, Debug)]
+struct Slot {
+    residency: Residency,
+    last_touch: u64,
+}
+
+/// Result of observing one access.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Observation {
+    /// Whether this access was the region's trigger (first access of a new
+    /// residency) — the moment the prefetcher makes its prediction.
+    pub trigger: bool,
+    /// A residency evicted by accumulation-table overflow, ready for early
+    /// training.
+    pub evicted: Option<Residency>,
+}
+
+/// Filter table + LRU accumulation table.
+#[derive(Debug)]
+pub struct AccumulationTable {
+    filter: Vec<Slot>,
+    slots: Vec<Slot>,
+    filter_capacity: usize,
+    capacity: usize,
+    region_blocks: u32,
+    stamp: u64,
+}
+
+impl AccumulationTable {
+    /// Creates a table tracking up to `capacity` concurrent multi-access
+    /// residencies (plus an equally-sized filter for single-access
+    /// regions) of `region_blocks`-block regions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `region_blocks` is out of `1..=64`.
+    pub fn new(capacity: usize, region_blocks: u32) -> Self {
+        assert!(capacity > 0, "accumulation table needs capacity");
+        assert!(
+            (1..=64).contains(&region_blocks),
+            "region blocks {region_blocks} out of range"
+        );
+        AccumulationTable {
+            filter: Vec::new(),
+            slots: Vec::with_capacity(capacity),
+            filter_capacity: capacity.max(8),
+            capacity,
+            region_blocks,
+            stamp: 0,
+        }
+    }
+
+    /// Number of live multi-access residencies.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no multi-access residency is live.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of single-access regions currently in the filter.
+    pub fn filter_len(&self) -> usize {
+        self.filter.len()
+    }
+
+    /// Observes a demand access. Returns whether it triggered a new
+    /// residency and any residency evicted by overflow (for early
+    /// training).
+    pub fn observe(&mut self, info: &AccessInfo) -> Observation {
+        self.stamp += 1;
+        let stamp = self.stamp;
+
+        // Already promoted: extend the footprint.
+        if let Some(slot) = self
+            .slots
+            .iter_mut()
+            .find(|s| s.residency.region == info.region)
+        {
+            slot.residency.footprint.set(info.offset);
+            slot.last_touch = stamp;
+            return Observation {
+                trigger: false,
+                evicted: None,
+            };
+        }
+
+        // Second access to a filtered region: promote to accumulation.
+        if let Some(i) = self
+            .filter
+            .iter()
+            .position(|s| s.residency.region == info.region)
+        {
+            let mut slot = self.filter.swap_remove(i);
+            slot.residency.footprint.set(info.offset);
+            slot.last_touch = stamp;
+            let evicted = if self.slots.len() >= self.capacity {
+                let (idx, _) = self
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.last_touch)
+                    .expect("table is non-empty when full");
+                Some(self.slots.swap_remove(idx).residency)
+            } else {
+                None
+            };
+            self.slots.push(slot);
+            return Observation {
+                trigger: false,
+                evicted,
+            };
+        }
+
+        // Trigger access: new residency enters the filter.
+        let mut footprint = Footprint::empty(self.region_blocks);
+        footprint.set(info.offset);
+        let residency = Residency {
+            region: info.region,
+            trigger_pc: info.pc.raw(),
+            trigger_block: info.block.index(),
+            trigger_offset: info.offset,
+            footprint,
+        };
+        if self.filter.len() >= self.filter_capacity {
+            // Single-access regions carry no spatial pattern; the oldest is
+            // silently dropped (it would not pass training anyway).
+            let (idx, _) = self
+                .filter
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_touch)
+                .expect("filter is non-empty when full");
+            self.filter.swap_remove(idx);
+        }
+        self.filter.push(Slot {
+            residency,
+            last_touch: stamp,
+        });
+        Observation {
+            trigger: true,
+            evicted: None,
+        }
+    }
+
+    /// Ends the residency of `region`, if live in either structure,
+    /// returning it for training.
+    pub fn end_residency(&mut self, region: RegionId) -> Option<Residency> {
+        if let Some(idx) = self
+            .slots
+            .iter()
+            .position(|s| s.residency.region == region)
+        {
+            return Some(self.slots.swap_remove(idx).residency);
+        }
+        let idx = self
+            .filter
+            .iter()
+            .position(|s| s.residency.region == region)?;
+        Some(self.filter.swap_remove(idx).residency)
+    }
+
+    /// Storage cost in bits: per slot a region tag (~36 b), trigger PC
+    /// (16 b hashed), trigger offset, footprint, and LRU stamp (8 b); the
+    /// filter stores the same minus the footprint.
+    pub fn storage_bits(&self) -> u64 {
+        let offset_bits = 64 - (self.region_blocks as u64 - 1).leading_zeros() as u64;
+        let acc = self.capacity as u64 * (36 + 16 + offset_bits + self.region_blocks as u64 + 8);
+        let filter = self.filter_capacity as u64 * (36 + 16 + offset_bits + 8);
+        acc + filter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bingo_sim::{BlockAddr, CoreId, Pc, RegionGeometry};
+
+    fn info(pc: u64, block: u64) -> AccessInfo {
+        let g = RegionGeometry::default();
+        let b = BlockAddr::new(block);
+        AccessInfo {
+            core: CoreId(0),
+            pc: Pc::new(pc),
+            addr: b.base_addr(),
+            block: b,
+            region: g.region_of(b),
+            offset: g.offset_of(b),
+            is_write: false,
+            hit: false,
+            cycle: 0,
+        }
+    }
+
+    #[test]
+    fn trigger_then_record_builds_footprint() {
+        let mut t = AccumulationTable::new(4, 32);
+        let o = t.observe(&info(0x400, 32 * 5 + 3));
+        assert!(o.trigger);
+        assert!(!t.observe(&info(0x404, 32 * 5 + 7)).trigger);
+        assert!(!t.observe(&info(0x408, 32 * 5 + 3)).trigger);
+        let res = t.end_residency(RegionId::new(5)).expect("live residency");
+        assert_eq!(res.trigger_pc, 0x400);
+        assert_eq!(res.trigger_offset, 3);
+        assert_eq!(res.footprint.iter().collect::<Vec<_>>(), vec![3, 7]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn end_residency_of_untracked_region_is_none() {
+        let mut t = AccumulationTable::new(4, 32);
+        assert!(t.end_residency(RegionId::new(9)).is_none());
+    }
+
+    #[test]
+    fn single_access_regions_stay_in_filter() {
+        let mut t = AccumulationTable::new(4, 32);
+        t.observe(&info(0x1, 32));
+        assert_eq!(t.filter_len(), 1);
+        assert!(t.is_empty(), "no promotion on first access");
+    }
+
+    #[test]
+    fn second_access_promotes_to_accumulation() {
+        let mut t = AccumulationTable::new(4, 32);
+        t.observe(&info(0x1, 32));
+        t.observe(&info(0x1, 33));
+        assert_eq!(t.filter_len(), 0);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn filter_floods_do_not_disturb_accumulated_residencies() {
+        let mut t = AccumulationTable::new(2, 32);
+        // Build a 2-access residency in region 0.
+        t.observe(&info(0xA, 0));
+        t.observe(&info(0xA, 1));
+        // Flood with 100 single-access regions (chase-like traffic).
+        for r in 10..110u64 {
+            t.observe(&info(0xB, r * 32));
+        }
+        // The accumulated residency is intact.
+        let res = t.end_residency(RegionId::new(0)).expect("survives flood");
+        assert_eq!(res.footprint.iter().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn overflow_evicts_lru_promoted_residency() {
+        let mut t = AccumulationTable::new(2, 32);
+        // Three promoted residencies; capacity 2.
+        t.observe(&info(0x1, 32));
+        t.observe(&info(0x1, 33));
+        t.observe(&info(0x2, 64));
+        t.observe(&info(0x2, 65));
+        // Touch region 1 so region 2 becomes LRU.
+        t.observe(&info(0x1, 34));
+        t.observe(&info(0x3, 96));
+        let o = t.observe(&info(0x3, 97)); // promotion overflows
+        let evicted = o.evicted.expect("eviction on overflow");
+        assert_eq!(evicted.region, RegionId::new(2));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn distinct_regions_tracked_independently() {
+        let mut t = AccumulationTable::new(8, 32);
+        t.observe(&info(0xA, 0));
+        t.observe(&info(0xB, 32));
+        t.observe(&info(0xA, 1));
+        t.observe(&info(0xB, 40));
+        let a = t.end_residency(RegionId::new(0)).unwrap();
+        let b = t.end_residency(RegionId::new(1)).unwrap();
+        assert_eq!(a.footprint.iter().collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(b.footprint.iter().collect::<Vec<_>>(), vec![0, 8]);
+    }
+
+    #[test]
+    fn residency_event_keys_match_trigger_access() {
+        let mut t = AccumulationTable::new(4, 32);
+        let trigger = info(0x400, 32 * 5 + 3);
+        t.observe(&trigger);
+        let res = t.end_residency(trigger.region).unwrap();
+        for kind in EventKind::LONGEST_FIRST {
+            assert_eq!(res.key(kind), kind.key_of(&trigger), "{kind}");
+        }
+    }
+
+    #[test]
+    fn end_residency_finds_filtered_regions_too() {
+        let mut t = AccumulationTable::new(4, 32);
+        t.observe(&info(0x1, 32));
+        let res = t.end_residency(RegionId::new(1)).expect("in filter");
+        assert_eq!(res.footprint.count(), 1);
+    }
+
+    #[test]
+    fn storage_bits_scales_with_capacity() {
+        let small = AccumulationTable::new(32, 32).storage_bits();
+        let large = AccumulationTable::new(64, 32).storage_bits();
+        assert!(large > small);
+        assert!(small > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = AccumulationTable::new(0, 32);
+    }
+}

@@ -1,0 +1,425 @@
+//! The Bingo spatial data prefetcher (Section IV of the paper).
+//!
+//! Bingo records a footprint per region residency in an
+//! [`AccumulationTable`], transfers it on end-of-residency to a single
+//! [`UnifiedHistoryTable`] tagged with the trigger's `PC+Address`, and on
+//! each new trigger access looks the table up with `PC+Address` first and
+//! `PC+Offset` second. When only the short event matches — possibly in
+//! several ways at once — a block is prefetched if it appears in at least
+//! 20 % of the matching footprints (the paper's empirically best
+//! multi-match heuristic).
+
+use bingo_sim::{AccessInfo, BlockAddr, Prefetcher, RegionGeometry};
+
+use crate::accumulation::{AccumulationTable, Residency};
+use crate::event::EventKind;
+use crate::footprint::Footprint;
+use crate::history::UnifiedHistoryTable;
+
+/// Configuration of a [`Bingo`] prefetcher.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct BingoConfig {
+    /// Spatial region geometry (2 KB regions by default).
+    pub region: RegionGeometry,
+    /// Total history-table entries (16 K in the paper's chosen design).
+    pub history_entries: usize,
+    /// History-table associativity (16 in the paper).
+    pub history_ways: usize,
+    /// Concurrent residencies tracked by the accumulation table.
+    pub accumulation_entries: usize,
+    /// Fraction of matching short-event footprints that must contain a
+    /// block for it to be prefetched (0.2 in the paper).
+    pub vote_threshold: f64,
+    /// Minimum touched blocks for a residency to be worth training
+    /// (single-access regions carry no spatial pattern).
+    pub min_footprint_blocks: u32,
+    /// Whether cache evictions end residencies (the paper's training
+    /// signal). When disabled, residencies end only on accumulation-table
+    /// overflow — the `ablation_training` study's variant.
+    pub train_on_eviction: bool,
+}
+
+impl BingoConfig {
+    /// The paper's configuration: 2 KB regions, 16 K-entry 16-way history
+    /// table (119 KB total), 64-entry accumulation table, 20 % voting.
+    pub fn paper() -> Self {
+        BingoConfig {
+            region: RegionGeometry::default(),
+            history_entries: 16 * 1024,
+            history_ways: 16,
+            accumulation_entries: 64,
+            vote_threshold: 0.2,
+            min_footprint_blocks: 2,
+            train_on_eviction: true,
+        }
+    }
+
+    /// Same as [`BingoConfig::paper`] but with a different history size —
+    /// the knob of the storage sensitivity study (Fig. 6).
+    pub fn with_history_entries(entries: usize) -> Self {
+        BingoConfig {
+            history_entries: entries,
+            ..Self::paper()
+        }
+    }
+}
+
+impl Default for BingoConfig {
+    fn default() -> Self {
+        BingoConfig::paper()
+    }
+}
+
+/// Lookup-outcome counters (match-probability diagnostics).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct BingoStats {
+    /// Trigger accesses that performed a history lookup.
+    pub lookups: u64,
+    /// Lookups satisfied by the long event (`PC+Address`).
+    pub long_hits: u64,
+    /// Lookups satisfied by the short event (`PC+Offset`) after a long
+    /// miss.
+    pub short_hits: u64,
+    /// Lookups with no match (no prefetch issued).
+    pub no_match: u64,
+    /// Residencies transferred into the history table.
+    pub trainings: u64,
+}
+
+impl BingoStats {
+    /// Fraction of lookups that produced a prediction.
+    pub fn match_probability(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            (self.long_hits + self.short_hits) as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// The Bingo prefetcher.
+#[derive(Debug)]
+pub struct Bingo {
+    cfg: BingoConfig,
+    accumulation: AccumulationTable,
+    history: UnifiedHistoryTable,
+    short_matches: Vec<Footprint>,
+    /// Lookup statistics.
+    pub stats: BingoStats,
+}
+
+impl Bingo {
+    /// Creates a Bingo prefetcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent geometry (see [`UnifiedHistoryTable::new`]).
+    pub fn new(cfg: BingoConfig) -> Self {
+        let region_blocks = cfg.region.blocks_per_region() as u32;
+        Bingo {
+            accumulation: AccumulationTable::new(cfg.accumulation_entries, region_blocks),
+            history: UnifiedHistoryTable::new(cfg.history_entries, cfg.history_ways, region_blocks),
+            short_matches: Vec::with_capacity(cfg.history_ways),
+            stats: BingoStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &BingoConfig {
+        &self.cfg
+    }
+
+    fn train(&mut self, residency: Residency) {
+        if residency.footprint.count() < self.cfg.min_footprint_blocks {
+            return;
+        }
+        self.stats.trainings += 1;
+        self.history.insert(
+            residency.key(EventKind::PcAddress),
+            residency.key(EventKind::PcOffset),
+            residency.footprint,
+        );
+    }
+
+    fn predict(&mut self, info: &AccessInfo, out: &mut Vec<BlockAddr>) {
+        self.stats.lookups += 1;
+        let long = EventKind::PcAddress.key_of(info);
+        let short = EventKind::PcOffset.key_of(info);
+        let footprint = if let Some(fp) = self.history.lookup_long(long, short) {
+            self.stats.long_hits += 1;
+            fp
+        } else {
+            let mut matches = std::mem::take(&mut self.short_matches);
+            self.history.lookup_short(short, &mut matches);
+            let result = if matches.is_empty() {
+                self.stats.no_match += 1;
+                None
+            } else {
+                self.stats.short_hits += 1;
+                Some(Footprint::vote(&matches, self.cfg.vote_threshold))
+            };
+            self.short_matches = matches;
+            match result {
+                Some(fp) => fp,
+                None => return,
+            }
+        };
+        for offset in footprint.iter() {
+            if offset != info.offset {
+                out.push(self.cfg.region.block_at(info.region, offset));
+            }
+        }
+    }
+}
+
+impl Prefetcher for Bingo {
+    fn name(&self) -> &str {
+        "Bingo"
+    }
+
+    fn on_access(&mut self, info: &AccessInfo, out: &mut Vec<BlockAddr>) {
+        let observation = self.accumulation.observe(info);
+        if let Some(res) = observation.evicted {
+            self.train(res);
+        }
+        if observation.trigger {
+            self.predict(info, out);
+        }
+    }
+
+    fn on_eviction(&mut self, block: BlockAddr) {
+        if !self.cfg.train_on_eviction {
+            return;
+        }
+        let region = self.cfg.region.region_of(block);
+        if let Some(res) = self.accumulation.end_residency(region) {
+            self.train(res);
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.history.storage_bits() + self.accumulation.storage_bits()
+    }
+
+    fn debug_stats(&self) -> String {
+        format!(
+            "lookups={} long={} short={} none={} trainings={} valid={}",
+            self.stats.lookups,
+            self.stats.long_hits,
+            self.stats.short_hits,
+            self.stats.no_match,
+            self.stats.trainings,
+            self.history.valid_entries()
+        )
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("lookups", self.stats.lookups as f64),
+            ("long_hits", self.stats.long_hits as f64),
+            ("short_hits", self.stats.short_hits as f64),
+            ("matches", (self.stats.long_hits + self.stats.short_hits) as f64),
+            ("trainings", self.stats.trainings as f64),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bingo_sim::{Addr, CoreId, Pc, RegionId};
+
+    fn geometry() -> RegionGeometry {
+        RegionGeometry::default()
+    }
+
+    fn info(pc: u64, block: u64) -> AccessInfo {
+        let g = geometry();
+        let b = BlockAddr::new(block);
+        AccessInfo {
+            core: CoreId(0),
+            pc: Pc::new(pc),
+            addr: b.base_addr(),
+            block: b,
+            region: g.region_of(b),
+            offset: g.offset_of(b),
+            is_write: false,
+            hit: false,
+            cycle: 0,
+        }
+    }
+
+    fn small() -> Bingo {
+        Bingo::new(BingoConfig {
+            history_entries: 256,
+            history_ways: 4,
+            accumulation_entries: 8,
+            ..BingoConfig::paper()
+        })
+    }
+
+    /// Visits blocks `offsets` of `region`, then evicts the trigger block
+    /// to end the residency.
+    fn visit(b: &mut Bingo, pc: u64, region: u64, offsets: &[u32]) -> Vec<BlockAddr> {
+        let mut out = Vec::new();
+        let mut predicted = Vec::new();
+        for (i, &off) in offsets.iter().enumerate() {
+            out.clear();
+            b.on_access(&info(pc, region * 32 + off as u64), &mut out);
+            if i == 0 {
+                predicted = out.clone();
+            }
+        }
+        b.on_eviction(BlockAddr::new(region * 32 + offsets[0] as u64));
+        predicted
+    }
+
+    #[test]
+    fn long_event_match_replays_exact_footprint() {
+        let mut b = small();
+        // First visit to region 10: trains footprint {3, 7, 9}.
+        let p = visit(&mut b, 0x400, 10, &[3, 7, 9]);
+        assert!(p.is_empty(), "nothing learned yet");
+        // Re-visit the *same* region with the same PC and trigger block:
+        // the long event (PC+Address) matches.
+        let p = visit(&mut b, 0x400, 10, &[3]);
+        assert_eq!(b.stats.long_hits, 1);
+        let blocks: Vec<u64> = p.iter().map(|x| x.index()).collect();
+        assert_eq!(blocks, vec![10 * 32 + 7, 10 * 32 + 9]);
+    }
+
+    #[test]
+    fn short_event_match_covers_new_regions() {
+        let mut b = small();
+        visit(&mut b, 0x400, 10, &[3, 7, 9]);
+        // A *different* region, same PC and same offset 3: long event
+        // misses, short event (PC+Offset) hits -> compulsory-miss coverage.
+        let p = visit(&mut b, 0x400, 99, &[3]);
+        assert_eq!(b.stats.long_hits, 0);
+        assert_eq!(b.stats.short_hits, 1);
+        let blocks: Vec<u64> = p.iter().map(|x| x.index()).collect();
+        assert_eq!(blocks, vec![99 * 32 + 7, 99 * 32 + 9]);
+    }
+
+    #[test]
+    fn different_offset_same_pc_does_not_match_short() {
+        let mut b = small();
+        visit(&mut b, 0x400, 10, &[3, 7, 9]);
+        let p = visit(&mut b, 0x400, 99, &[5]);
+        assert!(p.is_empty());
+        // Two no-match lookups: the very first trigger and this one.
+        assert_eq!(b.stats.no_match, 2);
+    }
+
+    #[test]
+    fn vote_includes_blocks_from_any_of_few_matches() {
+        let mut b = small();
+        // Two residencies, same PC+Offset (offset 3) in different regions,
+        // with different footprints.
+        visit(&mut b, 0x400, 10, &[3, 7]);
+        visit(&mut b, 0x400, 11, &[3, 9]);
+        // New region: short lookup matches both; with the 20% threshold and
+        // 2 matches, one vote suffices -> union {7, 9}.
+        let p = visit(&mut b, 0x400, 99, &[3]);
+        let mut blocks: Vec<u64> = p.iter().map(|x| x.index()).collect();
+        blocks.sort_unstable();
+        assert_eq!(blocks, vec![99 * 32 + 7, 99 * 32 + 9]);
+    }
+
+    #[test]
+    fn majority_threshold_intersects_instead() {
+        let mut b = Bingo::new(BingoConfig {
+            history_entries: 256,
+            history_ways: 4,
+            accumulation_entries: 8,
+            vote_threshold: 0.9,
+            ..BingoConfig::paper()
+        });
+        visit(&mut b, 0x400, 10, &[3, 7]);
+        visit(&mut b, 0x400, 11, &[3, 9]);
+        visit(&mut b, 0x400, 12, &[3, 7]);
+        let p = visit(&mut b, 0x400, 99, &[3]);
+        let blocks: Vec<u64> = p.iter().map(|x| x.index()).collect();
+        // Block 7 has 2/3 votes, 9 has 1/3: 90% threshold keeps none of
+        // them... need ceil(0.9*3)=3 votes. Only offset 3 (the trigger, not
+        // re-prefetched) qualifies.
+        assert!(blocks.is_empty(), "got {blocks:?}");
+    }
+
+    #[test]
+    fn single_access_residencies_are_not_trained() {
+        let mut b = small();
+        visit(&mut b, 0x400, 10, &[3]); // one block only
+        let p = visit(&mut b, 0x400, 99, &[3]);
+        assert!(p.is_empty());
+        assert_eq!(b.stats.trainings, 0);
+    }
+
+    #[test]
+    fn accumulation_overflow_trains_early() {
+        let mut b = Bingo::new(BingoConfig {
+            history_entries: 256,
+            history_ways: 4,
+            accumulation_entries: 2,
+            ..BingoConfig::paper()
+        });
+        let mut out = Vec::new();
+        // Start three multi-access residencies without evictions; capacity
+        // 2 forces the first one out and into the history table.
+        b.on_access(&info(0x400, 10 * 32 + 3), &mut out);
+        b.on_access(&info(0x400, 10 * 32 + 7), &mut out);
+        b.on_access(&info(0x500, 11 * 32 + 1), &mut out);
+        b.on_access(&info(0x500, 11 * 32 + 2), &mut out);
+        b.on_access(&info(0x600, 12 * 32 + 2), &mut out);
+        b.on_access(&info(0x600, 12 * 32 + 3), &mut out);
+        assert_eq!(b.stats.trainings, 1);
+    }
+
+    #[test]
+    fn eviction_of_untracked_region_is_ignored() {
+        let mut b = small();
+        b.on_eviction(BlockAddr::new(123456));
+        assert_eq!(b.stats.trainings, 0);
+    }
+
+    #[test]
+    fn paper_storage_is_about_119_kb() {
+        let b = Bingo::new(BingoConfig::paper());
+        let kb = b.storage_bits() as f64 / 8.0 / 1024.0;
+        assert!(
+            kb > 110.0 && kb < 130.0,
+            "Bingo storage {kb:.1} KB; paper reports 119 KB"
+        );
+    }
+
+    #[test]
+    fn retraining_updates_footprint() {
+        let mut b = small();
+        visit(&mut b, 0x400, 10, &[3, 7]);
+        // Second residency of the same region/trigger with a new pattern.
+        visit(&mut b, 0x400, 10, &[3, 12]);
+        let p = visit(&mut b, 0x400, 10, &[3]);
+        let blocks: Vec<u64> = p.iter().map(|x| x.index()).collect();
+        assert_eq!(blocks, vec![10 * 32 + 12]);
+    }
+
+    #[test]
+    fn match_probability_tracks_hits() {
+        let mut b = small();
+        visit(&mut b, 0x400, 10, &[3, 7]);
+        visit(&mut b, 0x400, 11, &[3, 9]); // short hit on trigger
+        visit(&mut b, 0x500, 50, &[1, 2]); // no match on trigger
+        assert_eq!(b.stats.lookups, 3);
+        assert!((b.stats.match_probability() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn region_id_consistency() {
+        // Guard against geometry drift between sim and prefetcher.
+        let i = info(0x1, 32 * 42 + 5);
+        assert_eq!(i.region, RegionId::new(42));
+        assert_eq!(i.offset, 5);
+        assert_eq!(i.addr, Addr::new((32 * 42 + 5) * 64));
+    }
+}

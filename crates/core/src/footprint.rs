@@ -1,0 +1,294 @@
+//! Page footprints: one bit per cache block of a spatial region.
+//!
+//! A `1` at position *i* means block *i* of the region was demanded during
+//! the region's cache residency. Regions of up to 64 blocks (4 KB with 64 B
+//! blocks) are supported, covering all region-size ablations.
+
+use std::fmt;
+
+/// A set of touched blocks within one spatial region.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Footprint {
+    bits: u64,
+    len: u32,
+}
+
+impl Footprint {
+    /// Creates an empty footprint for a region of `len` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or exceeds 64.
+    pub fn empty(len: u32) -> Self {
+        assert!((1..=64).contains(&len), "region length {len} out of range");
+        Footprint { bits: 0, len }
+    }
+
+    /// Creates a footprint from a raw bit pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is out of range or `bits` has bits above `len`.
+    pub fn from_bits(bits: u64, len: u32) -> Self {
+        let mut f = Footprint::empty(len);
+        assert!(
+            len == 64 || bits >> len == 0,
+            "bits {bits:#x} exceed region length {len}"
+        );
+        f.bits = bits;
+        f
+    }
+
+    /// The raw bit pattern.
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// Number of blocks in the region.
+    pub fn len(self) -> u32 {
+        self.len
+    }
+
+    /// Whether no block has been recorded.
+    pub fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Records block `offset` as touched.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `offset >= len`.
+    pub fn set(&mut self, offset: u32) {
+        debug_assert!(offset < self.len, "offset {offset} >= region length {}", self.len);
+        self.bits |= 1u64 << offset;
+    }
+
+    /// Whether block `offset` is recorded.
+    pub fn contains(self, offset: u32) -> bool {
+        offset < self.len && (self.bits >> offset) & 1 == 1
+    }
+
+    /// Number of touched blocks.
+    pub fn count(self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Density: touched blocks / region blocks.
+    pub fn density(self) -> f64 {
+        self.count() as f64 / self.len as f64
+    }
+
+    /// Iterates over the touched offsets in ascending order.
+    pub fn iter(self) -> Offsets {
+        Offsets { bits: self.bits }
+    }
+
+    /// Blocks present in both footprints.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on mismatched region lengths.
+    pub fn intersect(self, other: Footprint) -> Footprint {
+        debug_assert_eq!(self.len, other.len);
+        Footprint {
+            bits: self.bits & other.bits,
+            len: self.len,
+        }
+    }
+
+    /// Blocks present in either footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on mismatched region lengths.
+    pub fn union(self, other: Footprint) -> Footprint {
+        debug_assert_eq!(self.len, other.len);
+        Footprint {
+            bits: self.bits | other.bits,
+            len: self.len,
+        }
+    }
+
+    /// Votes across several footprints: keeps each block present in at
+    /// least `ceil(threshold * n)` of the `n` footprints. This is Bingo's
+    /// multi-match heuristic with its empirically best threshold of 20 %
+    /// (Section IV).
+    ///
+    /// Returns an empty footprint when `footprints` is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not in `(0, 1]`, or in debug builds on
+    /// mismatched region lengths.
+    pub fn vote(footprints: &[Footprint], threshold: f64) -> Footprint {
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "vote threshold {threshold} must be in (0, 1]"
+        );
+        let Some(first) = footprints.first() else {
+            return Footprint::empty(1);
+        };
+        let len = first.len;
+        let need = (threshold * footprints.len() as f64).ceil() as u32;
+        let need = need.max(1);
+        let mut result = Footprint::empty(len);
+        for offset in 0..len {
+            let votes = footprints
+                .iter()
+                .map(|f| {
+                    debug_assert_eq!(f.len, len);
+                    f.contains(offset) as u32
+                })
+                .sum::<u32>();
+            if votes >= need {
+                result.set(offset);
+            }
+        }
+        result
+    }
+}
+
+impl fmt::Debug for Footprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Footprint(")?;
+        for i in (0..self.len).rev() {
+            write!(f, "{}", (self.bits >> i) & 1)?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Footprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:0width$b}", self.bits, width = self.len as usize)
+    }
+}
+
+/// Iterator over the set offsets of a footprint.
+#[derive(Copy, Clone, Debug)]
+pub struct Offsets {
+    bits: u64,
+}
+
+impl Iterator for Offsets {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.bits == 0 {
+            return None;
+        }
+        let off = self.bits.trailing_zeros();
+        self.bits &= self.bits - 1;
+        Some(off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_contains() {
+        let mut f = Footprint::empty(32);
+        assert!(f.is_empty());
+        f.set(0);
+        f.set(31);
+        assert!(f.contains(0));
+        assert!(f.contains(31));
+        assert!(!f.contains(15));
+        assert_eq!(f.count(), 2);
+    }
+
+    #[test]
+    fn iter_yields_ascending_offsets() {
+        let f = Footprint::from_bits(0b1010_0110, 8);
+        assert_eq!(f.iter().collect::<Vec<_>>(), vec![1, 2, 5, 7]);
+    }
+
+    #[test]
+    fn density() {
+        let f = Footprint::from_bits(0b1111, 16);
+        assert!((f.density() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn union_and_intersect() {
+        let a = Footprint::from_bits(0b1100, 8);
+        let b = Footprint::from_bits(0b0110, 8);
+        assert_eq!(a.union(b).bits(), 0b1110);
+        assert_eq!(a.intersect(b).bits(), 0b0100);
+    }
+
+    #[test]
+    fn vote_20_percent_of_five_needs_one() {
+        // 20% of 5 footprints = exactly 1 vote needed.
+        let fs = [
+            Footprint::from_bits(0b00001, 8),
+            Footprint::from_bits(0b00010, 8),
+            Footprint::from_bits(0b00100, 8),
+            Footprint::from_bits(0b01000, 8),
+            Footprint::from_bits(0b10000, 8),
+        ];
+        assert_eq!(Footprint::vote(&fs, 0.2).bits(), 0b11111);
+    }
+
+    #[test]
+    fn vote_majority() {
+        let fs = [
+            Footprint::from_bits(0b011, 8),
+            Footprint::from_bits(0b010, 8),
+            Footprint::from_bits(0b110, 8),
+        ];
+        // 50% of 3 -> need ceil(1.5) = 2 votes.
+        assert_eq!(Footprint::vote(&fs, 0.5).bits(), 0b010 | 0b010); // bit1=3 votes, bit0=1, bit2=1
+        assert_eq!(Footprint::vote(&fs, 0.5).bits(), 0b010);
+        // Unanimous.
+        assert_eq!(Footprint::vote(&fs, 1.0).bits(), 0b010);
+    }
+
+    #[test]
+    fn vote_single_footprint_is_identity() {
+        let f = Footprint::from_bits(0b1011, 8);
+        assert_eq!(Footprint::vote(&[f], 0.2), f);
+        assert_eq!(Footprint::vote(&[f], 1.0), f);
+    }
+
+    #[test]
+    fn vote_empty_slice_is_empty() {
+        assert!(Footprint::vote(&[], 0.2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn vote_rejects_zero_threshold() {
+        let _ = Footprint::vote(&[Footprint::empty(8)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn empty_rejects_oversized_region() {
+        let _ = Footprint::empty(65);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed region length")]
+    fn from_bits_rejects_overflow() {
+        let _ = Footprint::from_bits(0b1_0000, 4);
+    }
+
+    #[test]
+    fn full_64_block_region_works() {
+        let mut f = Footprint::empty(64);
+        f.set(63);
+        assert!(f.contains(63));
+        assert_eq!(Footprint::from_bits(u64::MAX, 64).count(), 64);
+    }
+
+    #[test]
+    fn display_formats_binary() {
+        let f = Footprint::from_bits(0b101, 4);
+        assert_eq!(format!("{f}"), "0101");
+        assert_eq!(format!("{f:?}"), "Footprint(0101)");
+    }
+}

@@ -1,0 +1,302 @@
+//! The unified history table — the storage contribution of the paper
+//! (Section IV, Fig. 5).
+//!
+//! A naive TAGE-like design would keep one table per event. Bingo's insight
+//! is that *short events are carried in long events*: knowing `PC+Address`
+//! implies knowing `PC+Offset`. The unified table therefore stores each
+//! footprint **once**, associated with the longest event, but remains
+//! searchable by both events:
+//!
+//! * the table is **indexed** by a hash of the *shortest* event
+//!   (`PC+Offset`), so the long and the short lookup land in the same set;
+//! * each entry is **tagged** with the *longest* event (`PC+Address`); a
+//!   short lookup simply compares only the short event's portion of the tag.
+//!
+//! A long lookup matches at most one way. A short lookup may match several
+//! ways — multiple footprints whose triggers shared `PC+Offset` but had
+//! different addresses — and the caller combines them by voting
+//! ([`crate::footprint::Footprint::vote`]).
+
+use crate::footprint::Footprint;
+
+#[derive(Copy, Clone, Debug)]
+struct Entry {
+    valid: bool,
+    /// Full tag: the longest event (`PC+Address`).
+    long_tag: u64,
+    /// The short portion of the tag (`PC+Offset`); physically a subset of
+    /// the long event's bits, stored separately here for clarity.
+    short_tag: u64,
+    footprint: Footprint,
+    last_touch: u64,
+}
+
+impl Entry {
+    fn invalid(region_blocks: u32) -> Entry {
+        Entry {
+            valid: false,
+            long_tag: 0,
+            short_tag: 0,
+            footprint: Footprint::empty(region_blocks),
+            last_touch: 0,
+        }
+    }
+}
+
+/// The single, set-associative history table of Bingo.
+#[derive(Debug)]
+pub struct UnifiedHistoryTable {
+    sets: Vec<Vec<Entry>>,
+    ways: usize,
+    set_mask: u64,
+    stamp: u64,
+    region_blocks: u32,
+}
+
+/// Statistics helpers returned by [`UnifiedHistoryTable::lookup_short`].
+pub type ShortMatches = Vec<Footprint>;
+
+impl UnifiedHistoryTable {
+    /// Creates a table with `entries` total entries and `ways`-way sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a multiple of `ways` yielding a
+    /// power-of-two set count, or if `region_blocks` is out of `1..=64`.
+    pub fn new(entries: usize, ways: usize, region_blocks: u32) -> Self {
+        assert!(ways > 0 && entries >= ways, "invalid geometry");
+        assert!(
+            (1..=64).contains(&region_blocks),
+            "region blocks {region_blocks} out of range"
+        );
+        let sets = entries / ways;
+        assert!(
+            sets.is_power_of_two() && sets * ways == entries,
+            "entries {entries} / ways {ways} must give a power-of-two set count"
+        );
+        UnifiedHistoryTable {
+            sets: vec![vec![Entry::invalid(region_blocks); ways]; sets],
+            ways,
+            set_mask: sets as u64 - 1,
+            stamp: 0,
+            region_blocks,
+        }
+    }
+
+    /// Total entries.
+    pub fn entries(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    fn set_of(&self, short_key: u64) -> usize {
+        (short_key & self.set_mask) as usize
+    }
+
+    fn next_stamp(&mut self) -> u64 {
+        self.stamp += 1;
+        self.stamp
+    }
+
+    /// Inserts (or re-trains) the footprint observed after the given long
+    /// event. The set is chosen by the short event's hash; the victim, when
+    /// the set is full, is the LRU entry.
+    pub fn insert(&mut self, long_key: u64, short_key: u64, footprint: Footprint) {
+        debug_assert_eq!(footprint.len(), self.region_blocks);
+        let stamp = self.next_stamp();
+        let set_idx = self.set_of(short_key);
+        let set = &mut self.sets[set_idx];
+        // Re-train an existing entry for the same long event.
+        if let Some(e) = set.iter_mut().find(|e| e.valid && e.long_tag == long_key) {
+            e.footprint = footprint;
+            e.short_tag = short_key;
+            e.last_touch = stamp;
+            return;
+        }
+        let slot = if let Some(i) = set.iter().position(|e| !e.valid) {
+            i
+        } else {
+            set.iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_touch)
+                .map(|(i, _)| i)
+                .expect("sets are non-empty")
+        };
+        set[slot] = Entry {
+            valid: true,
+            long_tag: long_key,
+            short_tag: short_key,
+            footprint,
+            last_touch: stamp,
+        };
+    }
+
+    /// Looks up with the long event (all tag bits compared). At most one
+    /// entry can match; recency is updated on a hit.
+    pub fn lookup_long(&mut self, long_key: u64, short_key: u64) -> Option<Footprint> {
+        let stamp = self.next_stamp();
+        let set_idx = self.set_of(short_key);
+        let e = self.sets[set_idx]
+            .iter_mut()
+            .find(|e| e.valid && e.long_tag == long_key)?;
+        e.last_touch = stamp;
+        Some(e.footprint)
+    }
+
+    /// Looks up with the short event only (the gray path of Fig. 5): every
+    /// way whose short-tag portion matches contributes its footprint.
+    /// Matches are returned most-recent-first; recency is updated.
+    pub fn lookup_short(&mut self, short_key: u64, out: &mut ShortMatches) {
+        out.clear();
+        let stamp = self.next_stamp();
+        let set_idx = self.set_of(short_key);
+        let mut matches: Vec<(u64, Footprint)> = self.sets[set_idx]
+            .iter_mut()
+            .filter(|e| e.valid && e.short_tag == short_key)
+            .map(|e| {
+                let prev = e.last_touch;
+                e.last_touch = stamp;
+                (prev, e.footprint)
+            })
+            .collect();
+        matches.sort_by_key(|m| std::cmp::Reverse(m.0));
+        out.extend(matches.into_iter().map(|(_, f)| f));
+    }
+
+    /// Number of valid entries (diagnostics).
+    pub fn valid_entries(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|e| e.valid).count())
+            .sum()
+    }
+
+    /// Storage in bits. Mirrors the paper's accounting (Section VI-A: a
+    /// 16 K-entry table totals 119 KB): per entry the footprint
+    /// (one bit per region block), the `PC+Address` tag beyond the index
+    /// bits (modeled at 16 PC bits + 6 offset bits + 1 valid), and 4
+    /// replacement bits.
+    pub fn storage_bits(&self) -> u64 {
+        let tag_bits = 16 + 6 + 1;
+        let per_entry = self.region_blocks as u64 + tag_bits + 4;
+        self.entries() as u64 * per_entry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(bits: u64) -> Footprint {
+        Footprint::from_bits(bits, 32)
+    }
+
+    fn table() -> UnifiedHistoryTable {
+        UnifiedHistoryTable::new(64, 4, 32)
+    }
+
+    #[test]
+    fn long_lookup_finds_exact_entry() {
+        let mut t = table();
+        t.insert(100, 7, fp(0b1010));
+        assert_eq!(t.lookup_long(100, 7), Some(fp(0b1010)));
+        assert_eq!(t.lookup_long(101, 7), None);
+    }
+
+    #[test]
+    fn short_lookup_finds_all_matching_ways() {
+        let mut t = table();
+        // Three different long events sharing short key 7 -> same set.
+        t.insert(100, 7, fp(0b0001));
+        t.insert(200, 7, fp(0b0010));
+        t.insert(300, 7, fp(0b0100));
+        let mut out = Vec::new();
+        t.lookup_short(7, &mut out);
+        assert_eq!(out.len(), 3);
+        let union = out.iter().fold(Footprint::empty(32), |a, b| a.union(*b));
+        assert_eq!(union.bits(), 0b0111);
+    }
+
+    #[test]
+    fn short_lookup_returns_most_recent_first() {
+        let mut t = table();
+        t.insert(100, 7, fp(0b0001));
+        t.insert(200, 7, fp(0b0010));
+        // Touch the first entry to make it most recent.
+        let _ = t.lookup_long(100, 7);
+        let mut out = Vec::new();
+        t.lookup_short(7, &mut out);
+        assert_eq!(out[0], fp(0b0001));
+        assert_eq!(out[1], fp(0b0010));
+    }
+
+    #[test]
+    fn insert_retrains_existing_long_event() {
+        let mut t = table();
+        t.insert(100, 7, fp(0b0001));
+        t.insert(100, 7, fp(0b1000));
+        assert_eq!(t.valid_entries(), 1, "retraining must not duplicate");
+        assert_eq!(t.lookup_long(100, 7), Some(fp(0b1000)));
+    }
+
+    #[test]
+    fn redundancy_is_eliminated_by_construction() {
+        // The same footprint trained under the same long event occupies one
+        // entry regardless of how many times it is stored — the unified
+        // table's whole point (vs. one entry in each of two tables).
+        let mut t = table();
+        for _ in 0..10 {
+            t.insert(100, 7, fp(0b0110));
+        }
+        assert_eq!(t.valid_entries(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut t = UnifiedHistoryTable::new(8, 2, 32); // 4 sets x 2 ways
+        // Force all into the set selected by short key 0 (set 0): keys 0, 4, 8.
+        t.insert(1, 0, fp(1));
+        t.insert(2, 4, fp(2));
+        let _ = t.lookup_long(1, 0); // make long=1 most recent
+        t.insert(3, 8, fp(4)); // evicts long=2
+        assert_eq!(t.lookup_long(1, 0), Some(fp(1)));
+        assert_eq!(t.lookup_long(2, 4), None);
+        assert_eq!(t.lookup_long(3, 8), Some(fp(4)));
+    }
+
+    #[test]
+    fn long_and_short_land_in_same_set() {
+        // Insert via short key; a long lookup with that short key must find
+        // it even though the long tag alone says nothing about the set.
+        let mut t = UnifiedHistoryTable::new(1024, 16, 32);
+        t.insert(0xdeadbeef, 0x1234, fp(0b11));
+        assert_eq!(t.lookup_long(0xdeadbeef, 0x1234), Some(fp(0b11)));
+        let mut out = Vec::new();
+        t.lookup_short(0x1234, &mut out);
+        assert_eq!(out, vec![fp(0b11)]);
+    }
+
+    #[test]
+    fn storage_matches_paper_119kb_at_16k_entries() {
+        let t = UnifiedHistoryTable::new(16 * 1024, 16, 32);
+        let kb = t.storage_bits() as f64 / 8.0 / 1024.0;
+        assert!(
+            (kb - 118.0).abs() < 6.0,
+            "16K-entry table is {kb:.1} KB; the paper reports 119 KB"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn bad_geometry_rejected() {
+        let _ = UnifiedHistoryTable::new(48, 16, 32);
+    }
+
+    #[test]
+    fn valid_entries_counts() {
+        let mut t = table();
+        assert_eq!(t.valid_entries(), 0);
+        t.insert(1, 1, fp(1));
+        t.insert(2, 2, fp(2));
+        assert_eq!(t.valid_entries(), 2);
+    }
+}

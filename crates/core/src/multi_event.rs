@@ -1,0 +1,512 @@
+//! The generalized TAGE-like spatial prefetcher of the motivation study
+//! (Section III) and the naive multi-table design Bingo improves upon
+//! (Fig. 1-(b)).
+//!
+//! [`MultiEventPrefetcher`] keeps one history table per configured event
+//! kind and, on a trigger access, looks them up longest event first,
+//! prefetching the footprint of the first match. With a single event it
+//! degenerates to a classic single-event spatial prefetcher (e.g.
+//! `PC+Offset` ≈ SMS), which is how Fig. 2's per-event accuracy and match
+//! probability are produced. With the event count swept from 1 to 5 it
+//! produces Fig. 3. Its built-in redundancy probe — does the short table
+//! predict the same footprint as the long table? — produces Fig. 4.
+
+use bingo_sim::{AccessInfo, BlockAddr, Prefetcher, RegionGeometry};
+
+use crate::accumulation::{AccumulationTable, Residency};
+use crate::event::EventKind;
+use crate::footprint::Footprint;
+
+#[derive(Copy, Clone, Debug)]
+struct Entry {
+    valid: bool,
+    tag: u64,
+    footprint: Footprint,
+    last_touch: u64,
+}
+
+/// A conventional set-associative history table indexed and tagged by a
+/// single event's key.
+#[derive(Debug)]
+pub struct EventTable {
+    sets: Vec<Vec<Entry>>,
+    ways: usize,
+    set_mask: u64,
+    stamp: u64,
+    region_blocks: u32,
+}
+
+impl EventTable {
+    /// Creates a table with `entries` entries in `ways`-way sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries / ways` is a power of two.
+    pub fn new(entries: usize, ways: usize, region_blocks: u32) -> Self {
+        assert!(ways > 0 && entries >= ways, "invalid geometry");
+        let sets = entries / ways;
+        assert!(
+            sets.is_power_of_two() && sets * ways == entries,
+            "entries {entries} / ways {ways} must give a power-of-two set count"
+        );
+        EventTable {
+            sets: vec![
+                vec![
+                    Entry {
+                        valid: false,
+                        tag: 0,
+                        footprint: Footprint::empty(region_blocks),
+                        last_touch: 0,
+                    };
+                    ways
+                ];
+                sets
+            ],
+            ways,
+            set_mask: sets as u64 - 1,
+            stamp: 0,
+            region_blocks,
+        }
+    }
+
+    fn set_of(&self, key: u64) -> usize {
+        // The tag is the full key; index with the high-mixed bits.
+        ((key >> 16) & self.set_mask) as usize
+    }
+
+    /// Inserts or re-trains the footprint for `key`.
+    pub fn insert(&mut self, key: u64, footprint: Footprint) {
+        debug_assert_eq!(footprint.len(), self.region_blocks);
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set_idx = self.set_of(key);
+        let set = &mut self.sets[set_idx];
+        if let Some(e) = set.iter_mut().find(|e| e.valid && e.tag == key) {
+            e.footprint = footprint;
+            e.last_touch = stamp;
+            return;
+        }
+        let slot = set
+            .iter()
+            .position(|e| !e.valid)
+            .unwrap_or_else(|| {
+                set.iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.last_touch)
+                    .map(|(i, _)| i)
+                    .expect("sets are non-empty")
+            });
+        set[slot] = Entry {
+            valid: true,
+            tag: key,
+            footprint,
+            last_touch: stamp,
+        };
+    }
+
+    /// Looks up `key`, updating recency on a hit.
+    pub fn lookup(&mut self, key: u64) -> Option<Footprint> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set_idx = self.set_of(key);
+        let e = self.sets[set_idx]
+            .iter_mut()
+            .find(|e| e.valid && e.tag == key)?;
+        e.last_touch = stamp;
+        Some(e.footprint)
+    }
+
+    /// Total entries.
+    pub fn entries(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Storage in bits: footprint + 23-bit tag + valid + 4 LRU bits per
+    /// entry (same accounting as the unified table).
+    pub fn storage_bits(&self) -> u64 {
+        self.entries() as u64 * (self.region_blocks as u64 + 23 + 4)
+    }
+}
+
+/// Configuration of a [`MultiEventPrefetcher`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct MultiEventConfig {
+    /// Events in lookup-priority order (longest first).
+    pub events: Vec<EventKind>,
+    /// Entries per event table.
+    pub entries_per_table: usize,
+    /// Associativity of each table.
+    pub ways: usize,
+    /// Spatial region geometry.
+    pub region: RegionGeometry,
+    /// Accumulation-table capacity.
+    pub accumulation_entries: usize,
+    /// Minimum footprint blocks worth training.
+    pub min_footprint_blocks: u32,
+}
+
+impl MultiEventConfig {
+    /// Default geometry (matching Bingo's paper configuration) with the
+    /// given ordered events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events` is empty.
+    pub fn with_events(events: Vec<EventKind>) -> Self {
+        assert!(!events.is_empty(), "need at least one event");
+        MultiEventConfig {
+            events,
+            entries_per_table: 16 * 1024,
+            ways: 16,
+            region: RegionGeometry::default(),
+            accumulation_entries: 64,
+            min_footprint_blocks: 2,
+        }
+    }
+
+    /// A single-event prefetcher (Fig. 2's experimental vehicle).
+    pub fn single(kind: EventKind) -> Self {
+        Self::with_events(vec![kind])
+    }
+
+    /// The first `n` events of the longest-first order (Fig. 3: `n` from 1
+    /// to 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= n <= 5`.
+    pub fn first_n(n: usize) -> Self {
+        assert!((1..=5).contains(&n), "n must be 1..=5");
+        Self::with_events(EventKind::LONGEST_FIRST[..n].to_vec())
+    }
+}
+
+/// Lookup statistics, including the Fig. 4 redundancy probe.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MultiEventStats {
+    /// Trigger accesses that performed a lookup cascade.
+    pub lookups: u64,
+    /// Hits satisfied by each event, parallel to the configured order.
+    pub hits_by_event: Vec<u64>,
+    /// Lookups with no match in any table.
+    pub no_match: u64,
+    /// Lookups where both the first two tables matched.
+    pub dual_both_matched: u64,
+    /// Lookups where the first two tables offered *identical* predictions —
+    /// the paper's definition of metadata redundancy.
+    pub dual_identical: u64,
+    /// Residencies trained.
+    pub trainings: u64,
+}
+
+impl MultiEventStats {
+    /// Fraction of lookups that produced a prediction.
+    pub fn match_probability(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            let hits: u64 = self.hits_by_event.iter().sum();
+            hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Fig. 4's redundancy: fraction of lookups for which the long and
+    /// short tables offered an identical prediction.
+    pub fn redundancy(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.dual_identical as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// TAGE-like spatial prefetcher with one history table per event.
+#[derive(Debug)]
+pub struct MultiEventPrefetcher {
+    cfg: MultiEventConfig,
+    tables: Vec<EventTable>,
+    accumulation: AccumulationTable,
+    name: String,
+    /// Lookup statistics.
+    pub stats: MultiEventStats,
+}
+
+impl MultiEventPrefetcher {
+    /// Creates the prefetcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid table geometry.
+    pub fn new(cfg: MultiEventConfig) -> Self {
+        let region_blocks = cfg.region.blocks_per_region() as u32;
+        let tables = cfg
+            .events
+            .iter()
+            .map(|_| EventTable::new(cfg.entries_per_table, cfg.ways, region_blocks))
+            .collect();
+        let name = if cfg.events.len() == 1 {
+            format!("Single[{}]", cfg.events[0])
+        } else {
+            format!("MultiEvent[{}]", cfg.events.len())
+        };
+        MultiEventPrefetcher {
+            accumulation: AccumulationTable::new(cfg.accumulation_entries, region_blocks),
+            tables,
+            name,
+            stats: MultiEventStats {
+                hits_by_event: vec![0; cfg.events.len()],
+                ..Default::default()
+            },
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MultiEventConfig {
+        &self.cfg
+    }
+
+    fn train(&mut self, residency: Residency) {
+        if residency.footprint.count() < self.cfg.min_footprint_blocks {
+            return;
+        }
+        self.stats.trainings += 1;
+        for (kind, table) in self.cfg.events.iter().zip(&mut self.tables) {
+            table.insert(residency.key(*kind), residency.footprint);
+        }
+    }
+
+    fn predict(&mut self, info: &AccessInfo, out: &mut Vec<BlockAddr>) {
+        self.stats.lookups += 1;
+        // Redundancy probe over the first two tables (when present).
+        if self.cfg.events.len() >= 2 {
+            let k0 = self.cfg.events[0].key_of(info);
+            let k1 = self.cfg.events[1].key_of(info);
+            let p0 = self.tables[0].lookup(k0);
+            let p1 = self.tables[1].lookup(k1);
+            if let (Some(a), Some(b)) = (p0, p1) {
+                self.stats.dual_both_matched += 1;
+                if a == b {
+                    self.stats.dual_identical += 1;
+                }
+            }
+        }
+        let mut chosen: Option<(usize, Footprint)> = None;
+        for (i, kind) in self.cfg.events.iter().enumerate() {
+            let key = kind.key_of(info);
+            if let Some(fp) = self.tables[i].lookup(key) {
+                chosen = Some((i, fp));
+                break;
+            }
+        }
+        let Some((i, fp)) = chosen else {
+            self.stats.no_match += 1;
+            return;
+        };
+        self.stats.hits_by_event[i] += 1;
+        for offset in fp.iter() {
+            if offset != info.offset {
+                out.push(self.cfg.region.block_at(info.region, offset));
+            }
+        }
+    }
+}
+
+impl Prefetcher for MultiEventPrefetcher {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_access(&mut self, info: &AccessInfo, out: &mut Vec<BlockAddr>) {
+        let observation = self.accumulation.observe(info);
+        if let Some(res) = observation.evicted {
+            self.train(res);
+        }
+        if observation.trigger {
+            self.predict(info, out);
+        }
+    }
+
+    fn on_eviction(&mut self, block: BlockAddr) {
+        let region = self.cfg.region.region_of(block);
+        if let Some(res) = self.accumulation.end_residency(region) {
+            self.train(res);
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.tables.iter().map(EventTable::storage_bits).sum::<u64>()
+            + self.accumulation.storage_bits()
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, f64)> {
+        let hits: u64 = self.stats.hits_by_event.iter().sum();
+        vec![
+            ("lookups", self.stats.lookups as f64),
+            ("matches", hits as f64),
+            ("dual_both_matched", self.stats.dual_both_matched as f64),
+            ("dual_identical", self.stats.dual_identical as f64),
+            ("trainings", self.stats.trainings as f64),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bingo_sim::{CoreId, Pc};
+
+    fn info(pc: u64, block: u64) -> AccessInfo {
+        let g = RegionGeometry::default();
+        let b = BlockAddr::new(block);
+        AccessInfo {
+            core: CoreId(0),
+            pc: Pc::new(pc),
+            addr: b.base_addr(),
+            block: b,
+            region: g.region_of(b),
+            offset: g.offset_of(b),
+            is_write: false,
+            hit: false,
+            cycle: 0,
+        }
+    }
+
+    fn small(events: Vec<EventKind>) -> MultiEventPrefetcher {
+        MultiEventPrefetcher::new(MultiEventConfig {
+            entries_per_table: 256,
+            ways: 4,
+            accumulation_entries: 8,
+            ..MultiEventConfig::with_events(events)
+        })
+    }
+
+    fn visit(p: &mut MultiEventPrefetcher, pc: u64, region: u64, offsets: &[u32]) -> Vec<BlockAddr> {
+        let mut out = Vec::new();
+        let mut first = Vec::new();
+        for (i, &off) in offsets.iter().enumerate() {
+            out.clear();
+            p.on_access(&info(pc, region * 32 + off as u64), &mut out);
+            if i == 0 {
+                first = out.clone();
+            }
+        }
+        p.on_eviction(BlockAddr::new(region * 32 + offsets[0] as u64));
+        first
+    }
+
+    #[test]
+    fn event_table_insert_lookup_and_lru() {
+        let mut t = EventTable::new(8, 2, 32);
+        let f1 = Footprint::from_bits(1, 32);
+        let f2 = Footprint::from_bits(2, 32);
+        t.insert(10, f1);
+        assert_eq!(t.lookup(10), Some(f1));
+        assert_eq!(t.lookup(11), None);
+        t.insert(10, f2);
+        assert_eq!(t.lookup(10), Some(f2), "retraining replaces");
+    }
+
+    #[test]
+    fn single_pc_address_never_generalizes() {
+        let mut p = small(vec![EventKind::PcAddress]);
+        visit(&mut p, 0x400, 10, &[3, 7]);
+        // Same region, same trigger: match.
+        let got = visit(&mut p, 0x400, 10, &[3]);
+        assert_eq!(got.len(), 1);
+        // New region: no match ever (the compulsory-miss blindness of
+        // PC+Address the paper describes).
+        let got = visit(&mut p, 0x400, 50, &[3]);
+        assert!(got.is_empty());
+        assert_eq!(p.stats.no_match, 2); // first-ever trigger + new region
+    }
+
+    #[test]
+    fn single_offset_matches_almost_always() {
+        let mut p = small(vec![EventKind::Offset]);
+        visit(&mut p, 0x400, 10, &[3, 7]);
+        // Different PC, different region, same offset: still matches.
+        let got = visit(&mut p, 0x999, 50, &[3]);
+        assert_eq!(got.len(), 1);
+        assert!(p.stats.match_probability() > 0.3);
+    }
+
+    #[test]
+    fn cascade_prefers_longest_event() {
+        let mut p = small(EventKind::LONGEST_FIRST.to_vec());
+        visit(&mut p, 0x400, 10, &[3, 7]);
+        // Exact revisit: PC+Address (index 0) should win.
+        visit(&mut p, 0x400, 10, &[3]);
+        assert_eq!(p.stats.hits_by_event[0], 1);
+        assert_eq!(p.stats.hits_by_event[1], 0);
+        // New region: falls through to PC+Offset (index 1).
+        visit(&mut p, 0x400, 60, &[3]);
+        assert_eq!(p.stats.hits_by_event[1], 1);
+    }
+
+    #[test]
+    fn redundancy_probe_counts_identical_predictions() {
+        let mut p = small(vec![EventKind::PcAddress, EventKind::PcOffset]);
+        visit(&mut p, 0x400, 10, &[3, 7]);
+        // Revisit: both tables trained from the same residency -> identical.
+        visit(&mut p, 0x400, 10, &[3]);
+        assert_eq!(p.stats.dual_both_matched, 1);
+        assert_eq!(p.stats.dual_identical, 1);
+        // Retrain the short event from a different region with a different
+        // footprint; now long(10) != short prediction.
+        visit(&mut p, 0x400, 11, &[3, 9]);
+        visit(&mut p, 0x400, 10, &[3]);
+        assert_eq!(p.stats.dual_both_matched, 2);
+        assert_eq!(p.stats.dual_identical, 1);
+        assert!(p.stats.redundancy() < 1.0);
+    }
+
+    #[test]
+    fn more_events_never_reduce_match_probability() {
+        // Train identical histories; the 5-event cascade must match at
+        // least as often as the 1-event one.
+        let run = |n: usize| {
+            let mut p = MultiEventPrefetcher::new(MultiEventConfig {
+                entries_per_table: 256,
+                ways: 4,
+                accumulation_entries: 8,
+                ..MultiEventConfig::first_n(n)
+            });
+            for r in 0..20u64 {
+                visit(&mut p, 0x400 + (r % 3) * 4, r, &[(r % 5) as u32, 17]);
+            }
+            // Probe fresh regions.
+            for r in 100..120u64 {
+                visit(&mut p, 0x400, r, &[(r % 7) as u32]);
+            }
+            p.stats.match_probability()
+        };
+        let one = run(1);
+        let five = run(5);
+        assert!(
+            five >= one,
+            "5-event match prob {five} must be >= 1-event {one}"
+        );
+        assert!(five > 0.5, "5-event cascade should match most lookups");
+    }
+
+    #[test]
+    fn storage_scales_with_table_count() {
+        let one = small(vec![EventKind::PcOffset]).storage_bits();
+        let two = small(vec![EventKind::PcAddress, EventKind::PcOffset]).storage_bits();
+        assert!(two > one, "two tables must cost more than one");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one event")]
+    fn empty_event_list_rejected() {
+        let _ = MultiEventConfig::with_events(vec![]);
+    }
+
+    #[test]
+    fn first_n_orders_longest_first() {
+        let c = MultiEventConfig::first_n(2);
+        assert_eq!(c.events, vec![EventKind::PcAddress, EventKind::PcOffset]);
+    }
+}

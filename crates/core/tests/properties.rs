@@ -1,0 +1,125 @@
+//! Property-based tests of Bingo's data-structure invariants.
+
+use proptest::prelude::*;
+
+use bingo::{AccumulationTable, EventKind, Footprint, UnifiedHistoryTable};
+use bingo_sim::{AccessInfo, BlockAddr, CoreId, Pc, RegionGeometry};
+
+fn fp(bits: u32) -> Footprint {
+    Footprint::from_bits(bits as u64, 32)
+}
+
+fn info(pc: u64, block: u64) -> AccessInfo {
+    let g = RegionGeometry::default();
+    let b = BlockAddr::new(block);
+    AccessInfo {
+        core: CoreId(0),
+        pc: Pc::new(pc),
+        addr: b.base_addr(),
+        block: b,
+        region: g.region_of(b),
+        offset: g.offset_of(b),
+        is_write: false,
+        hit: false,
+        cycle: 0,
+    }
+}
+
+proptest! {
+    /// Votes are monotone in the threshold: a stricter threshold never
+    /// adds blocks.
+    #[test]
+    fn vote_monotone_in_threshold(
+        patterns in proptest::collection::vec(any::<u32>(), 1..16),
+        t1 in 0.05f64..1.0,
+        t2 in 0.05f64..1.0,
+    ) {
+        let fps: Vec<Footprint> = patterns.iter().map(|&b| fp(b)).collect();
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let loose = Footprint::vote(&fps, lo);
+        let strict = Footprint::vote(&fps, hi);
+        prop_assert_eq!(strict.intersect(loose), strict, "strict ⊆ loose violated");
+    }
+
+    /// A unanimous vote equals the intersection; a 1-of-n vote equals the
+    /// union (for n <= 16 so ceil(1/16) = 1).
+    #[test]
+    fn vote_extremes(patterns in proptest::collection::vec(any::<u32>(), 1..16)) {
+        let fps: Vec<Footprint> = patterns.iter().map(|&b| fp(b)).collect();
+        let inter = fps.iter().fold(fp(u32::MAX), |a, b| a.intersect(*b));
+        let union = fps.iter().fold(fp(0), |a, b| a.union(*b));
+        prop_assert_eq!(Footprint::vote(&fps, 1.0), inter);
+        prop_assert_eq!(Footprint::vote(&fps, 1.0 / 16.0), union);
+    }
+
+    /// iter() yields exactly the set bits, ascending.
+    #[test]
+    fn footprint_iter_matches_bits(bits in any::<u32>()) {
+        let f = fp(bits);
+        let offsets: Vec<u32> = f.iter().collect();
+        prop_assert_eq!(offsets.len() as u32, f.count());
+        let mut reconstructed = 0u32;
+        let mut last = None;
+        for o in offsets {
+            prop_assert!(o < 32);
+            if let Some(prev) = last {
+                prop_assert!(o > prev, "iter not ascending");
+            }
+            last = Some(o);
+            reconstructed |= 1 << o;
+        }
+        prop_assert_eq!(reconstructed, bits);
+    }
+
+    /// Whatever is inserted into the unified table is found by the long
+    /// lookup and appears among the short matches.
+    #[test]
+    fn unified_table_insert_then_lookup(
+        entries in proptest::collection::vec((any::<u64>(), 0u64..64, any::<u32>()), 1..100),
+    ) {
+        let mut t = UnifiedHistoryTable::new(1024, 16, 32);
+        let mut matches = Vec::new();
+        for (long, short, bits) in entries {
+            t.insert(long, short, fp(bits));
+            prop_assert_eq!(t.lookup_long(long, short), Some(fp(bits)));
+            t.lookup_short(short, &mut matches);
+            prop_assert!(matches.contains(&fp(bits)), "short lookup must see fresh insert");
+        }
+        prop_assert!(t.valid_entries() <= 1024);
+    }
+
+    /// The event keys are pure functions of (pc, block, offset).
+    #[test]
+    fn event_keys_deterministic(pc in any::<u64>(), block in any::<u64>(), offset in 0u64..32) {
+        for kind in EventKind::LONGEST_FIRST {
+            prop_assert_eq!(
+                kind.key_parts(pc, block, offset),
+                kind.key_parts(pc, block, offset)
+            );
+        }
+    }
+
+    /// The accumulation table's live footprints always contain their
+    /// trigger offset and its occupancy never exceeds its capacity.
+    #[test]
+    fn accumulation_invariants(accesses in proptest::collection::vec((0u64..8, 0u64..512), 1..300)) {
+        let mut acc = AccumulationTable::new(16, 32);
+        let mut regions = Vec::new();
+        for (pc, block) in accesses {
+            let i = info(0x400 + pc * 4, block);
+            acc.observe(&i);
+            regions.push(i.region);
+            prop_assert!(acc.len() <= 16);
+        }
+        for r in regions {
+            if let Some(res) = acc.end_residency(r) {
+                prop_assert!(
+                    res.footprint.contains(res.trigger_offset),
+                    "footprint must contain the trigger"
+                );
+                prop_assert_eq!(res.region, r);
+            }
+        }
+        prop_assert!(acc.is_empty() || acc.len() <= 16);
+    }
+}

@@ -1,0 +1,313 @@
+//! Address primitives: byte addresses, cache-block indices, and spatial
+//! regions ("pages" in the paper's terminology).
+//!
+//! The Bingo paper trains and prefetches over *regions*: chunks of contiguous
+//! cache blocks holding a few kilobytes. A region is **not** an OS page or a
+//! DRAM page; its size is a prefetcher parameter (2 KB by default here,
+//! matching the reference ChampSim implementation of Bingo).
+//!
+//! Throughout the simulator, `BlockAddr` (a 64-byte-block index, i.e. the
+//! byte address shifted right by [`BLOCK_SHIFT`]) is the unit the memory
+//! hierarchy operates on.
+
+use std::fmt;
+
+/// Cache block (line) size in bytes across the entire hierarchy (Table I).
+pub const BLOCK_BYTES: u64 = 64;
+/// log2 of [`BLOCK_BYTES`].
+pub const BLOCK_SHIFT: u32 = 6;
+
+/// A full byte address in a core's virtual address space.
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw byte address.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// The raw byte address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The cache block this address falls in.
+    pub const fn block(self) -> BlockAddr {
+        BlockAddr(self.0 >> BLOCK_SHIFT)
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr::new(raw)
+    }
+}
+
+/// A cache-block index: the byte address divided by [`BLOCK_BYTES`].
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Default)]
+pub struct BlockAddr(u64);
+
+impl BlockAddr {
+    /// Creates a block index directly.
+    pub const fn new(index: u64) -> Self {
+        BlockAddr(index)
+    }
+
+    /// The raw block index.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The first byte address of this block.
+    pub const fn base_addr(self) -> Addr {
+        Addr(self.0 << BLOCK_SHIFT)
+    }
+
+    /// The block `delta` blocks away (may be negative).
+    ///
+    /// Saturates at zero on underflow rather than wrapping, so a misbehaving
+    /// prefetcher cannot fabricate astronomically distant addresses.
+    pub fn offset(self, delta: i64) -> BlockAddr {
+        if delta >= 0 {
+            BlockAddr(self.0.saturating_add(delta as u64))
+        } else {
+            BlockAddr(self.0.saturating_sub(delta.unsigned_abs()))
+        }
+    }
+}
+
+impl fmt::Debug for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BlockAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// Identifier of a spatial region: the block index divided by the number of
+/// blocks per region.
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Default)]
+pub struct RegionId(u64);
+
+impl RegionId {
+    /// Creates a region id directly.
+    pub const fn new(raw: u64) -> Self {
+        RegionId(raw)
+    }
+
+    /// The raw region index.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RegionId({:#x})", self.0)
+    }
+}
+
+/// Program counter of the instruction performing a memory access.
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Default)]
+pub struct Pc(u64);
+
+impl Pc {
+    /// Creates a PC from its raw value.
+    pub const fn new(raw: u64) -> Self {
+        Pc(raw)
+    }
+
+    /// The raw PC value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pc({:#x})", self.0)
+    }
+}
+
+/// The block-to-region mapping used by spatial prefetchers.
+///
+/// Regions are aligned, power-of-two sized groups of cache blocks. The
+/// geometry is a runtime parameter so region-size ablations (1 KB / 2 KB /
+/// 4 KB) can share all other code.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct RegionGeometry {
+    region_shift: u32,
+}
+
+impl RegionGeometry {
+    /// Creates a geometry for `region_bytes`-sized regions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region_bytes` is not a power of two or is smaller than one
+    /// cache block.
+    pub fn new(region_bytes: u64) -> Self {
+        assert!(
+            region_bytes.is_power_of_two(),
+            "region size must be a power of two, got {region_bytes}"
+        );
+        assert!(
+            region_bytes >= BLOCK_BYTES,
+            "region must hold at least one block, got {region_bytes} bytes"
+        );
+        RegionGeometry {
+            region_shift: region_bytes.trailing_zeros() - BLOCK_SHIFT,
+        }
+    }
+
+    /// Number of cache blocks per region.
+    pub const fn blocks_per_region(self) -> usize {
+        1 << self.region_shift
+    }
+
+    /// Region size in bytes.
+    pub const fn region_bytes(self) -> u64 {
+        (1u64 << self.region_shift) * BLOCK_BYTES
+    }
+
+    /// The region containing `block`.
+    pub const fn region_of(self, block: BlockAddr) -> RegionId {
+        RegionId(block.0 >> self.region_shift)
+    }
+
+    /// The offset of `block` within its region, in blocks.
+    pub const fn offset_of(self, block: BlockAddr) -> u32 {
+        (block.0 & ((1 << self.region_shift) - 1)) as u32
+    }
+
+    /// Reconstructs a block address from a region and an offset within it.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `offset` is out of range for the region.
+    pub fn block_at(self, region: RegionId, offset: u32) -> BlockAddr {
+        debug_assert!(
+            (offset as usize) < self.blocks_per_region(),
+            "offset {offset} out of range for {}-block region",
+            self.blocks_per_region()
+        );
+        BlockAddr((region.0 << self.region_shift) | offset as u64)
+    }
+}
+
+impl Default for RegionGeometry {
+    /// The paper-default 2 KB region (32 blocks of 64 bytes).
+    fn default() -> Self {
+        RegionGeometry::new(2048)
+    }
+}
+
+/// Identifier of a simulated core.
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug, Default)]
+pub struct CoreId(pub usize);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_of_addr_strips_low_bits() {
+        assert_eq!(Addr::new(0).block(), BlockAddr::new(0));
+        assert_eq!(Addr::new(63).block(), BlockAddr::new(0));
+        assert_eq!(Addr::new(64).block(), BlockAddr::new(1));
+        assert_eq!(Addr::new(0x1234_5678).block().index(), 0x1234_5678 >> 6);
+    }
+
+    #[test]
+    fn block_base_addr_round_trips() {
+        let b = BlockAddr::new(0xdead);
+        assert_eq!(b.base_addr().block(), b);
+        assert_eq!(b.base_addr().raw(), 0xdead << 6);
+    }
+
+    #[test]
+    fn block_offset_arithmetic() {
+        let b = BlockAddr::new(100);
+        assert_eq!(b.offset(5), BlockAddr::new(105));
+        assert_eq!(b.offset(-5), BlockAddr::new(95));
+        assert_eq!(BlockAddr::new(2).offset(-10), BlockAddr::new(0));
+    }
+
+    #[test]
+    fn default_geometry_is_2kb() {
+        let g = RegionGeometry::default();
+        assert_eq!(g.blocks_per_region(), 32);
+        assert_eq!(g.region_bytes(), 2048);
+    }
+
+    #[test]
+    fn region_mapping_2kb() {
+        let g = RegionGeometry::new(2048);
+        let b = BlockAddr::new(32 * 7 + 13);
+        assert_eq!(g.region_of(b), RegionId::new(7));
+        assert_eq!(g.offset_of(b), 13);
+        assert_eq!(g.block_at(RegionId::new(7), 13), b);
+    }
+
+    #[test]
+    fn region_mapping_4kb() {
+        let g = RegionGeometry::new(4096);
+        assert_eq!(g.blocks_per_region(), 64);
+        let b = BlockAddr::new(64 * 3 + 63);
+        assert_eq!(g.region_of(b), RegionId::new(3));
+        assert_eq!(g.offset_of(b), 63);
+    }
+
+    #[test]
+    fn single_block_region_is_allowed() {
+        let g = RegionGeometry::new(64);
+        assert_eq!(g.blocks_per_region(), 1);
+        assert_eq!(g.offset_of(BlockAddr::new(12345)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_region_panics() {
+        let _ = RegionGeometry::new(3000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn sub_block_region_panics() {
+        let _ = RegionGeometry::new(32);
+    }
+
+    #[test]
+    fn geometry_round_trip_many_blocks() {
+        let g = RegionGeometry::new(2048);
+        for i in 0..10_000u64 {
+            let b = BlockAddr::new(i * 97 + 31);
+            let r = g.region_of(b);
+            let o = g.offset_of(b);
+            assert_eq!(g.block_at(r, o), b);
+        }
+    }
+}

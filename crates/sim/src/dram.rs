@@ -1,0 +1,243 @@
+//! DRAM timing model: channels, banks, row buffers, and bandwidth as
+//! channel occupancy.
+//!
+//! Each channel services one 64-byte transfer at a time; a request arriving
+//! while the channel is busy queues behind it (`free_at` bookkeeping), which
+//! is how bandwidth saturation and the "bandwidth wall" of the iso-degree
+//! study (Fig. 10) emerge. Each bank remembers its open row: a request to
+//! the open row pays the row-hit latency, anything else pays the full
+//! precharge+activate+CAS latency. Consecutive blocks map to the same row,
+//! so spatial prefetch bursts enjoy row-buffer hits — the effect BuMP-style
+//! work highlights and the paper leans on in Section II.
+
+use crate::addr::BlockAddr;
+use crate::config::DramConfig;
+
+#[derive(Debug)]
+struct Bank {
+    open_row: Option<u64>,
+}
+
+#[derive(Debug)]
+struct Channel {
+    free_at: u64,
+    banks: Vec<Bank>,
+}
+
+/// Statistics for the DRAM subsystem.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Read (fill) transfers serviced.
+    pub reads: u64,
+    /// Writeback transfers serviced.
+    pub writes: u64,
+    /// Reads that hit an open row.
+    pub row_hits: u64,
+    /// Reads that needed an activate.
+    pub row_misses: u64,
+    /// Total cycles read requests spent queued behind busy channels.
+    pub queue_wait_cycles: u64,
+}
+
+impl DramStats {
+    /// Row-buffer hit ratio over reads.
+    pub fn row_hit_ratio(&self) -> f64 {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Total transfers (reads + writes).
+    pub fn transfers(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// The DRAM subsystem.
+#[derive(Debug)]
+pub struct Dram {
+    cfg: DramConfig,
+    channels: Vec<Channel>,
+    row_shift: u32,
+    /// Statistics; reset with [`Dram::reset_stats`].
+    pub stats: DramStats,
+}
+
+impl Dram {
+    /// Creates the subsystem from its configuration.
+    pub fn new(cfg: DramConfig) -> Self {
+        let channels = (0..cfg.channels)
+            .map(|_| Channel {
+                free_at: 0,
+                banks: (0..cfg.banks_per_channel)
+                    .map(|_| Bank { open_row: None })
+                    .collect(),
+            })
+            .collect();
+        // Blocks within one row are contiguous: row id = block >> log2(blocks/row).
+        let row_blocks = cfg.row_bytes / crate::addr::BLOCK_BYTES;
+        Dram {
+            cfg,
+            channels,
+            row_shift: row_blocks.trailing_zeros(),
+            stats: DramStats::default(),
+        }
+    }
+
+    /// The configuration this subsystem was built with.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    fn map(&self, block: BlockAddr) -> (usize, usize, u64) {
+        let row = block.index() >> self.row_shift;
+        let channel = (row % self.cfg.channels as u64) as usize;
+        let bank = ((row / self.cfg.channels as u64) % self.cfg.banks_per_channel as u64) as usize;
+        (channel, bank, row)
+    }
+
+    /// Issues a read for `block` at cycle `now`; returns the cycle the data
+    /// arrives at the requesting cache.
+    pub fn read(&mut self, block: BlockAddr, now: u64) -> u64 {
+        let (ch_idx, bank_idx, row) = self.map(block);
+        let ch = &mut self.channels[ch_idx];
+        let start = now.max(ch.free_at);
+        self.stats.queue_wait_cycles += start - now;
+        let bank = &mut ch.banks[bank_idx];
+        let row_hit = bank.open_row == Some(row);
+        bank.open_row = Some(row);
+        let access_latency = if row_hit {
+            self.stats.row_hits += 1;
+            self.cfg.row_hit_latency
+        } else {
+            self.stats.row_misses += 1;
+            self.cfg.row_miss_latency
+        };
+        ch.free_at = start + self.cfg.transfer_cycles;
+        self.stats.reads += 1;
+        start + access_latency + self.cfg.transfer_cycles
+    }
+
+    /// Issues a writeback for `block` at cycle `now`. Writebacks consume
+    /// channel bandwidth but nothing waits on them.
+    pub fn write(&mut self, block: BlockAddr, now: u64) {
+        let (ch_idx, bank_idx, row) = self.map(block);
+        let ch = &mut self.channels[ch_idx];
+        let start = now.max(ch.free_at);
+        ch.free_at = start + self.cfg.transfer_cycles;
+        ch.banks[bank_idx].open_row = Some(row);
+        self.stats.writes += 1;
+    }
+
+    /// Clears statistics, keeping row-buffer and queue state.
+    pub fn reset_stats(&mut self) {
+        self.stats = DramStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DramConfig {
+        DramConfig {
+            channels: 2,
+            banks_per_channel: 8,
+            row_bytes: 4096,
+            row_hit_latency: 160,
+            row_miss_latency: 226,
+            transfer_cycles: 14,
+        }
+    }
+
+    #[test]
+    fn zero_load_read_pays_row_miss() {
+        let mut d = Dram::new(cfg());
+        let t = d.read(BlockAddr::new(0), 1000);
+        assert_eq!(t, 1000 + 226 + 14);
+        assert_eq!(d.stats.row_misses, 1);
+    }
+
+    #[test]
+    fn same_row_second_read_is_a_row_hit() {
+        let mut d = Dram::new(cfg());
+        let _ = d.read(BlockAddr::new(0), 0);
+        // Block 1 is in the same 4 KB row (64 blocks/row).
+        let t = d.read(BlockAddr::new(1), 1000);
+        assert_eq!(t, 1000 + 160 + 14);
+        assert_eq!(d.stats.row_hits, 1);
+    }
+
+    #[test]
+    fn different_row_same_bank_closes_row() {
+        let mut d = Dram::new(cfg());
+        let _ = d.read(BlockAddr::new(0), 0);
+        // Row 16 maps to channel 0, bank 8/... compute: row 16 -> ch 0, bank 0.
+        let far = BlockAddr::new(16 * 64);
+        let t = d.read(far, 1000);
+        assert_eq!(t, 1000 + 226 + 14);
+        // Original row now closed for bank 0.
+        let t2 = d.read(BlockAddr::new(2), 2000);
+        assert_eq!(t2, 2000 + 226 + 14);
+    }
+
+    #[test]
+    fn channel_occupancy_queues_requests() {
+        let mut d = Dram::new(cfg());
+        let t1 = d.read(BlockAddr::new(0), 0);
+        // Same channel (same row => same channel), issued same cycle: waits
+        // for the 14-cycle transfer slot.
+        let t2 = d.read(BlockAddr::new(1), 0);
+        assert_eq!(t1, 240);
+        assert_eq!(t2, 14 + 160 + 14);
+        assert_eq!(d.stats.queue_wait_cycles, 14);
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let mut d = Dram::new(cfg());
+        // Rows 0 and 1 map to different channels.
+        let t1 = d.read(BlockAddr::new(0), 0);
+        let t2 = d.read(BlockAddr::new(64), 0); // row 1 -> channel 1
+        assert_eq!(t1, 240);
+        assert_eq!(t2, 240, "no queueing across channels");
+        assert_eq!(d.stats.queue_wait_cycles, 0);
+    }
+
+    #[test]
+    fn writes_consume_bandwidth() {
+        let mut d = Dram::new(cfg());
+        d.write(BlockAddr::new(0), 0);
+        let t = d.read(BlockAddr::new(1), 0);
+        assert_eq!(t, 14 + 160 + 14, "read queued behind the writeback");
+        assert_eq!(d.stats.writes, 1);
+    }
+
+    #[test]
+    fn sustained_bandwidth_matches_transfer_cycles() {
+        let mut d = Dram::new(cfg());
+        // Saturate channel 0 with 100 same-row reads issued at cycle 0.
+        let mut last = 0;
+        for i in 0..100 {
+            last = d.read(BlockAddr::new(i % 64), 0);
+        }
+        // 100 transfers at 14 cycles each, minus pipelined latency overlap:
+        // completion of the last ≈ 99*14 + latency.
+        assert!(last >= 99 * 14, "last completion {last}");
+        assert!(last <= 99 * 14 + 226 + 14);
+    }
+
+    #[test]
+    fn row_hit_ratio_diagnostic() {
+        let mut d = Dram::new(cfg());
+        for i in 0..10 {
+            let _ = d.read(BlockAddr::new(i), 0);
+        }
+        assert_eq!(d.stats.row_misses, 1);
+        assert_eq!(d.stats.row_hits, 9);
+        assert!((d.stats.row_hit_ratio() - 0.9).abs() < 1e-12);
+    }
+}

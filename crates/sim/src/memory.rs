@@ -1,0 +1,541 @@
+//! The memory system: private L1 data caches, a shared banked LLC, DRAM,
+//! and one prefetcher per core attached at the LLC.
+//!
+//! Request flow for a load issued by a core at cycle `now`:
+//!
+//! 1. L1D lookup (latency `l1.latency`). Hit → done. In-flight → merge.
+//! 2. L1D miss: needs an L1 MSHR (else the core must retry — this is the
+//!    back-pressure that limits memory-level parallelism).
+//! 3. LLC lookup at `now + l1.latency`. Hit → data at `+ llc.latency`.
+//! 4. LLC miss: needs an LLC MSHR; request goes to DRAM; the fill lands at
+//!    the cycle the DRAM model returns and is installed by the event queue.
+//!
+//! Prefetchers observe every successful LLC demand access and may emit
+//! candidate blocks, which are deduplicated against resident/in-flight
+//! blocks, rate-limited by prefetch-eligible MSHRs, and sent to DRAM.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::addr::{Addr, BlockAddr, CoreId, Pc};
+use crate::cache::{Cache, Lookup};
+use crate::config::SystemConfig;
+use crate::dram::Dram;
+use crate::prefetch::{AccessInfo, Prefetcher};
+use crate::stats::CacheStats;
+
+/// Result of issuing a memory operation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum IssueResult {
+    /// The operation will complete at the contained cycle.
+    Done(u64),
+    /// A structural hazard (MSHR full) prevented issue; retry next cycle.
+    Stall,
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum FillLevel {
+    Llc,
+    L1 { core: usize },
+}
+
+/// The full memory hierarchy shared by all cores.
+pub struct MemorySystem {
+    cfg: SystemConfig,
+    l1s: Vec<Cache>,
+    llc: Cache,
+    dram: Dram,
+    prefetchers: Vec<Box<dyn Prefetcher>>,
+    fills: BinaryHeap<Reverse<(u64, u64, FillLevel, u64)>>, // (ready, seq, level, block)
+    fill_seq: u64,
+    pf_buf: Vec<BlockAddr>,
+}
+
+impl MemorySystem {
+    /// Builds the hierarchy; `prefetchers` must contain exactly one
+    /// prefetcher per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the prefetcher count does
+    /// not match the core count.
+    pub fn new(cfg: SystemConfig, prefetchers: Vec<Box<dyn Prefetcher>>) -> Self {
+        cfg.validate().expect("invalid system configuration");
+        assert_eq!(
+            prefetchers.len(),
+            cfg.cores,
+            "need exactly one prefetcher per core"
+        );
+        MemorySystem {
+            l1s: (0..cfg.cores).map(|_| Cache::new(cfg.l1d)).collect(),
+            llc: Cache::new(cfg.llc),
+            dram: Dram::new(cfg.dram),
+            prefetchers,
+            fills: BinaryHeap::new(),
+            fill_seq: 0,
+            pf_buf: Vec::with_capacity(64),
+            cfg,
+        }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Shared LLC statistics.
+    pub fn llc_stats(&self) -> &CacheStats {
+        &self.llc.stats
+    }
+
+    /// Aggregated L1D statistics, summed across cores.
+    pub fn l1d_stats_sum(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for l1 in &self.l1s {
+            let s = &l1.stats;
+            total.demand_accesses += s.demand_accesses;
+            total.demand_hits += s.demand_hits;
+            total.demand_hits_pending += s.demand_hits_pending;
+            total.demand_misses += s.demand_misses;
+            total.demand_mshr_stalls += s.demand_mshr_stalls;
+            total.evictions += s.evictions;
+            total.writebacks += s.writebacks;
+        }
+        total
+    }
+
+    /// Total DRAM transfers serviced so far.
+    pub fn dram_transfers(&self) -> u64 {
+        self.dram.stats.transfers()
+    }
+
+    /// DRAM statistics.
+    pub fn dram_stats(&self) -> &crate::dram::DramStats {
+        &self.dram.stats
+    }
+
+    /// The per-core prefetcher, for storage accounting and diagnostics.
+    pub fn prefetcher(&self, core: CoreId) -> &dyn Prefetcher {
+        self.prefetchers[core.0].as_ref()
+    }
+
+    /// Debug summaries of every core's prefetcher.
+    pub fn prefetcher_debug(&self) -> Vec<String> {
+        self.prefetchers.iter().map(|p| p.debug_stats()).collect()
+    }
+
+    /// Structured metrics of every core's prefetcher.
+    pub fn prefetcher_metrics(&self) -> Vec<Vec<(&'static str, f64)>> {
+        self.prefetchers.iter().map(|p| p.metrics()).collect()
+    }
+
+    /// Clears all statistics (cache, DRAM) while keeping contents and
+    /// predictor state — the end-of-warmup reset.
+    pub fn reset_stats(&mut self) {
+        for l1 in &mut self.l1s {
+            l1.reset_stats();
+        }
+        self.llc.reset_stats();
+        self.dram.reset_stats();
+    }
+
+    /// Processes all fills that are due at or before `now`. Must be called
+    /// once per cycle before cores issue new requests.
+    pub fn tick(&mut self, now: u64) {
+        while let Some(&Reverse((ready, _, _, _))) = self.fills.peek() {
+            if ready > now {
+                break;
+            }
+            let Reverse((_, _, level, block)) = self.fills.pop().expect("peeked entry exists");
+            let block = BlockAddr::new(block);
+            match level {
+                FillLevel::Llc => {
+                    if let Some(evicted) = self.llc.complete_fill(block, false) {
+                        if evicted.dirty {
+                            self.dram.write(evicted.block, now);
+                        }
+                        for pf in &mut self.prefetchers {
+                            pf.on_eviction(evicted.block);
+                        }
+                    }
+                    // Notify fill observers (e.g. SPP's filter learns fills).
+                    for pf in &mut self.prefetchers {
+                        pf.on_fill(block, false);
+                    }
+                }
+                FillLevel::L1 { core } => {
+                    if let Some(evicted) = self.l1s[core].complete_fill(block, false) {
+                        if evicted.dirty {
+                            // Writeback to LLC: mark dirty if resident, else
+                            // spill to DRAM bandwidth.
+                            if !self.llc.mark_dirty(evicted.block) {
+                                self.dram.write(evicted.block, now);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn schedule_fill(&mut self, level: FillLevel, block: BlockAddr, ready: u64) {
+        self.fill_seq += 1;
+        self.fills
+            .push(Reverse((ready, self.fill_seq, level, block.index())));
+    }
+
+    /// Issues a load; returns its completion cycle or a stall.
+    pub fn load(&mut self, core: CoreId, pc: Pc, addr: Addr, now: u64) -> IssueResult {
+        self.access(core, pc, addr, now, false)
+    }
+
+    /// Issues a store (write-allocate, write-back); the returned cycle is
+    /// when the store's miss handling completes (releases its LSQ slot).
+    pub fn store(&mut self, core: CoreId, pc: Pc, addr: Addr, now: u64) -> IssueResult {
+        self.access(core, pc, addr, now, true)
+    }
+
+    fn access(&mut self, core: CoreId, pc: Pc, addr: Addr, now: u64, is_write: bool) -> IssueResult {
+        let block = addr.block();
+        let l1 = &mut self.l1s[core.0];
+        match l1.demand_access(block, now, is_write) {
+            Lookup::Hit { ready_at } | Lookup::PendingHit { ready_at } => {
+                return IssueResult::Done(ready_at);
+            }
+            Lookup::Miss => {}
+        }
+        if !self.l1s[core.0].mshr_available_for_demand() {
+            self.l1s[core.0].stats.demand_mshr_stalls += 1;
+            return IssueResult::Stall;
+        }
+
+        // L1 miss: consult the LLC after the L1 lookup latency.
+        let t_llc = now + self.cfg.l1d.latency;
+        let llc_hit;
+        let data_ready = match self.llc.demand_access(block, t_llc, is_write) {
+            Lookup::Hit { ready_at } => {
+                llc_hit = true;
+                ready_at
+            }
+            Lookup::PendingHit { ready_at } => {
+                llc_hit = false;
+                ready_at
+            }
+            Lookup::Miss => {
+                llc_hit = false;
+                if !self.llc.mshr_available_for_demand() {
+                    self.llc.stats.demand_mshr_stalls += 1;
+                    return IssueResult::Stall;
+                }
+                self.llc.stats.demand_misses += 1;
+                let ready = self.dram.read(block, t_llc + self.cfg.llc.latency);
+                self.llc.allocate_fill(block, ready, false);
+                self.schedule_fill(FillLevel::Llc, block, ready);
+                ready
+            }
+        };
+
+        // Commit the L1 miss. A store miss installs its line dirty
+        // (write-allocate, write-back).
+        self.l1s[core.0].stats.demand_misses += 1;
+        self.l1s[core.0].allocate_fill(block, data_ready, false);
+        if is_write {
+            self.l1s[core.0].mark_pending_dirty(block);
+        }
+        self.schedule_fill(FillLevel::L1 { core: core.0 }, block, data_ready);
+
+        // Train + trigger the core's prefetcher on this LLC access.
+        self.run_prefetcher(core, pc, addr, is_write, llc_hit, t_llc);
+
+        IssueResult::Done(data_ready + 1)
+    }
+
+    fn run_prefetcher(
+        &mut self,
+        core: CoreId,
+        pc: Pc,
+        addr: Addr,
+        is_write: bool,
+        hit: bool,
+        cycle: u64,
+    ) {
+        let block = addr.block();
+        let info = AccessInfo {
+            core,
+            pc,
+            addr,
+            block,
+            region: self.cfg.region.region_of(block),
+            offset: self.cfg.region.offset_of(block),
+            is_write,
+            hit,
+            cycle,
+        };
+        let mut buf = std::mem::take(&mut self.pf_buf);
+        buf.clear();
+        self.prefetchers[core.0].on_access(&info, &mut buf);
+        for &candidate in &buf {
+            self.issue_prefetch(candidate, cycle);
+        }
+        self.pf_buf = buf;
+    }
+
+    /// Issues one prefetch candidate into the LLC at cycle `now`, applying
+    /// duplicate filtering and MSHR limits. Exposed for prefetcher unit
+    /// tests and the harness's direct-drive mode.
+    pub fn issue_prefetch(&mut self, block: BlockAddr, now: u64) {
+        self.llc.stats.pf_requested += 1;
+        if self.llc.probe(block) {
+            self.llc.stats.pf_dropped_duplicate += 1;
+            return;
+        }
+        if !self
+            .llc
+            .mshr_available_for_prefetch(self.cfg.llc_mshrs_reserved_for_demand)
+        {
+            self.llc.stats.pf_dropped_mshr += 1;
+            return;
+        }
+        let ready = self.dram.read(block, now + self.cfg.llc.latency);
+        self.llc.allocate_fill(block, ready, true);
+        self.schedule_fill(FillLevel::Llc, block, ready);
+        self.llc.stats.pf_issued += 1;
+    }
+
+    /// Drains all outstanding fills (used at end of simulation so that
+    /// in-flight prefetch attribution settles) and folds still-resident
+    /// never-demanded prefetched lines into `pf_useless`, so
+    /// overprediction does not depend on the LLC filling up within the
+    /// measurement window.
+    pub fn drain(&mut self) -> u64 {
+        let mut last = 0;
+        while let Some(&Reverse((ready, _, _, _))) = self.fills.peek() {
+            last = ready;
+            self.tick(ready);
+        }
+        self.llc.stats.pf_useless += self.llc.count_unused_prefetched();
+        last
+    }
+}
+
+impl std::fmt::Debug for MemorySystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemorySystem")
+            .field("cores", &self.cfg.cores)
+            .field("llc_stats", &self.llc.stats)
+            .field("outstanding_fills", &self.fills.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefetch::{NextLinePrefetcher, NoPrefetcher};
+
+    fn mem_no_pf() -> MemorySystem {
+        let cfg = SystemConfig::tiny();
+        MemorySystem::new(cfg, vec![Box::new(NoPrefetcher)])
+    }
+
+    fn run_to(mem: &mut MemorySystem, cycle: u64) {
+        for t in 0..=cycle {
+            mem.tick(t);
+        }
+    }
+
+    const CORE: CoreId = CoreId(0);
+    const PC: Pc = Pc::new(0x400100);
+
+    #[test]
+    fn cold_load_goes_to_dram() {
+        let mut mem = mem_no_pf();
+        let t = match mem.load(CORE, PC, Addr::new(0x10000), 0) {
+            IssueResult::Done(t) => t,
+            IssueResult::Stall => panic!("unexpected stall"),
+        };
+        // 4 (L1) + 15 (LLC) + 240 (DRAM row miss) + 1 ≈ 260
+        assert!((250..=280).contains(&t), "cold load completion {t}");
+        assert_eq!(mem.llc_stats().demand_misses, 1);
+    }
+
+    #[test]
+    fn second_load_hits_l1_after_fill() {
+        let mut mem = mem_no_pf();
+        let addr = Addr::new(0x10000);
+        let t = match mem.load(CORE, PC, addr, 0) {
+            IssueResult::Done(t) => t,
+            IssueResult::Stall => panic!(),
+        };
+        run_to(&mut mem, t);
+        let t2 = match mem.load(CORE, PC, addr, t + 1) {
+            IssueResult::Done(t2) => t2,
+            IssueResult::Stall => panic!(),
+        };
+        assert_eq!(t2, t + 1 + 4, "L1 hit latency");
+        assert_eq!(mem.llc_stats().demand_misses, 1);
+    }
+
+    #[test]
+    fn llc_hit_after_l1_eviction_pressure() {
+        let mut mem = mem_no_pf();
+        // Fill a block, then thrash L1 set with conflicting blocks; the
+        // original stays in the larger LLC.
+        let victim = Addr::new(0);
+        let t = match mem.load(CORE, PC, victim, 0) {
+            IssueResult::Done(t) => t,
+            IssueResult::Stall => panic!(),
+        };
+        run_to(&mut mem, t);
+        let mut now = t + 1;
+        // tiny L1: 8KB/4way/64B = 32 sets. Conflicts: stride 32 blocks.
+        for i in 1..=8u64 {
+            let a = Addr::new(i * 32 * 64);
+            match mem.load(CORE, PC, a, now) {
+                IssueResult::Done(done) => {
+                    run_to(&mut mem, done);
+                    now = done + 1;
+                }
+                IssueResult::Stall => {
+                    now += 1;
+                }
+            }
+        }
+        let before = mem.llc_stats().demand_misses;
+        let t2 = match mem.load(CORE, PC, victim, now) {
+            IssueResult::Done(t2) => t2,
+            IssueResult::Stall => panic!(),
+        };
+        assert_eq!(mem.llc_stats().demand_misses, before, "LLC hit expected");
+        // L1 lookup (4) + LLC hit (15) + 1 cycle to return through the L1.
+        assert_eq!(t2 - now, 4 + 15 + 1, "L1 latency + LLC latency");
+    }
+
+    #[test]
+    fn mshr_exhaustion_stalls_demands() {
+        let mut mem = mem_no_pf();
+        // tiny L1 has 8 MSHRs: the 9th distinct outstanding load stalls.
+        let mut stalled = false;
+        for i in 0..9u64 {
+            match mem.load(CORE, PC, Addr::new(i * 64 * 64), 0) {
+                IssueResult::Done(_) => {}
+                IssueResult::Stall => {
+                    stalled = i == 8;
+                    break;
+                }
+            }
+        }
+        assert!(stalled, "9th outstanding miss should stall on L1 MSHRs");
+    }
+
+    #[test]
+    fn duplicate_loads_merge_in_mshr() {
+        let mut mem = mem_no_pf();
+        let addr = Addr::new(0x40000);
+        let t1 = match mem.load(CORE, PC, addr, 0) {
+            IssueResult::Done(t) => t,
+            IssueResult::Stall => panic!(),
+        };
+        // Second load to the same block one cycle later merges in L1 MSHR.
+        let t2 = match mem.load(CORE, PC, addr, 1) {
+            IssueResult::Done(t) => t,
+            IssueResult::Stall => panic!(),
+        };
+        assert!(t2 <= t1 + 1);
+        assert_eq!(mem.llc_stats().demand_misses, 1);
+        assert_eq!(mem.l1d_stats_sum().demand_misses, 1);
+        assert_eq!(mem.l1d_stats_sum().demand_hits_pending, 1);
+    }
+
+    #[test]
+    fn prefetch_turns_miss_into_hit() {
+        let cfg = SystemConfig::tiny();
+        let mut mem = MemorySystem::new(cfg, vec![Box::new(NextLinePrefetcher::new(1))]);
+        // Load block 0 -> prefetches block 1.
+        let t = match mem.load(CORE, PC, Addr::new(0), 0) {
+            IssueResult::Done(t) => t,
+            IssueResult::Stall => panic!(),
+        };
+        run_to(&mut mem, t + 300);
+        assert_eq!(mem.llc_stats().pf_issued, 1);
+        // Demand block 1: should hit in LLC (prefetched), miss in L1.
+        let misses_before = mem.llc_stats().demand_misses;
+        match mem.load(CORE, PC, Addr::new(64), t + 301) {
+            IssueResult::Done(_) => {}
+            IssueResult::Stall => panic!(),
+        }
+        assert_eq!(mem.llc_stats().demand_misses, misses_before);
+        assert_eq!(mem.llc_stats().pf_useful, 1);
+    }
+
+    #[test]
+    fn late_prefetch_counts_as_late() {
+        let cfg = SystemConfig::tiny();
+        let mut mem = MemorySystem::new(cfg, vec![Box::new(NextLinePrefetcher::new(1))]);
+        let _ = mem.load(CORE, PC, Addr::new(0), 0);
+        // Demand block 1 immediately: the prefetch is still in flight.
+        match mem.load(CORE, PC, Addr::new(64), 2) {
+            IssueResult::Done(_) => {}
+            IssueResult::Stall => panic!(),
+        }
+        assert_eq!(mem.llc_stats().pf_late, 1);
+    }
+
+    #[test]
+    fn duplicate_prefetches_are_filtered() {
+        let mut mem = mem_no_pf();
+        mem.issue_prefetch(BlockAddr::new(100), 0);
+        mem.issue_prefetch(BlockAddr::new(100), 1);
+        assert_eq!(mem.llc_stats().pf_issued, 1);
+        assert_eq!(mem.llc_stats().pf_dropped_duplicate, 1);
+    }
+
+    #[test]
+    fn prefetches_respect_mshr_reservation() {
+        let mut mem = mem_no_pf();
+        // tiny LLC: 32 MSHRs, 8 reserved for demand -> 24 prefetch slots.
+        for i in 0..30u64 {
+            mem.issue_prefetch(BlockAddr::new(1000 + i), 0);
+        }
+        assert_eq!(mem.llc_stats().pf_issued, 24);
+        assert_eq!(mem.llc_stats().pf_dropped_mshr, 6);
+    }
+
+    #[test]
+    fn drain_settles_all_fills() {
+        let mut mem = mem_no_pf();
+        let _ = mem.load(CORE, PC, Addr::new(0), 0);
+        let _ = mem.load(CORE, PC, Addr::new(1 << 20), 0);
+        let last = mem.drain();
+        assert!(last > 0);
+        // After drain, both blocks resident: loads hit.
+        match mem.load(CORE, PC, Addr::new(0), last + 1) {
+            IssueResult::Done(t) => assert_eq!(t, last + 1 + 4),
+            IssueResult::Stall => panic!(),
+        }
+    }
+
+    #[test]
+    fn store_miss_allocates_and_dirties() {
+        let mut mem = mem_no_pf();
+        let addr = Addr::new(0x2000);
+        let t = match mem.store(CORE, PC, addr, 0) {
+            IssueResult::Done(t) => t,
+            IssueResult::Stall => panic!(),
+        };
+        run_to(&mut mem, t);
+        assert_eq!(mem.llc_stats().demand_misses, 1);
+        // A later load hits.
+        match mem.load(CORE, PC, addr, t + 1) {
+            IssueResult::Done(t2) => assert_eq!(t2, t + 1 + 4),
+            IssueResult::Stall => panic!(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one prefetcher per core")]
+    fn prefetcher_count_must_match_cores() {
+        let cfg = SystemConfig::paper(); // 4 cores
+        let _ = MemorySystem::new(cfg, vec![Box::new(NoPrefetcher)]);
+    }
+}

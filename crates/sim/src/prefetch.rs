@@ -1,0 +1,180 @@
+//! The prefetcher interface.
+//!
+//! Every prefetcher in this reproduction — Bingo, the multi-event
+//! predictors, and all baselines — implements [`Prefetcher`]. The memory
+//! system invokes [`Prefetcher::on_access`] for every *demand* access
+//! observed at the LLC (the paper trains and triggers all prefetchers at the
+//! LLC and prefetches directly into it), and [`Prefetcher::on_eviction`]
+//! whenever a block leaves the LLC — the end-of-residency signal
+//! per-page-history prefetchers train on.
+
+use crate::addr::{Addr, BlockAddr, CoreId, Pc, RegionId};
+
+/// Everything a prefetcher may observe about one demand access.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct AccessInfo {
+    /// Core issuing the access.
+    pub core: CoreId,
+    /// Program counter of the load/store.
+    pub pc: Pc,
+    /// Full byte address.
+    pub addr: Addr,
+    /// Cache-block index of the access.
+    pub block: BlockAddr,
+    /// Spatial region containing the block.
+    pub region: RegionId,
+    /// Block offset within the region.
+    pub offset: u32,
+    /// Whether the access is a store.
+    pub is_write: bool,
+    /// Whether the access hit a resident, ready LLC line.
+    pub hit: bool,
+    /// Cycle of the access.
+    pub cycle: u64,
+}
+
+/// A hardware data prefetcher observing the LLC access stream.
+///
+/// Implementations append candidate blocks to `out` in [`on_access`];
+/// the memory system deduplicates against resident and in-flight blocks,
+/// enforces MSHR limits, and issues the survivors toward DRAM.
+///
+/// [`on_access`]: Prefetcher::on_access
+pub trait Prefetcher {
+    /// Short human-readable name ("Bingo", "SMS", ...), used in reports.
+    fn name(&self) -> &str;
+
+    /// Observes a demand access and appends prefetch candidates to `out`.
+    ///
+    /// `out` is a reusable buffer: it arrives empty and any blocks left in
+    /// it are issued (subject to filtering) at the access's cycle.
+    fn on_access(&mut self, info: &AccessInfo, out: &mut Vec<BlockAddr>);
+
+    /// Observes the eviction of `block` from the LLC. Default: ignored.
+    fn on_eviction(&mut self, block: BlockAddr) {
+        let _ = block;
+    }
+
+    /// Observes the completion of a fill (demand or prefetch). Default:
+    /// ignored.
+    fn on_fill(&mut self, block: BlockAddr, prefetch: bool) {
+        let _ = (block, prefetch);
+    }
+
+    /// Total metadata storage in bits, for the storage/area studies
+    /// (Section VI-A, Fig. 9). Default: 0 (no metadata).
+    fn storage_bits(&self) -> u64 {
+        0
+    }
+
+    /// One-line internal-statistics summary for diagnostics (match rates,
+    /// table occupancy, ...). Default: empty.
+    fn debug_stats(&self) -> String {
+        String::new()
+    }
+
+    /// Structured internal metrics for experiment harnesses, as
+    /// (name, value) pairs — e.g. history-lookup and match counts for the
+    /// paper's match-probability and redundancy studies. Default: none.
+    fn metrics(&self) -> Vec<(&'static str, f64)> {
+        Vec::new()
+    }
+}
+
+/// The no-op prefetcher used for baseline runs.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct NoPrefetcher;
+
+impl Prefetcher for NoPrefetcher {
+    fn name(&self) -> &str {
+        "None"
+    }
+
+    fn on_access(&mut self, _info: &AccessInfo, _out: &mut Vec<BlockAddr>) {}
+}
+
+/// A simple next-N-line prefetcher, useful as a sanity baseline and in
+/// substrate tests.
+#[derive(Copy, Clone, Debug)]
+pub struct NextLinePrefetcher {
+    degree: usize,
+}
+
+impl NextLinePrefetcher {
+    /// Creates a next-line prefetcher issuing `degree` sequential blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is zero.
+    pub fn new(degree: usize) -> Self {
+        assert!(degree > 0, "degree must be nonzero");
+        NextLinePrefetcher { degree }
+    }
+}
+
+impl Default for NextLinePrefetcher {
+    fn default() -> Self {
+        NextLinePrefetcher::new(1)
+    }
+}
+
+impl Prefetcher for NextLinePrefetcher {
+    fn name(&self) -> &str {
+        "NextLine"
+    }
+
+    fn on_access(&mut self, info: &AccessInfo, out: &mut Vec<BlockAddr>) {
+        for d in 1..=self.degree {
+            out.push(info.block.offset(d as i64));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::RegionGeometry;
+
+    fn info(block: u64) -> AccessInfo {
+        let g = RegionGeometry::default();
+        let b = BlockAddr::new(block);
+        AccessInfo {
+            core: CoreId(0),
+            pc: Pc::new(0x400),
+            addr: b.base_addr(),
+            block: b,
+            region: g.region_of(b),
+            offset: g.offset_of(b),
+            is_write: false,
+            hit: false,
+            cycle: 0,
+        }
+    }
+
+    #[test]
+    fn no_prefetcher_emits_nothing() {
+        let mut p = NoPrefetcher;
+        let mut out = Vec::new();
+        p.on_access(&info(10), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(p.storage_bits(), 0);
+        assert_eq!(p.name(), "None");
+    }
+
+    #[test]
+    fn next_line_emits_sequential_blocks() {
+        let mut p = NextLinePrefetcher::new(3);
+        let mut out = Vec::new();
+        p.on_access(&info(10), &mut out);
+        assert_eq!(
+            out,
+            vec![BlockAddr::new(11), BlockAddr::new(12), BlockAddr::new(13)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "degree")]
+    fn next_line_rejects_zero_degree() {
+        let _ = NextLinePrefetcher::new(0);
+    }
+}

@@ -1,0 +1,382 @@
+//! Statistics collected during simulation and the derived metrics the
+//! paper's figures report (MPKI, IPC, miss coverage, accuracy,
+//! overprediction).
+
+use std::fmt;
+
+/// Counters for one cache (the LLC counters drive every figure).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand (load/store) lookups.
+    pub demand_accesses: u64,
+    /// Demand lookups that hit a resident, ready block.
+    pub demand_hits: u64,
+    /// Demand lookups that hit a block still in flight (MSHR merge). For a
+    /// prefetched in-flight block this is a *late* prefetch: partially
+    /// covered.
+    pub demand_hits_pending: u64,
+    /// Demand lookups that missed entirely.
+    pub demand_misses: u64,
+    /// Demand misses rejected because no MSHR was available (retried later).
+    pub demand_mshr_stalls: u64,
+    /// Lines evicted to make room for fills.
+    pub evictions: u64,
+    /// Dirty evictions written back toward memory.
+    pub writebacks: u64,
+    /// Prefetch candidates the prefetcher produced.
+    pub pf_requested: u64,
+    /// Prefetches dropped because the block was already resident or in
+    /// flight.
+    pub pf_dropped_duplicate: u64,
+    /// Prefetches dropped because no prefetch-eligible MSHR was available.
+    pub pf_dropped_mshr: u64,
+    /// Prefetches actually sent to the next level.
+    pub pf_issued: u64,
+    /// Prefetched fills that were demanded before eviction (counted once per
+    /// prefetched line, on first demand touch after the fill completed).
+    pub pf_useful: u64,
+    /// Prefetched fills demanded while still in flight (late but useful).
+    pub pf_late: u64,
+    /// Prefetched lines evicted without ever being demanded.
+    pub pf_useless: u64,
+}
+
+impl CacheStats {
+    /// Demand misses per kilo-instruction, given the retired instruction
+    /// count of the whole chip.
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            return 0.0;
+        }
+        self.demand_misses as f64 * 1000.0 / instructions as f64
+    }
+
+    /// Fraction of issued-and-completed prefetches that were useful
+    /// (the paper's *accuracy*). Late prefetches count as useful.
+    pub fn accuracy(&self) -> f64 {
+        let used = self.pf_useful + self.pf_late;
+        let judged = used + self.pf_useless;
+        if judged == 0 {
+            0.0
+        } else {
+            used as f64 / judged as f64
+        }
+    }
+
+    /// Hit ratio over demand accesses (ready hits only).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.demand_accesses == 0 {
+            0.0
+        } else {
+            self.demand_hits as f64 / self.demand_accesses as f64
+        }
+    }
+}
+
+/// Counters for one core.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Cycles the core was simulated for (until it reached its instruction
+    /// target).
+    pub cycles: u64,
+    /// Loads dispatched.
+    pub loads: u64,
+    /// Stores dispatched.
+    pub stores: u64,
+    /// Cycles dispatch was blocked because a load could not get an L1 MSHR.
+    pub dispatch_stall_cycles: u64,
+    /// Cycles dispatch was blocked waiting for a dependent load's producer.
+    pub dependency_stall_cycles: u64,
+}
+
+impl CoreStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// The complete outcome of one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimResult {
+    /// Per-core statistics, indexed by core id.
+    pub cores: Vec<CoreStats>,
+    /// Aggregated L1 data cache statistics (summed over cores).
+    pub l1d: CacheStats,
+    /// Shared LLC statistics.
+    pub llc: CacheStats,
+    /// Total DRAM data transfers (demand fills + prefetch fills +
+    /// writebacks), for bandwidth-pressure reporting.
+    pub dram_transfers: u64,
+    /// Cycle at which the last core finished.
+    pub total_cycles: u64,
+    /// Per-core prefetcher internal diagnostics
+    /// ([`crate::prefetch::Prefetcher::debug_stats`]).
+    pub prefetcher_debug: Vec<String>,
+    /// Per-core structured prefetcher metrics
+    /// ([`crate::prefetch::Prefetcher::metrics`]).
+    pub prefetcher_metrics: Vec<Vec<(&'static str, f64)>>,
+}
+
+impl SimResult {
+    /// Sums a named prefetcher metric over all cores; `None` if no core
+    /// reported it.
+    pub fn metric_sum(&self, name: &str) -> Option<f64> {
+        let mut found = false;
+        let mut sum = 0.0;
+        for core in &self.prefetcher_metrics {
+            for (n, v) in core {
+                if *n == name {
+                    found = true;
+                    sum += v;
+                }
+            }
+        }
+        found.then_some(sum)
+    }
+}
+
+impl SimResult {
+    /// Total instructions retired across cores.
+    pub fn instructions(&self) -> u64 {
+        self.cores.iter().map(|c| c.instructions).sum()
+    }
+
+    /// Chip-wide IPC: total instructions / cycles until the last core
+    /// finished.
+    pub fn aggregate_ipc(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.instructions() as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// LLC demand misses per kilo-instruction — the metric of Table II.
+    pub fn llc_mpki(&self) -> f64 {
+        self.llc.mpki(self.instructions())
+    }
+
+    /// Geometric mean of per-core IPC speedups versus a baseline run of the
+    /// same workload (the paper's "performance improvement" metric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two results have different core counts.
+    pub fn speedup_over(&self, baseline: &SimResult) -> f64 {
+        assert_eq!(
+            self.cores.len(),
+            baseline.cores.len(),
+            "speedup requires identical core counts"
+        );
+        let mut log_sum = 0.0;
+        for (a, b) in self.cores.iter().zip(&baseline.cores) {
+            let s = a.ipc() / b.ipc();
+            log_sum += s.ln();
+        }
+        (log_sum / self.cores.len() as f64).exp()
+    }
+}
+
+impl fmt::Display for SimResult {
+    /// Multi-line human-readable run summary (IPC, MPKI, prefetch
+    /// effectiveness) — handy in examples and ad-hoc tools.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "instructions {:>12}   cycles {:>12}   aggregate IPC {:.3}",
+            self.instructions(),
+            self.total_cycles,
+            self.aggregate_ipc()
+        )?;
+        for (i, c) in self.cores.iter().enumerate() {
+            writeln!(
+                f,
+                "  core{i}: IPC {:.3} ({} loads, {} stores)",
+                c.ipc(),
+                c.loads,
+                c.stores
+            )?;
+        }
+        writeln!(
+            f,
+            "LLC: {} accesses, {} misses (MPKI {:.2}), hit ratio {:.1}%",
+            self.llc.demand_accesses,
+            self.llc.demand_misses,
+            self.llc_mpki(),
+            self.llc.hit_ratio() * 100.0
+        )?;
+        if self.llc.pf_issued > 0 {
+            writeln!(
+                f,
+                "prefetch: {} issued, {} useful, {} late, {} useless (accuracy {:.1}%)",
+                self.llc.pf_issued,
+                self.llc.pf_useful,
+                self.llc.pf_late,
+                self.llc.pf_useless,
+                self.llc.accuracy() * 100.0
+            )?;
+        }
+        write!(f, "DRAM transfers: {}", self.dram_transfers)
+    }
+}
+
+/// Miss coverage and overprediction of a prefetching run relative to a
+/// baseline (no-prefetcher) run of the same workload, using the paper's
+/// definitions (Section VI-B).
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct CoverageReport {
+    /// Fraction of baseline misses eliminated: `(M0 - M) / M0`, clamped at 0.
+    pub coverage: f64,
+    /// Useless prefetches normalized to baseline misses: `useless / M0`.
+    pub overprediction: f64,
+    /// Prefetch accuracy (useful / completed).
+    pub accuracy: f64,
+    /// Baseline demand misses `M0`.
+    pub baseline_misses: u64,
+    /// Demand misses with the prefetcher active.
+    pub misses_with_prefetch: u64,
+}
+
+impl CoverageReport {
+    /// Computes the report from a prefetching run and its no-prefetcher
+    /// baseline.
+    pub fn from_runs(with_pf: &SimResult, baseline: &SimResult) -> Self {
+        let m0 = baseline.llc.demand_misses;
+        let m = with_pf.llc.demand_misses;
+        let coverage = if m0 == 0 {
+            0.0
+        } else {
+            ((m0 as f64 - m as f64) / m0 as f64).max(0.0)
+        };
+        let overprediction = if m0 == 0 {
+            0.0
+        } else {
+            with_pf.llc.pf_useless as f64 / m0 as f64
+        };
+        CoverageReport {
+            coverage,
+            overprediction,
+            accuracy: with_pf.llc.accuracy(),
+            baseline_misses: m0,
+            misses_with_prefetch: m,
+        }
+    }
+}
+
+impl fmt::Display for CoverageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "coverage {:5.1}%  overpred {:5.1}%  accuracy {:5.1}%",
+            self.coverage * 100.0,
+            self.overprediction * 100.0,
+            self.accuracy * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_with(misses: u64, useful: u64, useless: u64) -> SimResult {
+        SimResult {
+            cores: vec![CoreStats {
+                instructions: 1000,
+                cycles: 2000,
+                ..Default::default()
+            }],
+            llc: CacheStats {
+                demand_misses: misses,
+                pf_useful: useful,
+                pf_useless: useless,
+                ..Default::default()
+            },
+            total_cycles: 2000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn mpki_definition() {
+        let s = CacheStats {
+            demand_misses: 50,
+            ..Default::default()
+        };
+        assert_eq!(s.mpki(10_000), 5.0);
+        assert_eq!(s.mpki(0), 0.0);
+    }
+
+    #[test]
+    fn accuracy_counts_late_as_useful() {
+        let s = CacheStats {
+            pf_useful: 6,
+            pf_late: 2,
+            pf_useless: 2,
+            ..Default::default()
+        };
+        assert!((s.accuracy() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_zero_when_no_prefetches() {
+        assert_eq!(CacheStats::default().accuracy(), 0.0);
+    }
+
+    #[test]
+    fn coverage_report_basic() {
+        let base = run_with(100, 0, 0);
+        let pf = run_with(40, 60, 25);
+        let r = CoverageReport::from_runs(&pf, &base);
+        assert!((r.coverage - 0.6).abs() < 1e-12);
+        assert!((r.overprediction - 0.25).abs() < 1e-12);
+        assert_eq!(r.baseline_misses, 100);
+        assert_eq!(r.misses_with_prefetch, 40);
+    }
+
+    #[test]
+    fn coverage_clamped_at_zero_when_prefetcher_pollutes() {
+        let base = run_with(100, 0, 0);
+        let pf = run_with(120, 0, 80);
+        let r = CoverageReport::from_runs(&pf, &base);
+        assert_eq!(r.coverage, 0.0);
+        assert!((r.overprediction - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_zero_baseline_misses() {
+        let base = run_with(0, 0, 0);
+        let pf = run_with(0, 0, 5);
+        let r = CoverageReport::from_runs(&pf, &base);
+        assert_eq!(r.coverage, 0.0);
+        assert_eq!(r.overprediction, 0.0);
+    }
+
+    #[test]
+    fn ipc_and_speedup() {
+        let mut base = run_with(0, 0, 0);
+        base.cores[0].cycles = 4000;
+        let fast = run_with(0, 0, 0);
+        assert!((fast.cores[0].ipc() - 0.5).abs() < 1e-12);
+        assert!((fast.speedup_over(&base) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_ipc_sums_cores() {
+        let mut r = run_with(0, 0, 0);
+        r.cores.push(CoreStats {
+            instructions: 3000,
+            cycles: 2000,
+            ..Default::default()
+        });
+        r.total_cycles = 2000;
+        assert!((r.aggregate_ipc() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,241 @@
+//! Top-level simulated system: cores + memory hierarchy + run loop.
+//!
+//! [`System`] owns the cores, their instruction sources, and the shared
+//! [`MemorySystem`]; [`System::run`] steps everything cycle by cycle until
+//! every core retires its instruction budget, then returns a [`SimResult`].
+
+use crate::addr::CoreId;
+use crate::config::SystemConfig;
+use crate::core_model::{InstrSource, OooCore};
+use crate::memory::MemorySystem;
+use crate::prefetch::Prefetcher;
+use crate::stats::SimResult;
+
+/// A complete simulated chip.
+pub struct System {
+    cores: Vec<OooCore>,
+    sources: Vec<Box<dyn InstrSource>>,
+    mem: MemorySystem,
+    now: u64,
+    mem_stats_reset: bool,
+    measure_start: u64,
+}
+
+impl System {
+    /// Builds a system.
+    ///
+    /// `sources` and `prefetchers` must each have exactly one element per
+    /// configured core; `instructions_per_core` is each core's retirement
+    /// target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the vector lengths do not
+    /// match `cfg.cores`.
+    pub fn new(
+        cfg: SystemConfig,
+        sources: Vec<Box<dyn InstrSource>>,
+        prefetchers: Vec<Box<dyn Prefetcher>>,
+        instructions_per_core: u64,
+    ) -> Self {
+        assert_eq!(sources.len(), cfg.cores, "one instruction source per core");
+        let cores = (0..cfg.cores)
+            .map(|i| OooCore::new(CoreId(i), cfg.core, instructions_per_core))
+            .collect();
+        System {
+            cores,
+            sources,
+            mem: MemorySystem::new(cfg, prefetchers),
+            now: 0,
+            mem_stats_reset: true,
+            measure_start: 0,
+        }
+    }
+
+    /// Adds a warmup window of `instructions` per core: caches, predictor
+    /// tables, and generators run live, but all statistics are reset when
+    /// every core has retired its warmup budget — modeling the paper's
+    /// SimFlex checkpoints with "warmed caches, branch predictors, and
+    /// prediction tables".
+    pub fn with_warmup(mut self, instructions: u64) -> Self {
+        for core in &mut self.cores {
+            core.set_warmup(instructions);
+        }
+        self.mem_stats_reset = instructions == 0;
+        self
+    }
+
+    /// Convenience constructor: every core gets a prefetcher from `make_pf`.
+    pub fn with_prefetchers<F>(
+        cfg: SystemConfig,
+        sources: Vec<Box<dyn InstrSource>>,
+        mut make_pf: F,
+        instructions_per_core: u64,
+    ) -> Self
+    where
+        F: FnMut(CoreId) -> Box<dyn Prefetcher>,
+    {
+        let prefetchers = (0..cfg.cores).map(|i| make_pf(CoreId(i))).collect();
+        System::new(cfg, sources, prefetchers, instructions_per_core)
+    }
+
+    /// Access to the memory system (diagnostics, storage accounting).
+    pub fn memory(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Current simulation cycle.
+    pub fn cycle(&self) -> u64 {
+        self.now
+    }
+
+    /// Runs until every core reaches its instruction target and returns the
+    /// collected statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation exceeds a very generous cycle bound
+    /// (1e10 cycles), which would indicate a livelock in the model.
+    pub fn run(mut self) -> SimResult {
+        const CYCLE_LIMIT: u64 = 10_000_000_000;
+        loop {
+            self.mem.tick(self.now);
+            let mut all_done = true;
+            for i in 0..self.cores.len() {
+                if !self.cores[i].is_done() {
+                    let done = self.cores[i].step(self.now, &mut self.mem, self.sources[i].as_mut());
+                    all_done &= done;
+                }
+            }
+            if !self.mem_stats_reset && self.cores.iter().all(|c| c.is_warmed()) {
+                self.mem.reset_stats();
+                self.mem_stats_reset = true;
+                self.measure_start = self.now;
+            }
+            if all_done {
+                break;
+            }
+            self.now += 1;
+            assert!(self.now < CYCLE_LIMIT, "simulation livelock suspected");
+        }
+        let total_cycles = self.now - self.measure_start;
+        self.mem.drain();
+        SimResult {
+            cores: self.cores.iter().map(|c| c.stats.clone()).collect(),
+            l1d: self.mem.l1d_stats_sum(),
+            llc: self.mem.llc_stats().clone(),
+            dram_transfers: self.mem.dram_transfers(),
+            total_cycles,
+            prefetcher_debug: self.mem.prefetcher_debug(),
+            prefetcher_metrics: self.mem.prefetcher_metrics(),
+        }
+    }
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("cores", &self.cores.len())
+            .field("cycle", &self.now)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Addr, Pc};
+    use crate::core_model::Instr;
+    use crate::prefetch::{NextLinePrefetcher, NoPrefetcher};
+
+    fn streaming_source(core: usize) -> Box<dyn InstrSource> {
+        let mut next = 0u64;
+        let base = (core as u64) << 40;
+        Box::new(move || {
+            next += 1;
+            if next.is_multiple_of(4) {
+                Instr::Load {
+                    pc: Pc::new(0x400),
+                    addr: Addr::new(base + (next / 4) * 64),
+                    dep: None,
+                }
+            } else {
+                Instr::Op
+            }
+        })
+    }
+
+    #[test]
+    fn single_core_run_produces_stats() {
+        let cfg = SystemConfig::tiny();
+        let sys = System::new(
+            cfg,
+            vec![streaming_source(0)],
+            vec![Box::new(NoPrefetcher)],
+            20_000,
+        );
+        let r = sys.run();
+        assert_eq!(r.cores.len(), 1);
+        assert_eq!(r.cores[0].instructions, 20_000);
+        assert!(r.total_cycles > 0);
+        assert!(r.llc.demand_misses > 0, "streaming must miss");
+        assert!(r.llc_mpki() > 0.0);
+    }
+
+    #[test]
+    fn next_line_prefetcher_improves_streaming_ipc() {
+        let cfg = SystemConfig::tiny();
+        let base = System::new(
+            cfg,
+            vec![streaming_source(0)],
+            vec![Box::new(NoPrefetcher)],
+            40_000,
+        )
+        .run();
+        let pf = System::new(
+            cfg,
+            vec![streaming_source(0)],
+            vec![Box::new(NextLinePrefetcher::new(4))],
+            40_000,
+        )
+        .run();
+        assert!(
+            pf.speedup_over(&base) > 1.2,
+            "next-line on a pure stream should speed up ({} vs {})",
+            pf.aggregate_ipc(),
+            base.aggregate_ipc()
+        );
+        assert!(pf.llc.demand_misses < base.llc.demand_misses);
+    }
+
+    #[test]
+    fn multi_core_runs_to_completion_deterministically() {
+        let cfg = {
+            let mut c = SystemConfig::tiny();
+            c.cores = 2;
+            c
+        };
+        let run = || {
+            System::new(
+                cfg,
+                vec![streaming_source(0), streaming_source(1)],
+                vec![Box::new(NoPrefetcher), Box::new(NoPrefetcher)],
+                10_000,
+            )
+            .run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.total_cycles, b.total_cycles, "simulation must be deterministic");
+        assert_eq!(a.llc.demand_misses, b.llc.demand_misses);
+        assert_eq!(a.cores[0].cycles, b.cores[0].cycles);
+        assert_eq!(a.cores[1].instructions, 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "one instruction source per core")]
+    fn source_count_must_match() {
+        let cfg = SystemConfig::tiny();
+        let _ = System::new(cfg, vec![], vec![Box::new(NoPrefetcher)], 100);
+    }
+}

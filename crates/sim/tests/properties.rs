@@ -1,0 +1,130 @@
+//! Property-based tests of the simulator substrate's invariants.
+
+use proptest::prelude::*;
+
+use bingo_sim::{
+    Addr, BlockAddr, Cache, CacheConfig, Dram, DramConfig, Lookup, RegionGeometry,
+};
+
+fn small_cache_config() -> CacheConfig {
+    CacheConfig {
+        size_bytes: 4096, // 8 sets x 8 ways
+        ways: 8,
+        latency: 10,
+        mshrs: 8,
+        banks: 2,
+    }
+}
+
+proptest! {
+    /// Block/address round trips hold for any address.
+    #[test]
+    fn addr_block_round_trip(raw in any::<u64>()) {
+        let addr = Addr::new(raw);
+        let block = addr.block();
+        prop_assert!(block.base_addr().raw() <= raw || raw < 64);
+        prop_assert_eq!(block.base_addr().block(), block);
+    }
+
+    /// Region/offset decomposition reconstructs the block for every
+    /// power-of-two region size.
+    #[test]
+    fn region_round_trip(block in any::<u64>(), shift in 0u32..=6) {
+        let g = RegionGeometry::new(64u64 << shift);
+        let b = BlockAddr::new(block);
+        let r = g.region_of(b);
+        let o = g.offset_of(b);
+        prop_assert!((o as usize) < g.blocks_per_region());
+        prop_assert_eq!(g.block_at(r, o), b);
+    }
+
+    /// The cache never exceeds its capacity and never panics under an
+    /// arbitrary access/fill/invalidate workload.
+    #[test]
+    fn cache_capacity_invariant(ops in proptest::collection::vec((0u8..4, 0u64..512), 1..400)) {
+        let mut cache = Cache::new(small_cache_config());
+        let capacity = 4096 / 64;
+        let mut now = 0u64;
+        for (op, block) in ops {
+            now += 1;
+            let b = BlockAddr::new(block);
+            match op {
+                0 => { let _ = cache.demand_access(b, now, false); }
+                1 => {
+                    if !cache.probe(b) && cache.mshr_available_for_demand() {
+                        cache.allocate_fill(b, now + 100, false);
+                    }
+                }
+                2 => { let _ = cache.complete_fill(b, false); }
+                _ => { let _ = cache.invalidate(b); }
+            }
+            prop_assert!(cache.resident_lines() <= capacity);
+            prop_assert!(cache.mshr_occupancy() <= 8);
+        }
+    }
+
+    /// A resident block always reports a hit with a ready time after the
+    /// access cycle.
+    #[test]
+    fn resident_blocks_hit(block in 0u64..512, now in 0u64..10_000) {
+        let mut cache = Cache::new(small_cache_config());
+        let b = BlockAddr::new(block);
+        cache.allocate_fill(b, 0, false);
+        cache.complete_fill(b, false);
+        match cache.demand_access(b, now, false) {
+            Lookup::Hit { ready_at } => prop_assert!(ready_at > now),
+            other => prop_assert!(false, "expected hit, got {:?}", other),
+        }
+    }
+
+    /// DRAM completions are always after the request cycle, and channel
+    /// bookkeeping never goes backwards.
+    #[test]
+    fn dram_time_is_monotone(reqs in proptest::collection::vec((any::<u32>(), 0u64..1000), 1..200)) {
+        let mut dram = Dram::new(DramConfig {
+            channels: 2,
+            banks_per_channel: 8,
+            row_bytes: 4096,
+            row_hit_latency: 160,
+            row_miss_latency: 226,
+            transfer_cycles: 14,
+        });
+        let mut now = 0u64;
+        for (block, dt) in reqs {
+            now += dt;
+            let ready = dram.read(BlockAddr::new(block as u64), now);
+            prop_assert!(ready > now, "ready {} <= now {}", ready, now);
+            prop_assert!(ready <= now + 1_000_000, "unbounded latency");
+        }
+        prop_assert_eq!(dram.stats.reads as usize, dram.stats.reads as usize);
+    }
+
+    /// Prefetched lines are attributed exactly once: useful + useless
+    /// never exceeds completed prefetch fills.
+    #[test]
+    fn prefetch_attribution_conserves(ops in proptest::collection::vec((0u8..3, 0u64..256), 1..300)) {
+        let mut cache = Cache::new(small_cache_config());
+        let mut now = 0;
+        let mut fills = 0u64;
+        for (op, block) in ops {
+            now += 1;
+            let b = BlockAddr::new(block);
+            match op {
+                0 => { let _ = cache.demand_access(b, now, false); }
+                1 => {
+                    if !cache.probe(b) && cache.mshr_available_for_prefetch(2) {
+                        cache.allocate_fill(b, now + 10, true);
+                    }
+                }
+                _ => {
+                    if cache.complete_fill(b, false).is_some() || cache.probe(b) {
+                        fills += 1;
+                    }
+                }
+            }
+        }
+        let s = &cache.stats;
+        prop_assert!(s.pf_useful + s.pf_useless <= s.pf_late + fills + s.pf_useful,
+            "attribution leak: useful {} useless {} fills {}", s.pf_useful, s.pf_useless, fills);
+    }
+}

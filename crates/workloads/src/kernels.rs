@@ -1,0 +1,710 @@
+//! Building-block access-pattern kernels.
+//!
+//! Each of the paper's applications is modeled as a weighted mixture of a
+//! few archetypal kernels, each reproducing one class of memory behavior:
+//!
+//! * [`ObjectKernel`] — visits to fixed-layout data objects: the
+//!   spatially-correlated traffic (recurring footprints keyed by the
+//!   accessing code path) that PPH prefetchers exploit. Knobs control how
+//!   much a region's footprint depends on the PC versus the page, how
+//!   often pages are revisited, and how noisy repeats are.
+//! * [`StreamKernel`] — sequential or strided streaming over large
+//!   buffers (scans, stencils): dense, compulsory-miss-heavy traffic.
+//! * [`ChaseKernel`] — dependent pointer chasing: serialized, spatially
+//!   unpredictable misses.
+//! * [`RandomKernel`] — independent uniform traffic over a working set.
+//!
+//! Kernels emit *episodes* (one object visit, one stream chunk, one chase
+//! step) into an instruction queue; [`crate::source::WorkloadSource`]
+//! interleaves episodes from several kernels by weight.
+
+use std::collections::VecDeque;
+
+use bingo_sim::{Addr, Instr, Pc};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// How a region's footprint is keyed — the knob that separates
+/// spatially-correlated applications from temporally-correlated ones.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum PatternKey {
+    /// The footprint is mostly a function of the visiting PC (fixed object
+    /// layout reached from a code path); `variation` is the per-block
+    /// probability that a particular page deviates from the PC's base
+    /// pattern. Low variation → `PC+Offset` generalizes well; nonzero
+    /// variation → `PC+Address` is strictly more accurate on revisits.
+    PcDominant {
+        /// Per-block deviation probability in `[0, 1]`.
+        variation: f64,
+    },
+    /// The footprint is a function of the page alone (buffer-pool-style
+    /// temporal behavior, e.g. Zeus): only an exact page revisit predicts
+    /// it, and no short event helps.
+    PageOnly,
+}
+
+/// Spatially-correlated object visits.
+#[derive(Clone, Debug)]
+pub struct ObjectKernel {
+    /// Number of distinct trigger PCs (code paths).
+    pub pcs: u64,
+    /// Expected footprint density in `(0, 1]`.
+    pub density: f64,
+    /// Footprint keying.
+    pub key: PatternKey,
+    /// Probability that a visit revisits a page from the reuse pool.
+    pub reuse: f64,
+    /// Capacity of the recently-visited pool.
+    pub reuse_pool: usize,
+    /// Number of distinct pages in the universe (sizes the footprint
+    /// relative to the LLC; large → compulsory misses dominate).
+    pub pages: u64,
+    /// Per-visit probability that each footprint block is skipped or an
+    /// extra block is touched (irreducible noise).
+    pub noise: f64,
+    /// Loads issued per touched block (≥ 1; > 1 adds intra-region reuse).
+    pub accesses_per_block: u32,
+    /// Non-memory instructions between consecutive memory accesses.
+    pub ops_per_access: u32,
+    /// Fraction of accesses that are stores.
+    pub store_fraction: f64,
+    /// PC base for this kernel (keeps kernels' PCs disjoint).
+    pub pc_base: u64,
+    /// Number of object visits in flight at once. Real server traffic
+    /// interleaves accesses to many pages (long page residencies), which
+    /// is what gives prefetches-at-trigger their timeliness; `1` degrades
+    /// to back-to-back visits where every prefetch arrives late.
+    pub concurrency: usize,
+    /// Whether each visit is a serialized dependency chain (index walk →
+    /// row fields; graph-node traversal). Chained visits bound the
+    /// memory-level parallelism to roughly `concurrency`; unchained visits
+    /// expose every access to the OoO window at once.
+    pub chained: bool,
+    /// Whether the blocks after the trigger are visited in a random order.
+    /// Footprint-based prefetchers are order-insensitive (the paper's
+    /// Section II observation); delta-based ones are not — shuffled visits
+    /// model irregular structure layouts that defeat delta prediction.
+    pub shuffled: bool,
+
+    reuse_entries: Vec<(u64, u64)>, // (pc_idx, page)
+    next_insert: usize,
+    active: Vec<ActiveVisit>,
+    visit_counter: u64,
+}
+
+/// One in-progress object visit.
+#[derive(Clone, Debug)]
+struct ActiveVisit {
+    pc: u64,
+    region_base: u64,
+    offsets: Vec<u32>,
+    next: usize,
+    repeats_left: u32,
+    chain: Option<u8>,
+}
+
+/// Region geometry constant used by the generators: 32 blocks (2 KB), the
+/// prefetchers' default region.
+pub const REGION_BLOCKS: u32 = 32;
+
+
+/// Offsets a kernel's address space within its core's region so that
+/// co-scheduled kernels (and same-shaped kernels with different PCs) never
+/// alias each other's data structures. The 8 bits taken from the PC base
+/// keep the offset below the 2^44-byte per-core spacing.
+fn kernel_base(base_addr: u64, pc_base: u64) -> u64 {
+    base_addr + (((pc_base >> 12) & 0xFF) << 35)
+}
+
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+impl ObjectKernel {
+    /// Computes the deterministic footprint of `(pc_idx, page)` as a
+    /// 32-bit region pattern.
+    ///
+    /// Footprints are built from 1–3 **contiguous runs** of blocks — data
+    /// objects occupy adjacent cache blocks, which is also what gives
+    /// stride/delta prefetchers (AMPM, VLDP, BOP) their legitimate food.
+    /// Under [`PatternKey::PcDominant`], the run layout comes from the PC
+    /// and each page *shifts* the runs by a page-specific amount scaled by
+    /// `variation` — a deviation only an exact `PC+Address` recurrence can
+    /// predict, which is precisely the long event's value.
+    fn pattern(&self, pc_idx: u64, page: u64) -> u32 {
+        let blocks = REGION_BLOCKS as u64;
+        let layout_key = match self.key {
+            PatternKey::PcDominant { .. } => pc_idx.wrapping_mul(0x9e37_79b9),
+            PatternKey::PageOnly => page.wrapping_mul(0x00de_adbe_ef97_u64),
+        };
+        let target = ((self.density * blocks as f64).round() as u64).clamp(1, blocks);
+        let runs = 1 + (mix(layout_key ^ 0x5151) % 3).min(target.saturating_sub(1).min(2));
+        let len = (target / runs).max(1);
+        let mut bits = 0u32;
+        for r in 0..runs {
+            let start = mix(layout_key.wrapping_add(r.wrapping_mul(0x77)) ^ 0xABCD) % blocks;
+            // Page-specific shift, resolvable only by the long event.
+            let shift = match self.key {
+                PatternKey::PcDominant { variation } => {
+                    let range = (variation * 10.0).round() as u64;
+                    if range == 0 {
+                        0
+                    } else {
+                        mix(pc_idx
+                            .wrapping_mul(0x1234_5677)
+                            .wrapping_add(page.wrapping_mul(97))
+                            .wrapping_add(r))
+                            % (2 * range + 1)
+                    }
+                }
+                PatternKey::PageOnly => 0,
+            };
+            let start = (start + shift) % blocks;
+            for j in 0..len {
+                bits |= 1 << ((start + j) % blocks);
+            }
+        }
+        debug_assert!(bits != 0);
+        bits
+    }
+
+    fn start_visit(&mut self, base_addr: u64, rng: &mut SmallRng) {
+        let (pc_idx, page) = if !self.reuse_entries.is_empty() && rng.gen_bool(self.reuse) {
+            self.reuse_entries[rng.gen_range(0..self.reuse_entries.len())]
+        } else {
+            let pc_idx = rng.gen_range(0..self.pcs);
+            let page = rng.gen_range(0..self.pages);
+            if self.reuse_entries.len() < self.reuse_pool {
+                self.reuse_entries.push((pc_idx, page));
+            } else if self.reuse_pool > 0 {
+                self.reuse_entries[self.next_insert % self.reuse_pool] = (pc_idx, page);
+                self.next_insert += 1;
+            }
+            (pc_idx, page)
+        };
+
+        let mut bits = self.pattern(pc_idx, page);
+        // Per-visit noise: flip each block with probability `noise`.
+        if self.noise > 0.0 {
+            for i in 0..REGION_BLOCKS {
+                if rng.gen_bool(self.noise) {
+                    bits ^= 1 << i;
+                }
+            }
+            if bits == 0 {
+                bits = 1;
+            }
+        }
+
+        // The trigger is a deterministic function of the pattern (lowest
+        // set bit), so PC+Offset recurs whenever the pattern does.
+        let mut offsets: Vec<u32> = (0..REGION_BLOCKS).filter(|i| bits >> i & 1 == 1).collect();
+        if self.shuffled && offsets.len() > 2 {
+            // Local (windowed) reorder after the trigger: fields of an
+            // object are visited roughly front-to-back, but not exactly —
+            // enough disorder to defeat delta prediction without erasing
+            // the coarse run structure.
+            for i in 1..offsets.len() - 1 {
+                let span = (offsets.len() - 1 - i).min(3);
+                let j = i + rng.gen_range(0..=span);
+                offsets.swap(i, j);
+            }
+        }
+        let chain = if self.chained {
+            self.visit_counter += 1;
+            // Distinct chains per concurrent visit; ids salted by the
+            // kernel's PC base so co-scheduled kernels rarely collide.
+            Some(((self.pc_base >> 4).wrapping_add(self.visit_counter) % 239) as u8)
+        } else {
+            None
+        };
+        self.active.push(ActiveVisit {
+            pc: self.pc_base + pc_idx * 4,
+            region_base: kernel_base(base_addr, self.pc_base) + page * (REGION_BLOCKS as u64 * 64),
+            offsets,
+            next: 0,
+            repeats_left: self.accesses_per_block,
+            chain,
+        });
+    }
+
+    /// Emits one memory access (plus its op padding), advancing one of the
+    /// in-flight visits. New visits start whenever fewer than
+    /// `concurrency` are active.
+    pub fn emit(&mut self, base_addr: u64, rng: &mut SmallRng, out: &mut VecDeque<Instr>) {
+        while self.active.len() < self.concurrency.max(1) {
+            self.start_visit(base_addr, rng);
+        }
+        // Advance the *oldest incomplete* visit with some randomness so
+        // accesses of different regions interleave.
+        let idx = rng.gen_range(0..self.active.len());
+        let visit = &mut self.active[idx];
+        let off = visit.offsets[visit.next];
+        let pc = Pc::new(visit.pc);
+        let addr = Addr::new(visit.region_base + off as u64 * 64 + rng.gen_range(0..8) * 8);
+        for _ in 0..self.ops_per_access {
+            out.push_back(Instr::Op);
+        }
+        if rng.gen_bool(self.store_fraction) {
+            out.push_back(Instr::Store { pc, addr });
+        } else {
+            out.push_back(Instr::Load {
+                pc,
+                addr,
+                dep: visit.chain,
+            });
+        }
+        visit.repeats_left -= 1;
+        if visit.repeats_left == 0 {
+            visit.repeats_left = self.accesses_per_block;
+            visit.next += 1;
+            if visit.next >= visit.offsets.len() {
+                self.active.swap_remove(idx);
+            }
+        }
+    }
+}
+
+/// Sequential / strided streaming.
+#[derive(Clone, Debug)]
+pub struct StreamKernel {
+    /// Stride between consecutive accesses, in blocks.
+    pub stride_blocks: u64,
+    /// Blocks touched per emitted chunk.
+    pub chunk_blocks: u64,
+    /// Working-set size in blocks before the stream wraps.
+    pub wrap_blocks: u64,
+    /// Non-memory instructions between accesses.
+    pub ops_per_access: u32,
+    /// Fraction of accesses that are stores (stencil writes).
+    pub store_fraction: f64,
+    /// Whether the stream's loads form one dependency chain (serialized
+    /// record processing, as in a media server packetizing a file). A
+    /// chained stream's baseline is fully miss-latency-bound, which is the
+    /// headroom sequential prefetching exploits.
+    pub chained: bool,
+    /// PC used by the stream.
+    pub pc: u64,
+
+    cursor: u64,
+}
+
+impl StreamKernel {
+    /// Emits one streaming chunk.
+    pub fn emit(&mut self, base_addr: u64, rng: &mut SmallRng, out: &mut VecDeque<Instr>) {
+        let pc = Pc::new(self.pc);
+        for i in 0..self.chunk_blocks {
+            for _ in 0..self.ops_per_access {
+                out.push_back(Instr::Op);
+            }
+            let block = (self.cursor + i * self.stride_blocks) % self.wrap_blocks;
+            let addr = Addr::new(kernel_base(base_addr, self.pc) + block * 64);
+            if rng.gen_bool(self.store_fraction) {
+                out.push_back(Instr::Store { pc, addr });
+            } else {
+                let chain = if self.chained {
+                    Some((self.pc % 239) as u8)
+                } else {
+                    None
+                };
+                out.push_back(Instr::Load { pc, addr, dep: chain });
+            }
+        }
+        self.cursor = (self.cursor + self.chunk_blocks * self.stride_blocks) % self.wrap_blocks;
+    }
+}
+
+/// Dependent pointer chasing.
+#[derive(Clone, Debug)]
+pub struct ChaseKernel {
+    /// Working-set size in blocks.
+    pub span_blocks: u64,
+    /// Chase steps per episode.
+    pub steps: u32,
+    /// Non-memory instructions between steps.
+    pub ops_per_access: u32,
+    /// PC used by the chase loads.
+    pub pc: u64,
+}
+
+impl ChaseKernel {
+    /// Emits one chase episode: `steps` serialized loads at pseudo-random
+    /// positions.
+    pub fn emit(&mut self, base_addr: u64, rng: &mut SmallRng, out: &mut VecDeque<Instr>) {
+        let pc = Pc::new(self.pc);
+        for _ in 0..self.steps {
+            for _ in 0..self.ops_per_access {
+                out.push_back(Instr::Op);
+            }
+            let block = rng.gen_range(0..self.span_blocks);
+            out.push_back(Instr::Load {
+                pc,
+                // One chain per chase kernel (keyed by its PC), so the
+                // chase serializes with itself across episodes but not
+                // with unrelated kernels' loads.
+                addr: Addr::new(kernel_base(base_addr, self.pc) + block * 64),
+                dep: Some((self.pc % 239) as u8),
+            });
+        }
+    }
+}
+
+/// Independent uniform traffic.
+#[derive(Clone, Debug)]
+pub struct RandomKernel {
+    /// Working-set size in blocks.
+    pub span_blocks: u64,
+    /// Accesses per episode.
+    pub burst: u32,
+    /// Non-memory instructions between accesses.
+    pub ops_per_access: u32,
+    /// Fraction of stores.
+    pub store_fraction: f64,
+    /// PC used by the accesses.
+    pub pc: u64,
+}
+
+impl RandomKernel {
+    /// Emits one burst of independent accesses.
+    pub fn emit(&mut self, base_addr: u64, rng: &mut SmallRng, out: &mut VecDeque<Instr>) {
+        let pc = Pc::new(self.pc);
+        for _ in 0..self.burst {
+            for _ in 0..self.ops_per_access {
+                out.push_back(Instr::Op);
+            }
+            let block = rng.gen_range(0..self.span_blocks);
+            let addr = Addr::new(kernel_base(base_addr, self.pc) + block * 64);
+            if rng.gen_bool(self.store_fraction) {
+                out.push_back(Instr::Store { pc, addr });
+            } else {
+                out.push_back(Instr::Load {
+                    pc,
+                    addr,
+                    dep: None,
+                });
+            }
+        }
+    }
+}
+
+/// A kernel of any archetype.
+#[derive(Clone, Debug)]
+pub enum Kernel {
+    /// Spatially-correlated object visits.
+    Object(ObjectKernel),
+    /// Streaming / strided scans.
+    Stream(StreamKernel),
+    /// Dependent pointer chasing.
+    Chase(ChaseKernel),
+    /// Independent uniform traffic.
+    Random(RandomKernel),
+}
+
+impl Kernel {
+    /// Emits one episode into `out`.
+    pub fn emit(&mut self, base_addr: u64, rng: &mut SmallRng, out: &mut VecDeque<Instr>) {
+        match self {
+            Kernel::Object(k) => k.emit(base_addr, rng, out),
+            Kernel::Stream(k) => k.emit(base_addr, rng, out),
+            Kernel::Chase(k) => k.emit(base_addr, rng, out),
+            Kernel::Random(k) => k.emit(base_addr, rng, out),
+        }
+    }
+}
+
+/// Declarative parameters for an [`ObjectKernel`] (named-field
+/// construction; see the field docs on [`ObjectKernel`]).
+#[derive(Copy, Clone, Debug, PartialEq)]
+#[allow(missing_docs)]
+pub struct ObjectSpec {
+    pub pcs: u64,
+    pub density: f64,
+    pub key: PatternKey,
+    pub reuse: f64,
+    pub reuse_pool: usize,
+    pub pages: u64,
+    pub noise: f64,
+    pub accesses_per_block: u32,
+    pub ops_per_access: u32,
+    pub store_fraction: f64,
+    pub concurrency: usize,
+    pub chained: bool,
+    pub shuffled: bool,
+    pub pc_base: u64,
+}
+
+impl Default for ObjectSpec {
+    fn default() -> Self {
+        ObjectSpec {
+            pcs: 16,
+            density: 0.25,
+            key: PatternKey::PcDominant { variation: 0.1 },
+            reuse: 0.3,
+            reuse_pool: 256,
+            pages: 1 << 21,
+            noise: 0.02,
+            accesses_per_block: 1,
+            ops_per_access: 50,
+            store_fraction: 0.1,
+            concurrency: 8,
+            chained: false,
+            shuffled: false,
+            pc_base: 0x10_000,
+        }
+    }
+}
+
+/// Builds an [`ObjectKernel`] from a spec.
+pub fn object(spec: ObjectSpec) -> Kernel {
+    Kernel::Object(ObjectKernel {
+        pcs: spec.pcs,
+        density: spec.density,
+        key: spec.key,
+        reuse: spec.reuse,
+        reuse_pool: spec.reuse_pool,
+        pages: spec.pages,
+        noise: spec.noise,
+        accesses_per_block: spec.accesses_per_block,
+        ops_per_access: spec.ops_per_access,
+        store_fraction: spec.store_fraction,
+        concurrency: spec.concurrency,
+        chained: spec.chained,
+        shuffled: spec.shuffled,
+        pc_base: spec.pc_base,
+        reuse_entries: Vec::new(),
+        next_insert: 0,
+        active: Vec::new(),
+        visit_counter: 0,
+    })
+}
+
+/// Convenience constructor for [`StreamKernel`].
+pub fn stream(
+    stride_blocks: u64,
+    chunk_blocks: u64,
+    wrap_blocks: u64,
+    ops_per_access: u32,
+    store_fraction: f64,
+    chained: bool,
+    pc: u64,
+) -> Kernel {
+    Kernel::Stream(StreamKernel {
+        stride_blocks,
+        chunk_blocks,
+        wrap_blocks,
+        ops_per_access,
+        store_fraction,
+        chained,
+        pc,
+        cursor: 0,
+    })
+}
+
+/// Convenience constructor for [`ChaseKernel`].
+pub fn chase(span_blocks: u64, steps: u32, ops_per_access: u32, pc: u64) -> Kernel {
+    Kernel::Chase(ChaseKernel {
+        span_blocks,
+        steps,
+        ops_per_access,
+        pc,
+    })
+}
+
+/// Convenience constructor for [`RandomKernel`].
+pub fn random(
+    span_blocks: u64,
+    burst: u32,
+    ops_per_access: u32,
+    store_fraction: f64,
+    pc: u64,
+) -> Kernel {
+    Kernel::Random(RandomKernel {
+        span_blocks,
+        burst,
+        ops_per_access,
+        store_fraction,
+        pc,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    fn drain_accesses(out: &mut VecDeque<Instr>) -> Vec<(u64, u64, bool)> {
+        out.drain(..)
+            .filter_map(|i| match i {
+                Instr::Load { pc, addr, dep } => Some((pc.raw(), addr.raw(), dep.is_some())),
+                Instr::Store { pc, addr } => Some((pc.raw(), addr.raw(), false)),
+                Instr::Op => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn object_kernel_pattern_is_deterministic() {
+        let k = match object(ObjectSpec {
+            pcs: 8,
+            density: 0.3,
+            key: PatternKey::PcDominant { variation: 0.1 },
+            reuse: 0.0,
+            reuse_pool: 0,
+            pages: 1000,
+            noise: 0.0,
+            ops_per_access: 4,
+            store_fraction: 0.0,
+            concurrency: 1,
+            pc_base: 0x1000,
+            ..ObjectSpec::default()
+        }) {
+            Kernel::Object(k) => k,
+            _ => unreachable!(),
+        };
+        assert_eq!(k.pattern(3, 77), k.pattern(3, 77));
+        assert_ne!(k.pattern(3, 77), k.pattern(4, 77), "PC changes the pattern");
+    }
+
+    #[test]
+    fn pc_dominant_patterns_mostly_shared_across_pages() {
+        let k = match object(ObjectSpec {
+            pcs: 8,
+            density: 0.3,
+            key: PatternKey::PcDominant { variation: 0.05 },
+            reuse: 0.0,
+            reuse_pool: 0,
+            pages: 1000,
+            noise: 0.0,
+            concurrency: 1,
+            pc_base: 0x1000,
+            ..ObjectSpec::default()
+        }) {
+            Kernel::Object(k) => k,
+            _ => unreachable!(),
+        };
+        // Low variation: two pages visited by the same PC share most bits.
+        let a = k.pattern(2, 10);
+        let b = k.pattern(2, 20);
+        let differing = (a ^ b).count_ones();
+        assert!(differing <= 6, "only {differing} bits may differ at 5% variation");
+    }
+
+    #[test]
+    fn page_only_patterns_ignore_pc() {
+        let k = match object(ObjectSpec {
+            pcs: 8,
+            density: 0.3,
+            key: PatternKey::PageOnly,
+            reuse: 0.0,
+            reuse_pool: 0,
+            pages: 1000,
+            noise: 0.0,
+            concurrency: 1,
+            pc_base: 0x1000,
+            ..ObjectSpec::default()
+        }) {
+            Kernel::Object(k) => k,
+            _ => unreachable!(),
+        };
+        assert_eq!(k.pattern(1, 50), k.pattern(7, 50));
+        assert_ne!(k.pattern(1, 50), k.pattern(1, 51));
+    }
+
+    #[test]
+    fn object_visit_stays_in_one_region() {
+        let mut k = object(ObjectSpec {
+            pcs: 4,
+            density: 0.4,
+            key: PatternKey::PcDominant { variation: 0.0 },
+            reuse: 0.0,
+            reuse_pool: 0,
+            pages: 100,
+            noise: 0.0,
+            ops_per_access: 2,
+            store_fraction: 0.0,
+            concurrency: 1,
+            pc_base: 0x1000,
+            ..ObjectSpec::default()
+        });
+        let mut out = VecDeque::new();
+        let mut r = rng();
+        // Concurrency 1: visits run to completion one region at a time,
+        // each visiting ascending offsets within a single region.
+        for _ in 0..200 {
+            k.emit(0, &mut r, &mut out);
+        }
+        let accesses = drain_accesses(&mut out);
+        assert!(accesses.len() >= 200);
+        let mut last_region = u64::MAX;
+        let mut last_offset = 0u64;
+        for (_, addr, _) in &accesses {
+            let region = addr / 2048;
+            let offset = (addr % 2048) / 64;
+            if region == last_region {
+                assert!(offset >= last_offset, "offsets ascend within a visit");
+            }
+            last_region = region;
+            last_offset = offset;
+        }
+    }
+
+    #[test]
+    fn stream_kernel_is_sequential_and_wraps() {
+        let mut k = stream(1, 8, 16, 0, 0.0, false, 0x400);
+        let mut out = VecDeque::new();
+        let mut r = rng();
+        k.emit(0, &mut r, &mut out);
+        k.emit(0, &mut r, &mut out);
+        k.emit(0, &mut r, &mut out); // wraps after 16 blocks
+        let accesses = drain_accesses(&mut out);
+        let blocks: Vec<u64> = accesses.iter().map(|(_, a, _)| a / 64).collect();
+        assert_eq!(&blocks[..8], &[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(blocks[16], 0, "stream wraps at wrap_blocks");
+    }
+
+    #[test]
+    fn chase_kernel_emits_dependent_loads() {
+        let mut k = chase(1000, 5, 3, 0x500);
+        let mut out = VecDeque::new();
+        let mut r = rng();
+        k.emit(0, &mut r, &mut out);
+        let accesses = drain_accesses(&mut out);
+        assert_eq!(accesses.len(), 5);
+        assert!(accesses.iter().all(|(_, _, dep)| *dep));
+    }
+
+    #[test]
+    fn ops_density_controls_instruction_mix() {
+        let mut k = random(100, 10, 9, 0.0, 0x600);
+        let mut out = VecDeque::new();
+        let mut r = rng();
+        k.emit(0, &mut r, &mut out);
+        let total = out.len();
+        let mems = out
+            .iter()
+            .filter(|i| !matches!(i, Instr::Op))
+            .count();
+        assert_eq!(total, 100);
+        assert_eq!(mems, 10, "1 memory access per 9 ops");
+    }
+
+    #[test]
+    fn base_addr_offsets_address_space() {
+        let mut k = stream(1, 4, 1024, 0, 0.0, false, 0x400);
+        let mut out = VecDeque::new();
+        let mut r = rng();
+        let base = 1u64 << 40;
+        k.emit(base, &mut r, &mut out);
+        let accesses = drain_accesses(&mut out);
+        assert!(accesses.iter().all(|(_, a, _)| *a >= base));
+    }
+}

@@ -1,0 +1,175 @@
+//! Structural tests of the workload generators: the statistical properties
+//! the reproduction depends on (run-structured footprints, chain
+//! discipline, PC/page keying) hold for the streams actually emitted.
+
+use std::collections::HashMap;
+
+use bingo_sim::{Instr, InstrSource};
+use bingo_workloads::Workload;
+
+/// Drains `n` memory accesses from a source.
+fn accesses(src: &mut dyn InstrSource, n: usize) -> Vec<(u64, u64, Option<u8>)> {
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        match src.next_instr() {
+            Instr::Load { pc, addr, dep } => out.push((pc.raw(), addr.block().index(), dep)),
+            Instr::Store { pc, addr } => out.push((pc.raw(), addr.block().index(), None)),
+            Instr::Op => {}
+        }
+    }
+    out
+}
+
+#[test]
+fn em3d_footprints_are_run_structured() {
+    // Collect per-region touched-offset sets; most regions must contain at
+    // least one run of >= 4 contiguous blocks (the food of stride-based
+    // prefetchers and the realism fix for AMPM).
+    let mut src = Workload::Em3d.sources(1, 42);
+    let accs = accesses(src[0].as_mut(), 30_000);
+    let mut regions: HashMap<u64, u64> = HashMap::new();
+    for (_, block, _) in &accs {
+        *regions.entry(block / 32).or_default() |= 1 << (block % 32);
+    }
+    let has_run = |bits: u64, len: u32| {
+        let mut run = 0;
+        for i in 0..32 {
+            if bits >> i & 1 == 1 {
+                run += 1;
+                if run >= len {
+                    return true;
+                }
+            } else {
+                run = 0;
+            }
+        }
+        false
+    };
+    let dense: Vec<u64> = regions
+        .values()
+        .filter(|&&bits| bits.count_ones() >= 8)
+        .copied()
+        .collect();
+    assert!(dense.len() > 50, "need a sample of dense regions");
+    let with_runs = dense.iter().filter(|&&b| has_run(b, 4)).count();
+    assert!(
+        with_runs * 10 >= dense.len() * 9,
+        "{} of {} dense regions have a >=4-block run",
+        with_runs,
+        dense.len()
+    );
+}
+
+#[test]
+fn em3d_loads_are_chained() {
+    let mut src = Workload::Em3d.sources(1, 42);
+    let accs = accesses(src[0].as_mut(), 5_000);
+    let chained = accs.iter().filter(|(_, _, dep)| dep.is_some()).count();
+    assert!(
+        chained * 2 > accs.len(),
+        "em3d must be dependency-dominated ({chained}/{})",
+        accs.len()
+    );
+}
+
+#[test]
+fn zeus_loads_are_mostly_parallel() {
+    let mut src = Workload::Zeus.sources(1, 42);
+    let accs = accesses(src[0].as_mut(), 5_000);
+    let chained = accs.iter().filter(|(_, _, dep)| dep.is_some()).count();
+    assert!(
+        chained * 2 < accs.len(),
+        "Zeus misses must be overlappable ({chained}/{})",
+        accs.len()
+    );
+}
+
+#[test]
+fn chains_interleave_distinct_ids() {
+    // Multiple concurrent chains must carry distinct chain ids, otherwise
+    // the core would serialize unrelated work.
+    let mut src = Workload::Em3d.sources(1, 42);
+    let accs = accesses(src[0].as_mut(), 10_000);
+    let mut ids: Vec<u8> = accs.iter().filter_map(|(_, _, d)| *d).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert!(
+        ids.len() >= 3,
+        "expected several live chains, got {} distinct ids",
+        ids.len()
+    );
+}
+
+#[test]
+fn same_pc_produces_similar_footprints_across_regions() {
+    // The PC-dominant keying: two dense regions triggered by the same PC
+    // should share most of their footprint (modulo the page shift).
+    let mut src = Workload::Em3d.sources(1, 42);
+    let accs = accesses(src[0].as_mut(), 40_000);
+    let mut per_region: HashMap<u64, (u64, u64)> = HashMap::new(); // region -> (pc of first, bits)
+    for (pc, block, _) in &accs {
+        let e = per_region.entry(block / 32).or_insert((*pc, 0));
+        e.1 |= 1 << (block % 32);
+    }
+    // Group by trigger pc and compare popcount of pairwise intersections.
+    let mut by_pc: HashMap<u64, Vec<u64>> = HashMap::new();
+    for (pc, bits) in per_region.values() {
+        if bits.count_ones() >= 8 {
+            by_pc.entry(*pc).or_default().push(*bits);
+        }
+    }
+    let mut checked = 0;
+    let mut similar = 0;
+    for group in by_pc.values() {
+        for pair in group.windows(2).take(50) {
+            let inter = (pair[0] & pair[1]).count_ones();
+            let uni = (pair[0] | pair[1]).count_ones();
+            checked += 1;
+            if inter * 2 >= uni {
+                similar += 1;
+            }
+        }
+    }
+    assert!(checked >= 20, "need enough pairs");
+    assert!(
+        similar * 3 >= checked * 2,
+        "same-PC footprints should usually be similar ({similar}/{checked})"
+    );
+}
+
+#[test]
+fn ops_padding_matches_intensity_targets() {
+    // The instruction mix must be dominated by non-memory ops (the MPKI
+    // calibration lever); memory accesses are a small fraction.
+    for w in [Workload::DataServing, Workload::SatSolver] {
+        let mut src = w.sources(1, 42);
+        let mut mem = 0usize;
+        let total = 50_000;
+        for _ in 0..total {
+            if !matches!(src[0].next_instr(), Instr::Op) {
+                mem += 1;
+            }
+        }
+        let ratio = mem as f64 / total as f64;
+        assert!(
+            (0.002..0.2).contains(&ratio),
+            "{w}: memory-instruction ratio {ratio:.3} out of range"
+        );
+    }
+}
+
+#[test]
+fn store_fractions_are_nonzero_where_specified() {
+    let mut src = Workload::DataServing.sources(1, 42);
+    let mut loads = 0;
+    let mut stores = 0;
+    for _ in 0..200_000 {
+        match src[0].next_instr() {
+            Instr::Load { .. } => loads += 1,
+            Instr::Store { .. } => stores += 1,
+            Instr::Op => {}
+        }
+    }
+    assert!(stores > 0, "Data Serving writes rows");
+    assert!(loads > stores, "reads dominate");
+}

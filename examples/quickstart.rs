@@ -1,0 +1,68 @@
+//! Quickstart: simulate one core streaming through memory, with and
+//! without Bingo, and print the headline numbers.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bingo_repro::prefetcher::{Bingo, BingoConfig};
+use bingo_repro::sim::{NoPrefetcher, Prefetcher, System, SystemConfig};
+use bingo_repro::workloads::Workload;
+
+fn main() {
+    // A scaled-down single-core system (8 KB L1, 256 KB LLC) so cache
+    // behavior shows up within a few hundred thousand instructions.
+    let mut cfg = SystemConfig::tiny();
+    cfg.cores = 1;
+    let instructions = 300_000;
+    let workload = Workload::Streaming;
+
+    println!("workload: {workload} — {}", workload.description());
+
+    let baseline = System::new(
+        cfg,
+        workload.sources(cfg.cores, 42),
+        vec![Box::new(NoPrefetcher)],
+        instructions,
+    )
+    .run();
+
+    let bingo = Bingo::new(BingoConfig::paper());
+    println!(
+        "prefetcher: {} ({} KB of metadata)",
+        bingo.name(),
+        bingo.storage_bits() / 8 / 1024
+    );
+    let prefetched = System::new(
+        cfg,
+        workload.sources(cfg.cores, 42),
+        vec![Box::new(bingo)],
+        instructions,
+    )
+    .run();
+
+    println!();
+    println!(
+        "baseline : IPC {:.3}  LLC misses {:6}  MPKI {:.2}",
+        baseline.aggregate_ipc(),
+        baseline.llc.demand_misses,
+        baseline.llc_mpki()
+    );
+    println!(
+        "bingo    : IPC {:.3}  LLC misses {:6}  MPKI {:.2}",
+        prefetched.aggregate_ipc(),
+        prefetched.llc.demand_misses,
+        prefetched.llc_mpki()
+    );
+    let speedup = prefetched.speedup_over(&baseline);
+    let coverage = (baseline.llc.demand_misses - prefetched.llc.demand_misses) as f64
+        / baseline.llc.demand_misses as f64;
+    println!();
+    println!(
+        "speedup {:.2}x ({:+.1}%), miss coverage {:.1}%, prefetch accuracy {:.1}%",
+        speedup,
+        (speedup - 1.0) * 100.0,
+        coverage * 100.0,
+        prefetched.llc.accuracy() * 100.0
+    );
+}

@@ -1,0 +1,81 @@
+//! Prefetcher shootout: all six prefetchers of the paper's comparison on a
+//! server workload (Data Serving), printing coverage, overprediction,
+//! accuracy, and speedup — a miniature of Figs. 7 and 8.
+//!
+//! ```sh
+//! cargo run --release --example shootout [workload]
+//! ```
+//!
+//! `workload` is one of: data-serving, sat-solver, streaming, zeus, em3d,
+//! mix1..mix5 (default: data-serving).
+
+use bingo_repro::baselines::{
+    Ampm, AmpmConfig, Bop, BopConfig, Sms, Spp, SppConfig, Vldp, VldpConfig,
+};
+use bingo_repro::prefetcher::{Bingo, BingoConfig};
+use bingo_repro::sim::{CoverageReport, NoPrefetcher, Prefetcher, SimResult, System, SystemConfig};
+use bingo_repro::workloads::Workload;
+
+fn parse_workload(name: &str) -> Option<Workload> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "data-serving" => Workload::DataServing,
+        "sat-solver" => Workload::SatSolver,
+        "streaming" => Workload::Streaming,
+        "zeus" => Workload::Zeus,
+        "em3d" => Workload::Em3d,
+        "mix1" => Workload::Mix1,
+        "mix2" => Workload::Mix2,
+        "mix3" => Workload::Mix3,
+        "mix4" => Workload::Mix4,
+        "mix5" => Workload::Mix5,
+        _ => return None,
+    })
+}
+
+fn run(workload: Workload, make: &dyn Fn() -> Box<dyn Prefetcher>) -> SimResult {
+    let cfg = SystemConfig::paper();
+    System::with_prefetchers(cfg, workload.sources(cfg.cores, 42), |_| make(), 400_000)
+        .with_warmup(600_000)
+        .run()
+}
+
+fn main() {
+    let workload = std::env::args()
+        .nth(1)
+        .and_then(|a| parse_workload(&a))
+        .unwrap_or(Workload::DataServing);
+    println!("workload: {workload} — {}\n", workload.description());
+
+    let baseline = run(workload, &|| Box::new(NoPrefetcher));
+    println!(
+        "baseline: IPC {:.3}, {} LLC misses (MPKI {:.1})\n",
+        baseline.aggregate_ipc(),
+        baseline.llc.demand_misses,
+        baseline.llc_mpki()
+    );
+    println!(
+        "{:>6}  {:>9}  {:>9}  {:>9}  {:>8}",
+        "", "coverage", "overpred", "accuracy", "speedup"
+    );
+    type MakePrefetcher = Box<dyn Fn() -> Box<dyn Prefetcher>>;
+    let contenders: Vec<(&str, MakePrefetcher)> = vec![
+        ("BOP", Box::new(|| Box::new(Bop::new(BopConfig::paper())))),
+        ("SPP", Box::new(|| Box::new(Spp::new(SppConfig::paper())))),
+        ("VLDP", Box::new(|| Box::new(Vldp::new(VldpConfig::paper())))),
+        ("AMPM", Box::new(|| Box::new(Ampm::new(AmpmConfig::paper())))),
+        ("SMS", Box::new(|| Box::new(Sms::default()))),
+        ("Bingo", Box::new(|| Box::new(Bingo::new(BingoConfig::paper())))),
+    ];
+    for (name, make) in &contenders {
+        let r = run(workload, make.as_ref());
+        let c = CoverageReport::from_runs(&r, &baseline);
+        println!(
+            "{:>6}  {:>8.1}%  {:>8.1}%  {:>8.1}%  {:>7.1}%",
+            name,
+            c.coverage * 100.0,
+            c.overprediction * 100.0,
+            c.accuracy * 100.0,
+            (r.speedup_over(&baseline) - 1.0) * 100.0
+        );
+    }
+}

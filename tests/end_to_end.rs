@@ -1,0 +1,140 @@
+//! End-to-end integration tests: full simulations spanning the simulator,
+//! prefetcher, baseline, and workload crates.
+
+use bingo_repro::baselines::{Bop, BopConfig, Sms, Vldp, VldpConfig};
+use bingo_repro::prefetcher::{Bingo, BingoConfig};
+use bingo_repro::sim::{
+    CoverageReport, NoPrefetcher, Prefetcher, SimResult, System, SystemConfig,
+};
+use bingo_repro::workloads::Workload;
+
+const INSTRUCTIONS: u64 = 120_000;
+const WARMUP: u64 = 150_000;
+
+fn run(workload: Workload, make: &dyn Fn() -> Box<dyn Prefetcher>) -> SimResult {
+    let cfg = SystemConfig::paper();
+    System::with_prefetchers(
+        cfg,
+        workload.sources(cfg.cores, 42),
+        |_| make(),
+        INSTRUCTIONS,
+    )
+    .with_warmup(WARMUP)
+    .run()
+}
+
+#[test]
+fn every_workload_runs_to_completion_without_prefetcher() {
+    for w in Workload::ALL {
+        let r = run(w, &|| Box::new(NoPrefetcher));
+        assert_eq!(r.cores.len(), 4, "{w}");
+        for (i, c) in r.cores.iter().enumerate() {
+            assert_eq!(c.instructions, INSTRUCTIONS, "{w} core {i}");
+            assert!(c.cycles > 0, "{w} core {i}");
+        }
+        assert!(r.llc.demand_misses > 0, "{w} must produce LLC misses");
+        assert!(r.llc_mpki() > 0.3, "{w} MPKI {:.2} unreasonably low", r.llc_mpki());
+        assert!(r.llc_mpki() < 60.0, "{w} MPKI {:.2} unreasonably high", r.llc_mpki());
+    }
+}
+
+#[test]
+fn bingo_reduces_misses_on_spatially_regular_workloads() {
+    for w in [Workload::Em3d, Workload::Streaming, Workload::DataServing] {
+        let base = run(w, &|| Box::new(NoPrefetcher));
+        let pf = run(w, &|| Box::new(Bingo::new(BingoConfig::paper())));
+        let report = CoverageReport::from_runs(&pf, &base);
+        assert!(
+            report.coverage > 0.25,
+            "{w}: Bingo coverage {:.2} too low",
+            report.coverage
+        );
+        assert!(
+            pf.speedup_over(&base) > 1.0,
+            "{w}: Bingo must not slow the system down"
+        );
+    }
+}
+
+#[test]
+fn bingo_beats_bop_on_the_graph_workload() {
+    let base = run(Workload::Em3d, &|| Box::new(NoPrefetcher));
+    let bingo = run(Workload::Em3d, &|| Box::new(Bingo::new(BingoConfig::paper())));
+    let bop = run(Workload::Em3d, &|| Box::new(Bop::new(BopConfig::paper())));
+    let s_bingo = bingo.speedup_over(&base);
+    let s_bop = bop.speedup_over(&base);
+    assert!(
+        s_bingo > s_bop,
+        "paper ordering violated: Bingo {s_bingo:.3} vs BOP {s_bop:.3}"
+    );
+    assert!(s_bingo > 1.5, "em3d is the headline result ({s_bingo:.2}x)");
+}
+
+#[test]
+fn bingo_at_least_matches_sms_on_servers() {
+    // Bingo = SMS + the long event; on server workloads it must not lose.
+    for w in [Workload::DataServing, Workload::SatSolver] {
+        let base = run(w, &|| Box::new(NoPrefetcher));
+        let bingo = run(w, &|| Box::new(Bingo::new(BingoConfig::paper())));
+        let sms = run(w, &|| Box::new(Sms::default()));
+        let s_bingo = bingo.speedup_over(&base);
+        let s_sms = sms.speedup_over(&base);
+        assert!(
+            s_bingo >= s_sms - 0.02,
+            "{w}: Bingo {s_bingo:.3} must not trail SMS {s_sms:.3}"
+        );
+    }
+}
+
+#[test]
+fn zeus_gains_are_small_for_every_prefetcher() {
+    // The paper's Zeus result: spatial prefetching barely helps.
+    let base = run(Workload::Zeus, &|| Box::new(NoPrefetcher));
+    for make in [
+        (&|| Box::new(Bingo::new(BingoConfig::paper())) as Box<dyn Prefetcher>)
+            as &dyn Fn() -> Box<dyn Prefetcher>,
+        &|| Box::new(Vldp::new(VldpConfig::paper())),
+        &|| Box::new(Bop::new(BopConfig::paper())),
+    ] {
+        let r = run(Workload::Zeus, make);
+        let s = r.speedup_over(&base);
+        assert!(
+            (0.9..1.25).contains(&s),
+            "Zeus speedup {s:.3} outside the 'barely helps' band"
+        );
+    }
+}
+
+#[test]
+fn warmup_determinism_and_reset() {
+    // Two identical runs must agree exactly, and warmup must not leak into
+    // measured instruction counts.
+    let a = run(Workload::Mix1, &|| Box::new(Bingo::new(BingoConfig::paper())));
+    let b = run(Workload::Mix1, &|| Box::new(Bingo::new(BingoConfig::paper())));
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert_eq!(a.llc.demand_misses, b.llc.demand_misses);
+    assert_eq!(a.llc.pf_issued, b.llc.pf_issued);
+    assert_eq!(a.cores[0].instructions, INSTRUCTIONS);
+}
+
+#[test]
+fn prefetcher_storage_accounting_is_sane() {
+    let bingo = Bingo::new(BingoConfig::paper());
+    let kb = bingo.storage_bits() as f64 / 8.0 / 1024.0;
+    assert!((110.0..130.0).contains(&kb), "Bingo storage {kb:.1} KB (paper: 119)");
+    let bop = Bop::new(BopConfig::paper());
+    assert!(bop.storage_bits() < bingo.storage_bits() / 50, "BOP is tiny");
+}
+
+#[test]
+fn mix_workloads_assign_different_programs_per_core() {
+    // Mix cores must behave differently (different SPEC programs).
+    let r = run(Workload::Mix1, &|| Box::new(NoPrefetcher));
+    let ipcs: Vec<f64> = r.cores.iter().map(|c| c.ipc()).collect();
+    let min = ipcs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = ipcs.iter().cloned().fold(0.0, f64::max);
+    assert!(
+        max / min > 1.1,
+        "mix cores should have distinct IPCs, got {ipcs:?}"
+    );
+}

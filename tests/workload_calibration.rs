@@ -1,0 +1,51 @@
+//! Workload calibration: baseline LLC MPKI of every workload must land in
+//! a band around the paper's Table II value (DESIGN.md §4's substitution
+//! contract). Bands are generous (×/÷2) because the synthetic generators
+//! reproduce statistics, not traces, and this test runs at a reduced
+//! instruction budget.
+
+use bingo_repro::sim::{NoPrefetcher, System, SystemConfig};
+use bingo_repro::workloads::Workload;
+
+fn baseline_mpki(w: Workload) -> f64 {
+    let cfg = SystemConfig::paper();
+    let r = System::new(
+        cfg,
+        w.sources(cfg.cores, 42),
+        (0..cfg.cores)
+            .map(|_| Box::new(NoPrefetcher) as Box<_>)
+            .collect(),
+        200_000,
+    )
+    .with_warmup(300_000)
+    .run();
+    r.llc_mpki()
+}
+
+#[test]
+fn table2_mpki_bands() {
+    for w in Workload::ALL {
+        let mpki = baseline_mpki(w);
+        let target = w.paper_mpki();
+        assert!(
+            mpki > target / 2.5 && mpki < target * 2.5,
+            "{w}: baseline MPKI {mpki:.1} outside band around Table II's {target}"
+        );
+    }
+}
+
+#[test]
+fn em3d_is_the_most_memory_intensive() {
+    let em3d = baseline_mpki(Workload::Em3d);
+    for w in [Workload::DataServing, Workload::SatSolver, Workload::Zeus] {
+        assert!(em3d > 2.0 * baseline_mpki(w), "{w} should be far below em3d");
+    }
+}
+
+#[test]
+fn sat_solver_is_the_least_memory_intensive() {
+    let sat = baseline_mpki(Workload::SatSolver);
+    for w in [Workload::DataServing, Workload::Em3d, Workload::Mix2] {
+        assert!(sat < baseline_mpki(w), "{w} should exceed SAT Solver");
+    }
+}
