@@ -37,6 +37,13 @@ impl AmpmConfig {
             degree: 8,
         }
     }
+
+    /// Metadata storage in bits of an [`Ampm`] built from this
+    /// configuration: per zone a ~36-bit tag, the access and prefetch
+    /// bitmaps, and an 8-bit LRU stamp.
+    pub fn storage_bits(&self) -> u64 {
+        self.zones as u64 * (36 + 2 * self.zone_blocks as u64 + 8)
+    }
 }
 
 impl Default for AmpmConfig {
@@ -134,18 +141,14 @@ impl Ampm {
             self.zones[i].last_touch = stamp;
             return i;
         }
-        let victim = self
-            .zones
-            .iter()
-            .position(|z| !z.valid)
-            .unwrap_or_else(|| {
-                self.zones
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, z)| z.last_touch)
-                    .map(|(i, _)| i)
-                    .expect("zones nonempty")
-            });
+        let victim = self.zones.iter().position(|z| !z.valid).unwrap_or_else(|| {
+            self.zones
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, z)| z.last_touch)
+                .map(|(i, _)| i)
+                .expect("zones nonempty")
+        });
         self.zones[victim] = Zone {
             id: zone_id,
             valid: true,
@@ -219,8 +222,7 @@ impl Prefetcher for Ampm {
     }
 
     fn storage_bits(&self) -> u64 {
-        // Per zone: tag (~36b), 2 bitmaps, LRU stamp (8b).
-        self.cfg.zones as u64 * (36 + 2 * self.cfg.zone_blocks as u64 + 8)
+        self.cfg.storage_bits()
     }
 }
 
@@ -264,7 +266,10 @@ mod tests {
         assert!(access(&mut a, 100).is_empty());
         assert!(access(&mut a, 101).is_empty());
         let p = access(&mut a, 102);
-        assert!(p.contains(&103), "stride-1 stream should prefetch 103, got {p:?}");
+        assert!(
+            p.contains(&103),
+            "stride-1 stream should prefetch 103, got {p:?}"
+        );
     }
 
     #[test]
@@ -273,7 +278,10 @@ mod tests {
         access(&mut a, 256);
         access(&mut a, 260);
         let p = access(&mut a, 264);
-        assert!(p.contains(&268), "stride-4 stream should prefetch 268, got {p:?}");
+        assert!(
+            p.contains(&268),
+            "stride-4 stream should prefetch 268, got {p:?}"
+        );
     }
 
     #[test]
@@ -282,7 +290,10 @@ mod tests {
         access(&mut a, 40);
         access(&mut a, 39);
         let p = access(&mut a, 38);
-        assert!(p.contains(&37), "backward stream should prefetch 37, got {p:?}");
+        assert!(
+            p.contains(&37),
+            "backward stream should prefetch 37, got {p:?}"
+        );
     }
 
     #[test]

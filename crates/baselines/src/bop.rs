@@ -16,8 +16,8 @@ use bingo_sim::{AccessInfo, BlockAddr, Prefetcher};
 /// Candidate offsets: integers up to 64 with prime factors in {2, 3, 5},
 /// as in the original design.
 pub const DEFAULT_OFFSETS: &[i64] = &[
-    1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 25, 27, 30, 32, 36, 40, 45, 48, 50, 54,
-    60, 64,
+    1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 25, 27, 30, 32, 36, 40, 45, 48, 50, 54, 60,
+    64,
 ];
 
 /// Configuration of a [`Bop`] prefetcher.
@@ -57,6 +57,15 @@ impl BopConfig {
             degree: 32,
             ..Self::paper()
         }
+    }
+
+    /// Metadata storage in bits of a [`Bop`] built from this
+    /// configuration: 12-bit partial tags in the RR table, a 5-bit score
+    /// per candidate offset, and 16 bits of round/selection state.
+    pub fn storage_bits(&self) -> u64 {
+        let rr = self.rr_entries as u64 * 12;
+        let scores = self.offsets.len() as u64 * 5;
+        rr + scores + 16
     }
 }
 
@@ -178,9 +187,7 @@ impl Prefetcher for Bop {
     }
 
     fn storage_bits(&self) -> u64 {
-        let rr = self.cfg.rr_entries as u64 * 12; // partial tags
-        let scores = self.cfg.offsets.len() as u64 * 5;
-        rr + scores + 16
+        self.cfg.storage_bits()
     }
 }
 
@@ -257,7 +264,9 @@ mod tests {
         // A pseudo-random widely-spread stream: no offset scores.
         let mut x = 0x12345u64;
         for _ in 0..(DEFAULT_OFFSETS.len() as u64 * 120) {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             access(&mut b, x >> 20);
         }
         assert!(

@@ -39,6 +39,24 @@ impl SmsConfig {
             accumulation_entries: 64,
         }
     }
+
+    /// The equivalent single-event configuration [`Sms::new`] builds from.
+    fn inner(&self) -> MultiEventConfig {
+        MultiEventConfig {
+            events: vec![EventKind::PcOffset],
+            entries_per_table: self.pattern_entries,
+            ways: self.ways,
+            region: self.region,
+            accumulation_entries: self.accumulation_entries,
+            min_footprint_blocks: 2,
+        }
+    }
+
+    /// Metadata storage in bits of an [`Sms`] built from this
+    /// configuration, computed without allocating any tables.
+    pub fn storage_bits(&self) -> u64 {
+        self.inner().storage_bits()
+    }
 }
 
 impl Default for SmsConfig {
@@ -61,14 +79,7 @@ impl Sms {
     /// Panics on invalid table geometry.
     pub fn new(cfg: SmsConfig) -> Self {
         Sms {
-            inner: MultiEventPrefetcher::new(MultiEventConfig {
-                events: vec![EventKind::PcOffset],
-                entries_per_table: cfg.pattern_entries,
-                ways: cfg.ways,
-                region: cfg.region,
-                accumulation_entries: cfg.accumulation_entries,
-                min_footprint_blocks: 2,
-            }),
+            inner: MultiEventPrefetcher::new(cfg.inner()),
         }
     }
 

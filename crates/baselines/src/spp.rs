@@ -55,6 +55,18 @@ impl SppConfig {
             ..Self::paper()
         }
     }
+
+    /// Metadata storage in bits of an [`Spp`] built from this
+    /// configuration: signature table (16-bit page tag, 12-bit signature,
+    /// 7-bit last offset, 8 LRU bits), pattern table (8-bit signature
+    /// counter plus a 7-bit delta and 8-bit counter per slot), and a
+    /// 12-bit-tag prefetch filter.
+    pub fn storage_bits(&self) -> u64 {
+        let st = self.signature_entries as u64 * (16 + SIG_BITS as u64 + 7 + 8);
+        let pt = self.pattern_entries as u64 * (8 + self.deltas_per_entry as u64 * (7 + 8));
+        let filter = self.filter_entries as u64 * 12;
+        st + pt + filter
+    }
 }
 
 impl Default for SppConfig {
@@ -274,11 +286,7 @@ impl Prefetcher for Spp {
     }
 
     fn storage_bits(&self) -> u64 {
-        let st = self.cfg.signature_entries as u64 * (16 + SIG_BITS as u64 + 7 + 8);
-        let pt = self.cfg.pattern_entries as u64
-            * (8 + self.cfg.deltas_per_entry as u64 * (7 + 8));
-        let filter = self.cfg.filter_entries as u64 * 12;
-        st + pt + filter
+        self.cfg.storage_bits()
     }
 }
 
@@ -353,7 +361,10 @@ mod tests {
             aggressive >= normal,
             "aggressive ({aggressive}) must issue at least as many as normal ({normal})"
         );
-        assert!(aggressive > 8, "1% threshold should run deep, got {aggressive}");
+        assert!(
+            aggressive > 8,
+            "1% threshold should run deep, got {aggressive}"
+        );
         assert!(normal >= 1, "default must still prefetch, got {normal}");
     }
 

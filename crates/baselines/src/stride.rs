@@ -29,6 +29,13 @@ impl StrideConfig {
             degree: 2,
         }
     }
+
+    /// Metadata storage in bits of a [`StridePrefetcher`] built from this
+    /// configuration: per RPT entry a 16-bit PC tag, ~36-bit last block,
+    /// 8-bit stride, 2-bit confidence, and a valid bit.
+    pub fn storage_bits(&self) -> u64 {
+        self.entries as u64 * (16 + 36 + 8 + 2 + 1)
+    }
 }
 
 impl Default for StrideConfig {
@@ -118,7 +125,7 @@ impl Prefetcher for StridePrefetcher {
     }
 
     fn storage_bits(&self) -> u64 {
-        self.cfg.entries as u64 * (16 + 36 + 8 + 2 + 1)
+        self.cfg.storage_bits()
     }
 }
 

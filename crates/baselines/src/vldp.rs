@@ -53,6 +53,17 @@ impl VldpConfig {
             ..Self::paper()
         }
     }
+
+    /// Metadata storage in bits of a [`Vldp`] built from this
+    /// configuration: DHB (page tag, last offset, three 8-bit deltas,
+    /// length, LRU), OPT (delta, confidence, valid), and the three DPTs
+    /// (16-bit tag, delta, confidence, valid).
+    pub fn storage_bits(&self) -> u64 {
+        let dhb = self.dhb_entries as u64 * (36 + 7 + 3 * 8 + 2 + 8);
+        let opt = self.opt_entries as u64 * (8 + 2 + 1);
+        let dpt = 3 * self.dpt_entries as u64 * (16 + 8 + 2 + 1);
+        dhb + opt + dpt
+    }
 }
 
 impl Default for VldpConfig {
@@ -191,18 +202,14 @@ impl Vldp {
             self.dhb[i].last_touch = stamp;
             return i;
         }
-        let victim = self
-            .dhb
-            .iter()
-            .position(|e| !e.valid)
-            .unwrap_or_else(|| {
-                self.dhb
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, e)| e.last_touch)
-                    .map(|(i, _)| i)
-                    .expect("dhb nonempty")
-            });
+        let victim = self.dhb.iter().position(|e| !e.valid).unwrap_or_else(|| {
+            self.dhb
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_touch)
+                .map(|(i, _)| i)
+                .expect("dhb nonempty")
+        });
         self.dhb[victim] = DhbEntry {
             page,
             valid: false, // marked valid by caller after init
@@ -304,10 +311,7 @@ impl Prefetcher for Vldp {
     }
 
     fn storage_bits(&self) -> u64 {
-        let dhb = self.cfg.dhb_entries as u64 * (36 + 7 + 3 * 8 + 2 + 8);
-        let opt = self.cfg.opt_entries as u64 * (8 + 2 + 1);
-        let dpt = 3 * self.cfg.dpt_entries as u64 * (16 + 8 + 2 + 1);
-        dhb + opt + dpt
+        self.cfg.storage_bits()
     }
 }
 
@@ -415,7 +419,10 @@ mod tests {
         access(&mut v, 10 * 64);
         access(&mut v, 10 * 64 + 1);
         let p = access(&mut v, 10 * 64 + 4);
-        assert!(p.contains(&(10 * 64 + 5)), "expected +1 after [+3,+1], got {p:?}");
+        assert!(
+            p.contains(&(10 * 64 + 5)),
+            "expected +1 after [+3,+1], got {p:?}"
+        );
     }
 
     #[test]

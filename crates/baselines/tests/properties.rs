@@ -26,7 +26,10 @@ fn info(pc: u64, block: u64, is_write: bool) -> AccessInfo {
     }
 }
 
-fn drive(p: &mut dyn Prefetcher, stream: &[(u64, u64, bool)]) -> proptest::test_runner::TestCaseResult {
+fn drive(
+    p: &mut dyn Prefetcher,
+    stream: &[(u64, u64, bool)],
+) -> proptest::test_runner::TestCaseResult {
     let mut out = Vec::new();
     for &(pc, block, w) in stream {
         out.clear();

@@ -5,9 +5,12 @@
 //! evicted from the cache". The alternative is to train only when the
 //! accumulation table overflows (no cache feedback at all). This ablation
 //! quantifies how much the eviction signal matters.
+//!
+//! The non-paper variant is not expressible as a [`PrefetcherKind`], so
+//! the study fans its cells out with [`parallel_map`] directly.
 
 use bingo::{Bingo, BingoConfig};
-use bingo_bench::{geometric_mean, mean, pct, RunScale, Table};
+use bingo_bench::{default_jobs, geometric_mean, mean, parallel_map, pct, RunScale, Table};
 use bingo_sim::{CoverageReport, NoPrefetcher, Prefetcher, System, SystemConfig};
 use bingo_workloads::Workload;
 
@@ -38,25 +41,40 @@ fn main() {
             },
         ),
     ];
-    let baselines: Vec<_> = Workload::ALL
-        .iter()
-        .map(|&w| {
-            eprintln!("baseline {w}");
-            run(w, None, scale)
-        })
-        .collect();
-    let mut t = Table::new(vec!["Training signal", "Perf gmean", "Coverage", "Overprediction"]);
-    for (name, cfg) in variants {
+    // Cell list: first the per-workload baselines, then (variant, workload)
+    // in variant-major order.
+    let mut cells: Vec<(Option<BingoConfig>, Workload)> =
+        Workload::ALL.iter().map(|&w| (None, w)).collect();
+    for (_, cfg) in variants {
+        cells.extend(Workload::ALL.iter().map(|&w| (Some(cfg), w)));
+    }
+    let results = parallel_map(default_jobs(), cells.len(), |i| {
+        let (cfg, w) = cells[i];
+        let r = run(w, cfg, scale);
+        eprintln!(
+            "done {w} ({})",
+            if cfg.is_some() { "bingo" } else { "baseline" }
+        );
+        r
+    });
+    let n_workloads = Workload::ALL.len();
+    let baselines = &results[..n_workloads];
+    let mut t = Table::new(vec![
+        "Training signal",
+        "Perf gmean",
+        "Coverage",
+        "Overprediction",
+    ]);
+    for (vi, (name, _)) in variants.into_iter().enumerate() {
+        let chunk = &results[(vi + 1) * n_workloads..(vi + 2) * n_workloads];
         let mut speedups = Vec::new();
         let mut covs = Vec::new();
         let mut ovs = Vec::new();
-        for (i, &w) in Workload::ALL.iter().enumerate() {
-            let r = run(w, Some(cfg), scale);
-            let c = CoverageReport::from_runs(&r, &baselines[i]);
-            speedups.push(r.speedup_over(&baselines[i]));
+        for (r, base) in chunk.iter().zip(baselines) {
+            let c = CoverageReport::from_runs(r, base);
+            speedups.push(r.speedup_over(base));
             covs.push(c.coverage);
             ovs.push(c.overprediction);
-            eprintln!("done {w} / {name}");
         }
         t.row(vec![
             name.to_string(),

@@ -1,7 +1,11 @@
-//! Runs every experiment binary in sequence, printing all tables/figures.
-//! Pass `--quick` to run at CI scale.
+//! Runs every experiment binary in sequence, printing all tables/figures
+//! and per-binary wall-clock timings. Pass `--quick` to run at CI scale.
+//!
+//! The binaries themselves parallelize across (workload, prefetcher)
+//! cells — see `BINGO_JOBS` in EXPERIMENTS.md.
 
 use std::process::Command;
+use std::time::Instant;
 
 const BINARIES: [&str; 14] = [
     "table1_config",
@@ -24,12 +28,24 @@ fn main() {
     let exe = std::env::current_exe().expect("current exe path");
     let dir = exe.parent().expect("exe directory").to_path_buf();
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let total = Instant::now();
+    let mut timings = Vec::new();
     for bin in BINARIES {
         println!("\n================ {bin} ================\n");
+        let start = Instant::now();
         let status = Command::new(dir.join(bin))
             .args(&args)
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
         assert!(status.success(), "{bin} failed");
+        let secs = start.elapsed().as_secs_f64();
+        eprintln!("[all] {bin} finished in {secs:.1}s");
+        timings.push((bin, secs));
     }
+    let total_secs = total.elapsed().as_secs_f64();
+    println!("\n================ timing summary ================\n");
+    for (bin, secs) in &timings {
+        println!("{bin:<18} {secs:>8.1}s");
+    }
+    println!("{:<18} {:>8.1}s", "total", total_secs);
 }

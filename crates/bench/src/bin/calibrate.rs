@@ -2,21 +2,35 @@
 //! coverage/speedup sanity for a few prefetchers. Not one of the paper's
 //! figures — a development tool for tuning the workload generators.
 
-use bingo_bench::{pct, Harness, PrefetcherKind, RunScale, Table};
+use bingo_bench::{pct, ParallelHarness, PrefetcherKind, RunScale, Table};
 use bingo_workloads::Workload;
 
 fn main() {
     let scale = RunScale::from_args();
-    let mut harness = Harness::new(scale);
+    let mut harness = ParallelHarness::new(scale);
+    let kinds = [
+        PrefetcherKind::Bingo,
+        PrefetcherKind::Sms,
+        PrefetcherKind::Bop,
+    ];
+    let evals = harness.evaluate_all(&Workload::ALL, &kinds);
     let mut table = Table::new(vec![
-        "Workload", "MPKI", "Paper", "IPC", "Bingo cov", "Bingo ov", "Bingo spd", "SMS cov",
-        "SMS spd", "BOP cov", "BOP spd",
+        "Workload",
+        "MPKI",
+        "Paper",
+        "IPC",
+        "Bingo cov",
+        "Bingo ov",
+        "Bingo spd",
+        "SMS cov",
+        "SMS spd",
+        "BOP cov",
+        "BOP spd",
     ]);
-    for w in Workload::ALL {
-        let base = harness.baseline(w).clone();
-        let bingo = harness.evaluate(w, PrefetcherKind::Bingo);
-        let sms = harness.evaluate(w, PrefetcherKind::Sms);
-        let bop = harness.evaluate(w, PrefetcherKind::Bop);
+    for (wi, w) in Workload::ALL.into_iter().enumerate() {
+        let row = &evals[wi * kinds.len()..(wi + 1) * kinds.len()];
+        let (bingo, sms, bop) = (&row[0], &row[1], &row[2]);
+        let base = &bingo.baseline;
         table.row(vec![
             w.name().to_string(),
             format!("{:.1}", base.llc_mpki()),
@@ -30,7 +44,6 @@ fn main() {
             pct(bop.coverage.coverage),
             pct(bop.improvement()),
         ]);
-        eprintln!("done {w}");
     }
     println!("{table}");
 }

@@ -1,18 +1,18 @@
 //! Deep diagnostic for one workload+prefetcher pair (development tool).
 
-use bingo_bench::{Harness, PrefetcherKind, RunScale};
+use bingo_bench::{ParallelHarness, PrefetcherKind, RunScale};
 use bingo_workloads::Workload;
 
 fn main() {
     let scale = RunScale::from_args();
-    let mut harness = Harness::new(scale);
-    for (w, k) in [
+    let mut harness = ParallelHarness::new(scale);
+    let cells = [
         (Workload::Em3d, PrefetcherKind::Ampm),
         (Workload::DataServing, PrefetcherKind::Ampm),
-    ] {
-        let e = harness.evaluate(w, k);
+    ];
+    for e in harness.evaluate_grid(&cells) {
         let s = &e.result.llc;
-        println!("=== {} + {} ===", w, k.name());
+        println!("=== {} + {} ===", e.workload, e.kind.name());
         println!(
             "base: misses={} mpki={:.1} ipc={:.2} cycles={}",
             e.baseline.llc.demand_misses,

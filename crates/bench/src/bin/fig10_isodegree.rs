@@ -5,59 +5,46 @@
 //! The paper's result: aggressiveness buys a little performance and a lot
 //! of overprediction; Bingo still wins.
 
-use bingo_bench::{geometric_mean, mean, pct, Harness, PrefetcherKind, RunScale, Table};
+use bingo_bench::{geometric_mean, mean, pct, ParallelHarness, PrefetcherKind, RunScale, Table};
 use bingo_workloads::Workload;
 
 fn main() {
     let scale = RunScale::from_args();
-    let mut harness = Harness::new(scale);
-    let pairs = [
-        ("BOP", PrefetcherKind::Bop, PrefetcherKind::BopAggressive),
-        ("SPP", PrefetcherKind::Spp, PrefetcherKind::SppAggressive),
-        ("VLDP", PrefetcherKind::Vldp, PrefetcherKind::VldpAggressive),
+    let mut harness = ParallelHarness::new(scale);
+    let rows = [
+        ("BOP-Orig", PrefetcherKind::Bop),
+        ("BOP-Aggr", PrefetcherKind::BopAggressive),
+        ("SPP-Orig", PrefetcherKind::Spp),
+        ("SPP-Aggr", PrefetcherKind::SppAggressive),
+        ("VLDP-Orig", PrefetcherKind::Vldp),
+        ("VLDP-Aggr", PrefetcherKind::VldpAggressive),
+        ("Bingo", PrefetcherKind::Bingo),
     ];
+    // Kind-major grid: all workloads of one row are contiguous.
+    let cells: Vec<_> = rows
+        .iter()
+        .flat_map(|&(_, k)| Workload::ALL.into_iter().map(move |w| (w, k)))
+        .collect();
+    let evals = harness.evaluate_grid(&cells);
     let mut t = Table::new(vec![
         "Prefetcher",
         "Perf gmean",
         "Coverage",
         "Overprediction",
     ]);
-    for (name, orig, aggr) in pairs {
-        for (suffix, kind) in [("Orig", orig), ("Aggr", aggr)] {
-            let mut speedups = Vec::new();
-            let mut covs = Vec::new();
-            let mut ovs = Vec::new();
-            for w in Workload::ALL {
-                let e = harness.evaluate(w, kind);
-                speedups.push(e.speedup);
-                covs.push(e.coverage.coverage);
-                ovs.push(e.coverage.overprediction);
-                eprintln!("done {w} / {name}-{suffix}");
-            }
-            t.row(vec![
-                format!("{name}-{suffix}"),
-                pct(geometric_mean(&speedups) - 1.0),
-                pct(mean(&covs)),
-                pct(mean(&ovs)),
-            ]);
-        }
+    let n_workloads = Workload::ALL.len();
+    for (i, (name, _)) in rows.into_iter().enumerate() {
+        let chunk = &evals[i * n_workloads..(i + 1) * n_workloads];
+        let speedups: Vec<f64> = chunk.iter().map(|e| e.speedup).collect();
+        let covs: Vec<f64> = chunk.iter().map(|e| e.coverage.coverage).collect();
+        let ovs: Vec<f64> = chunk.iter().map(|e| e.coverage.overprediction).collect();
+        t.row(vec![
+            name.to_string(),
+            pct(geometric_mean(&speedups) - 1.0),
+            pct(mean(&covs)),
+            pct(mean(&ovs)),
+        ]);
     }
-    // Bingo reference row.
-    let mut speedups = Vec::new();
-    let mut covs = Vec::new();
-    let mut ovs = Vec::new();
-    for w in Workload::ALL {
-        let e = harness.evaluate(w, PrefetcherKind::Bingo);
-        speedups.push(e.speedup);
-        covs.push(e.coverage.coverage);
-        ovs.push(e.coverage.overprediction);
-    }
-    t.row(vec![
-        "Bingo".to_string(),
-        pct(geometric_mean(&speedups) - 1.0),
-        pct(mean(&covs)),
-        pct(mean(&ovs)),
-    ]);
     t.write_csv_if_requested("fig10_isodegree");
     println!(
         "Figure 10. Iso-degree comparison (paper: lifting the degree raises\n\

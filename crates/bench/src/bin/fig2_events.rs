@@ -6,23 +6,31 @@
 //! probability is the fraction of history lookups that found an entry.
 
 use bingo::EventKind;
-use bingo_bench::{mean, pct, Harness, PrefetcherKind, RunScale, Table};
+use bingo_bench::{mean, pct, ParallelHarness, PrefetcherKind, RunScale, Table};
 use bingo_workloads::Workload;
 
 fn main() {
     let scale = RunScale::from_args();
-    let mut harness = Harness::new(scale);
+    let mut harness = ParallelHarness::new(scale);
+    let kinds: Vec<PrefetcherKind> = EventKind::LONGEST_FIRST
+        .into_iter()
+        .map(PrefetcherKind::SingleEvent)
+        .collect();
+    let evals = harness.evaluate_all(&Workload::ALL, &kinds);
     let mut t = Table::new(vec!["Event", "Accuracy", "Match Probability"]);
-    for kind in EventKind::LONGEST_FIRST {
+    for (j, kind) in EventKind::LONGEST_FIRST.into_iter().enumerate() {
         let mut accs = Vec::new();
         let mut probs = Vec::new();
-        for w in Workload::ALL {
-            let e = harness.evaluate(w, PrefetcherKind::SingleEvent(kind));
+        for i in 0..Workload::ALL.len() {
+            let e = &evals[i * kinds.len() + j];
             accs.push(e.coverage.accuracy);
             let lookups = e.result.metric_sum("lookups").unwrap_or(0.0);
             let matches = e.result.metric_sum("matches").unwrap_or(0.0);
-            probs.push(if lookups > 0.0 { matches / lookups } else { 0.0 });
-            eprintln!("done {w} / {kind}");
+            probs.push(if lookups > 0.0 {
+                matches / lookups
+            } else {
+                0.0
+            });
         }
         t.row(vec![
             kind.label().to_string(),

@@ -5,21 +5,22 @@
 //! The paper's takeaway: the step from one to two events is large, and
 //! returns diminish beyond two — which is why Bingo uses exactly two.
 
-use bingo_bench::{mean, pct, Harness, PrefetcherKind, RunScale, Table};
+use bingo_bench::{mean, pct, ParallelHarness, PrefetcherKind, RunScale, Table};
 use bingo_workloads::Workload;
 
 fn main() {
     let scale = RunScale::from_args();
-    let mut harness = Harness::new(scale);
+    let mut harness = ParallelHarness::new(scale);
+    let kinds: Vec<PrefetcherKind> = (1..=5).map(PrefetcherKind::MultiEvent).collect();
+    let evals = harness.evaluate_all(&Workload::ALL, &kinds);
     let mut t = Table::new(vec!["Events", "Coverage", "Accuracy"]);
-    for n in 1..=5 {
+    for (j, n) in (1..=5).enumerate() {
         let mut covs = Vec::new();
         let mut accs = Vec::new();
-        for w in Workload::ALL {
-            let e = harness.evaluate(w, PrefetcherKind::MultiEvent(n));
+        for i in 0..Workload::ALL.len() {
+            let e = &evals[i * kinds.len() + j];
             covs.push(e.coverage.coverage);
             accs.push(e.coverage.accuracy);
-            eprintln!("done {w} / {n} events");
         }
         t.row(vec![n.to_string(), pct(mean(&covs)), pct(mean(&accs))]);
     }

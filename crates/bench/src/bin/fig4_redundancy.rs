@@ -5,24 +5,31 @@
 //!
 //! The paper reports redundancy from 26% (SAT Solver) to 93% (Mix 2).
 
-use bingo_bench::{mean, pct, Harness, PrefetcherKind, RunScale, Table};
+use bingo_bench::{mean, pct, ParallelHarness, PrefetcherKind, RunScale, Table};
 use bingo_workloads::Workload;
 
 fn main() {
     let scale = RunScale::from_args();
-    let mut harness = Harness::new(scale);
+    let mut harness = ParallelHarness::new(scale);
+    let evals = harness.evaluate_all(&Workload::ALL, &[PrefetcherKind::MultiEvent(2)]);
     let mut t = Table::new(vec!["Workload", "Redundancy", "Both-matched"]);
     let mut all = Vec::new();
-    for w in Workload::ALL {
-        let e = harness.evaluate(w, PrefetcherKind::MultiEvent(2));
+    for e in &evals {
         let lookups = e.result.metric_sum("lookups").unwrap_or(0.0);
         let identical = e.result.metric_sum("dual_identical").unwrap_or(0.0);
         let both = e.result.metric_sum("dual_both_matched").unwrap_or(0.0);
-        let redundancy = if lookups > 0.0 { identical / lookups } else { 0.0 };
+        let redundancy = if lookups > 0.0 {
+            identical / lookups
+        } else {
+            0.0
+        };
         let both_frac = if lookups > 0.0 { both / lookups } else { 0.0 };
         all.push(redundancy);
-        t.row(vec![w.name().to_string(), pct(redundancy), pct(both_frac)]);
-        eprintln!("done {w}");
+        t.row(vec![
+            e.workload.name().to_string(),
+            pct(redundancy),
+            pct(both_frac),
+        ]);
     }
     t.row(vec!["Average".to_string(), pct(mean(&all)), String::new()]);
     t.write_csv_if_requested("fig4_redundancy");

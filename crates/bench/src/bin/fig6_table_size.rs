@@ -1,25 +1,28 @@
 //! Figure 6 — Bingo's miss coverage as a function of history-table entries
 //! (1K to 64K), per workload. The paper picks 16K entries as the knee.
 
-use bingo_bench::{pct, Harness, PrefetcherKind, RunScale, Table};
+use bingo_bench::{pct, ParallelHarness, PrefetcherKind, RunScale, Table};
 use bingo_workloads::Workload;
 
 const SIZES: [usize; 7] = [1024, 2048, 4096, 8192, 16384, 32768, 65536];
 
 fn main() {
     let scale = RunScale::from_args();
-    let mut harness = Harness::new(scale);
+    let mut harness = ParallelHarness::new(scale);
+    let kinds: Vec<PrefetcherKind> = SIZES
+        .into_iter()
+        .map(PrefetcherKind::BingoEntries)
+        .collect();
+    let evals = harness.evaluate_all(&Workload::ALL, &kinds);
     let mut header = vec!["Workload".to_string()];
     header.extend(SIZES.iter().map(|s| format!("{}K", s / 1024)));
     let mut t = Table::new(header);
-    for w in Workload::ALL {
+    for (i, w) in Workload::ALL.into_iter().enumerate() {
         let mut row = vec![w.name().to_string()];
-        for &entries in &SIZES {
-            let e = harness.evaluate(w, PrefetcherKind::BingoEntries(entries));
-            row.push(pct(e.coverage.coverage));
+        for j in 0..kinds.len() {
+            row.push(pct(evals[i * kinds.len() + j].coverage.coverage));
         }
         t.row(row);
-        eprintln!("done {w}");
     }
     t.write_csv_if_requested("fig6_table_size");
     println!(

@@ -4,31 +4,35 @@
 //! The paper reports Bingo covering >63% of misses on average, 8% above
 //! the second-best prefetcher, with overprediction on par with the rest.
 
-use bingo_bench::{mean, pct, Harness, PrefetcherKind, RunScale, Table};
+use bingo_bench::{mean, pct, ParallelHarness, PrefetcherKind, RunScale, Table};
 use bingo_workloads::Workload;
 
 fn main() {
     let scale = RunScale::from_args();
-    let mut harness = Harness::new(scale);
-    let mut t = Table::new(vec!["Workload", "Prefetcher", "Coverage", "Overprediction", "Accuracy"]);
+    let mut harness = ParallelHarness::new(scale);
+    let evals = harness.evaluate_all(&Workload::ALL, &PrefetcherKind::HEADLINE);
+    let mut t = Table::new(vec![
+        "Workload",
+        "Prefetcher",
+        "Coverage",
+        "Overprediction",
+        "Accuracy",
+    ]);
     let mut avg: Vec<(String, Vec<f64>, Vec<f64>)> = PrefetcherKind::HEADLINE
         .iter()
         .map(|k| (k.name(), Vec::new(), Vec::new()))
         .collect();
-    for w in Workload::ALL {
-        for (i, &kind) in PrefetcherKind::HEADLINE.iter().enumerate() {
-            let e = harness.evaluate(w, kind);
-            t.row(vec![
-                w.name().to_string(),
-                kind.name(),
-                pct(e.coverage.coverage),
-                pct(e.coverage.overprediction),
-                pct(e.coverage.accuracy),
-            ]);
-            avg[i].1.push(e.coverage.coverage);
-            avg[i].2.push(e.coverage.overprediction);
-            eprintln!("done {w} / {}", kind.name());
-        }
+    for (idx, e) in evals.iter().enumerate() {
+        let i = idx % PrefetcherKind::HEADLINE.len();
+        t.row(vec![
+            e.workload.name().to_string(),
+            e.kind.name(),
+            pct(e.coverage.coverage),
+            pct(e.coverage.overprediction),
+            pct(e.coverage.accuracy),
+        ]);
+        avg[i].1.push(e.coverage.coverage);
+        avg[i].2.push(e.coverage.overprediction);
     }
     for (name, covs, ovs) in &avg {
         t.row(vec![

@@ -4,23 +4,23 @@
 //! The paper reports Bingo at +60% gmean (11% in Zeus to 285% in em3d),
 //! 11% above the best prior spatial prefetcher.
 
-use bingo_bench::{geometric_mean, pct, Harness, PrefetcherKind, RunScale, Table};
+use bingo_bench::{geometric_mean, pct, ParallelHarness, PrefetcherKind, RunScale, Table};
 use bingo_workloads::Workload;
 
 fn main() {
     let scale = RunScale::from_args();
-    let mut harness = Harness::new(scale);
+    let mut harness = ParallelHarness::new(scale);
+    let evals = harness.evaluate_all(&Workload::ALL, &PrefetcherKind::HEADLINE);
     let mut header = vec!["Workload".to_string()];
     header.extend(PrefetcherKind::HEADLINE.iter().map(|k| k.name()));
     let mut t = Table::new(header);
-    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); PrefetcherKind::HEADLINE.len()];
-    for w in Workload::ALL {
+    let n_kinds = PrefetcherKind::HEADLINE.len();
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); n_kinds];
+    for (wi, w) in Workload::ALL.into_iter().enumerate() {
         let mut row = vec![w.name().to_string()];
-        for (i, &kind) in PrefetcherKind::HEADLINE.iter().enumerate() {
-            let e = harness.evaluate(w, kind);
+        for (i, e) in evals[wi * n_kinds..(wi + 1) * n_kinds].iter().enumerate() {
             speedups[i].push(e.speedup);
             row.push(pct(e.improvement()));
-            eprintln!("done {w} / {}", kind.name());
         }
         t.row(row);
     }

@@ -4,16 +4,25 @@
 //! The paper reports Bingo at +59%: the area of its metadata tables costs
 //! less than 1% of the performance gain.
 
-use bingo_bench::{geometric_mean, pct, AreaModel, Harness, PrefetcherKind, RunScale, Table};
+use bingo_bench::{
+    geometric_mean, pct, AreaModel, ParallelHarness, PrefetcherKind, RunScale, Table,
+};
 use bingo_sim::SystemConfig;
 use bingo_workloads::Workload;
 
 fn main() {
     let scale = RunScale::from_args();
-    let mut harness = Harness::new(scale);
+    let mut harness = ParallelHarness::new(scale);
     let area = AreaModel::default_14nm();
     let cfg = SystemConfig::paper();
     let llc_mb = cfg.llc.size_bytes as f64 / 1024.0 / 1024.0;
+
+    // Kind-major grid: all workloads of one prefetcher are contiguous.
+    let cells: Vec<_> = PrefetcherKind::HEADLINE
+        .iter()
+        .flat_map(|&k| Workload::ALL.into_iter().map(move |w| (w, k)))
+        .collect();
+    let evals = harness.evaluate_grid(&cells);
 
     let mut t = Table::new(vec![
         "Prefetcher",
@@ -21,13 +30,13 @@ fn main() {
         "Perf gmean",
         "Perf density",
     ]);
-    for &kind in &PrefetcherKind::HEADLINE {
+    let n_workloads = Workload::ALL.len();
+    for (i, &kind) in PrefetcherKind::HEADLINE.iter().enumerate() {
         let kb = kind.storage_kb();
-        let mut speedups = Vec::new();
-        for w in Workload::ALL {
-            speedups.push(harness.evaluate(w, kind).speedup);
-            eprintln!("done {w} / {}", kind.name());
-        }
+        let speedups: Vec<f64> = evals[i * n_workloads..(i + 1) * n_workloads]
+            .iter()
+            .map(|e| e.speedup)
+            .collect();
         let gmean = geometric_mean(&speedups);
         let density = area.density_improvement(cfg.cores, llc_mb, kb, gmean);
         t.row(vec![

@@ -1,9 +1,9 @@
 //! Table I — evaluation parameters — plus the Bingo storage accounting of
 //! Section VI-A (16 K entries → 119 KB, ~6 % of the LLC).
 
-use bingo::{Bingo, BingoConfig};
+use bingo::BingoConfig;
 use bingo_bench::Table;
-use bingo_sim::{Prefetcher, SystemConfig};
+use bingo_sim::SystemConfig;
 
 fn main() {
     let cfg = SystemConfig::paper();
@@ -57,12 +57,14 @@ fn main() {
     ]);
     println!("Table I. Evaluation parameters.\n\n{t}");
 
-    let bingo = Bingo::new(BingoConfig::paper());
+    // Storage is a pure function of the configuration — no need to build
+    // the prefetcher to account for it.
+    let bingo = BingoConfig::paper();
     let kb = bingo.storage_bits() as f64 / 8.0 / 1024.0;
     let llc_pct = bingo.storage_bits() as f64 / 8.0 / cfg.llc.size_bytes as f64 * 100.0;
     println!(
         "Bingo storage (Section VI-A): {} history entries, {:.0} KB total ({:.1}% of LLC capacity; paper: 119 KB, 6%).",
-        bingo.config().history_entries,
+        bingo.history_entries,
         kb,
         llc_pct
     );

@@ -1,12 +1,13 @@
 //! Table II — application parameters: baseline LLC MPKI of every workload
 //! (no prefetcher), compared against the paper's reported values.
 
-use bingo_bench::{Harness, RunScale, Table};
+use bingo_bench::{ParallelHarness, RunScale, Table};
 use bingo_workloads::Workload;
 
 fn main() {
     let scale = RunScale::from_args();
-    let mut harness = Harness::new(scale);
+    let mut harness = ParallelHarness::new(scale);
+    harness.prime_baselines(&Workload::ALL);
     let mut t = Table::new(vec!["Application", "Description", "MPKI", "Paper MPKI"]);
     for w in Workload::ALL {
         let base = harness.baseline(w);
@@ -16,7 +17,6 @@ fn main() {
             format!("{:.1}", base.llc_mpki()),
             format!("{:.1}", w.paper_mpki()),
         ]);
-        eprintln!("done {w}");
     }
     t.write_csv_if_requested("table2_workloads");
     println!("Table II. Application parameters (baseline LLC MPKI).\n\n{t}");

@@ -5,7 +5,7 @@
 //! with no prefetcher or timing model involved.
 
 use bingo::{EventKind, SpatialProfiler};
-use bingo_bench::{pct, RunScale, Table};
+use bingo_bench::{default_jobs, parallel_map, pct, RunScale, Table};
 use bingo_sim::Instr;
 use bingo_workloads::Workload;
 
@@ -13,17 +13,9 @@ fn main() {
     let scale = RunScale::from_args();
     let accesses_per_workload = (scale.instructions_per_core / 20).max(10_000);
 
-    let mut t = Table::new(vec![
-        "Workload",
-        "Density",
-        "P(match) PC+Addr",
-        "Sim PC+Addr",
-        "P(match) PC+Off",
-        "Sim PC+Off",
-        "P(match) Offset",
-        "Sim Offset",
-    ]);
-    for w in Workload::ALL {
+    // Each workload profiles independently; fan them out.
+    let rows = parallel_map(default_jobs(), Workload::ALL.len(), |wi| {
+        let w = Workload::ALL[wi];
         let mut profiler = SpatialProfiler::new(32, 64);
         let mut sources = w.sources(1, scale.seed);
         let src = sources[0].as_mut();
@@ -45,7 +37,8 @@ fn main() {
         let (pa_m, pa_s) = row(EventKind::PcAddress);
         let (po_m, po_s) = row(EventKind::PcOffset);
         let (of_m, of_s) = row(EventKind::Offset);
-        t.row(vec![
+        eprintln!("done {w}");
+        vec![
             w.name().to_string(),
             pct(r.mean_density()),
             pa_m,
@@ -54,8 +47,21 @@ fn main() {
             po_s,
             of_m,
             of_s,
-        ]);
-        eprintln!("done {w}");
+        ]
+    });
+
+    let mut t = Table::new(vec![
+        "Workload",
+        "Density",
+        "P(match) PC+Addr",
+        "Sim PC+Addr",
+        "P(match) PC+Off",
+        "Sim PC+Off",
+        "P(match) Offset",
+        "Sim Offset",
+    ]);
+    for row in rows {
+        t.row(row);
     }
     println!(
         "Workload spatial-structure profile ({} accesses per workload).\n\

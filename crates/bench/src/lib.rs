@@ -27,5 +27,8 @@ pub mod runner;
 pub mod table;
 
 pub use area::AreaModel;
-pub use runner::{geometric_mean, mean, run_one, Evaluation, Harness, PrefetcherKind, RunScale};
+pub use runner::{
+    default_jobs, geometric_mean, mean, parallel_map, run_one, Evaluation, Harness,
+    ParallelHarness, PrefetcherKind, RunScale,
+};
 pub use table::{f2, pct, Table};

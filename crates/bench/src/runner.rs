@@ -1,7 +1,33 @@
 //! Experiment runner: builds (workload × prefetcher) simulations, caches
 //! no-prefetcher baselines, and derives the paper's metrics.
+//!
+//! Two harnesses are provided:
+//!
+//! * [`Harness`] — the original serial runner, evaluating one cell at a
+//!   time with a lazily-filled baseline cache;
+//! * [`ParallelHarness`] — fans the (workload × prefetcher) grid out
+//!   across a bounded pool of scoped worker threads. The grid is
+//!   embarrassingly parallel (every cell is an independent simulation),
+//!   so the full sweep's wall-clock shrinks to roughly
+//!   `cells / min(jobs, cells)` serial cells.
+//!
+//! **Determinism.** A cell's result is a pure function of
+//! `(RunScale::seed, workload, prefetcher kind)`: each cell constructs
+//! its own instruction sources (seeded from `scale.seed`, with a per-core
+//! stream split inside [`Workload::sources`]) and its own prefetcher, and
+//! shares no mutable state with other cells. The prefetcher kind
+//! deliberately does *not* perturb the workload's RNG stream — every
+//! prefetcher must observe the exact access stream its no-prefetcher
+//! baseline observed, or coverage and speedup would compare different
+//! program runs. Consequently [`ParallelHarness`] produces bit-for-bit
+//! the same [`SimResult`]s as [`Harness`] regardless of scheduling order,
+//! worker count, or completion order — verified by the
+//! `parallel_matches_serial_bit_for_bit` test below.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 use bingo::{Bingo, BingoConfig, EventKind, MultiEventConfig, MultiEventPrefetcher};
 use bingo_baselines::{
@@ -116,9 +142,40 @@ impl PrefetcherKind {
         }
     }
 
+    /// Per-core metadata storage in bits, computed from the configuration
+    /// alone. Building a prefetcher just to size it would allocate its
+    /// tables — megabytes for Bingo's 16 K-entry history — on every call
+    /// of the parallel sweep; the config-level accounting is free and
+    /// asserted equal to the built value by a test.
+    pub fn storage_bits(self) -> u64 {
+        match self {
+            PrefetcherKind::None => 0,
+            PrefetcherKind::Bop => BopConfig::paper().storage_bits(),
+            PrefetcherKind::BopAggressive => BopConfig::aggressive().storage_bits(),
+            PrefetcherKind::Spp => SppConfig::paper().storage_bits(),
+            PrefetcherKind::SppAggressive => SppConfig::aggressive().storage_bits(),
+            PrefetcherKind::Vldp => VldpConfig::paper().storage_bits(),
+            PrefetcherKind::VldpAggressive => VldpConfig::aggressive().storage_bits(),
+            PrefetcherKind::Ampm => AmpmConfig::paper().storage_bits(),
+            PrefetcherKind::Sms => SmsConfig::paper().storage_bits(),
+            PrefetcherKind::Bingo => BingoConfig::paper().storage_bits(),
+            PrefetcherKind::BingoEntries(n) => BingoConfig::with_history_entries(n).storage_bits(),
+            PrefetcherKind::BingoVote(t) => BingoConfig {
+                vote_threshold: t,
+                ..BingoConfig::paper()
+            }
+            .storage_bits(),
+            PrefetcherKind::SingleEvent(k) => MultiEventConfig::single(k).storage_bits(),
+            PrefetcherKind::MultiEvent(n) => MultiEventConfig::first_n(n).storage_bits(),
+            PrefetcherKind::Stride => StrideConfig::typical().storage_bits(),
+            // Next-line keeps no metadata (trait default).
+            PrefetcherKind::NextLine(_) => 0,
+        }
+    }
+
     /// Per-core metadata storage in KB (for the performance-density model).
     pub fn storage_kb(self) -> f64 {
-        self.build().storage_bits() as f64 / 8.0 / 1024.0
+        self.storage_bits() as f64 / 8.0 / 1024.0
     }
 }
 
@@ -153,23 +210,47 @@ impl RunScale {
         }
     }
 
-    /// Reads `--quick` from the process arguments (any position), then
-    /// applies the `BINGO_WARMUP` / `BINGO_INSTR` environment overrides
-    /// (development knobs for calibration sweeps).
+    /// Reads `--quick` from the process arguments (exact match, any
+    /// position), then applies the `BINGO_WARMUP` / `BINGO_INSTR`
+    /// environment overrides (development knobs for calibration sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `BINGO_WARMUP` or `BINGO_INSTR` is set but does not parse
+    /// as an unsigned integer: a typo'd override must abort the run, not
+    /// silently fall back to the full scale.
     pub fn from_args() -> Self {
-        let mut scale = if std::env::args().any(|a| a == "--quick") {
+        Self::from_parts(std::env::args().skip(1), |name| std::env::var(name).ok())
+    }
+
+    /// Testable core of [`RunScale::from_args`]: explicit argument list
+    /// and environment lookup.
+    fn from_parts<I, E>(args: I, env: E) -> Self
+    where
+        I: IntoIterator<Item = String>,
+        E: Fn(&str) -> Option<String>,
+    {
+        let mut scale = if args.into_iter().any(|a| a == "--quick") {
             Self::quick()
         } else {
             Self::full()
         };
-        if let Some(w) = std::env::var("BINGO_WARMUP").ok().and_then(|v| v.parse().ok()) {
-            scale.warmup_per_core = w;
+        if let Some(v) = env("BINGO_WARMUP") {
+            scale.warmup_per_core = parse_override("BINGO_WARMUP", &v);
         }
-        if let Some(n) = std::env::var("BINGO_INSTR").ok().and_then(|v| v.parse().ok()) {
-            scale.instructions_per_core = n;
+        if let Some(v) = env("BINGO_INSTR") {
+            scale.instructions_per_core = parse_override("BINGO_INSTR", &v);
         }
         scale
     }
+}
+
+/// Parses a numeric environment override, aborting loudly on garbage.
+fn parse_override(name: &str, value: &str) -> u64 {
+    value
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("{name} must be an unsigned integer, got {value:?}"))
 }
 
 /// Runs one (workload, prefetcher) simulation on the paper's 4-core system.
@@ -182,7 +263,98 @@ pub fn run_one(workload: Workload, kind: PrefetcherKind, scale: RunScale) -> Sim
     system.run()
 }
 
-/// Runner with per-workload baseline caching.
+/// Worker count for parallel sweeps: the `BINGO_JOBS` environment override
+/// when set, otherwise [`std::thread::available_parallelism`] (1 if that
+/// cannot be determined).
+///
+/// # Panics
+///
+/// Panics if `BINGO_JOBS` is set but is not a positive integer.
+pub fn default_jobs() -> usize {
+    match std::env::var("BINGO_JOBS") {
+        Ok(v) => {
+            let jobs: usize = v
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("BINGO_JOBS must be a positive integer, got {v:?}"));
+            assert!(jobs > 0, "BINGO_JOBS must be a positive integer, got 0");
+            jobs
+        }
+        Err(_) => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
+/// Runs `f(0), f(1), ..., f(n - 1)` on a bounded pool of at most `jobs`
+/// scoped worker threads and returns the results in index order.
+///
+/// Workers pull indices from a shared atomic counter, so cells are load
+/// balanced dynamically; results land in per-index slots, so the output
+/// order is independent of completion order. With `jobs <= 1` (or a single
+/// item) the calls run inline on the current thread.
+///
+/// # Panics
+///
+/// Panics if `jobs` is zero, or propagates a panic from `f`.
+pub fn parallel_map<R, F>(jobs: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    assert!(jobs > 0, "need at least one worker");
+    let workers = jobs.min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = f(i);
+                *slots[i].lock().expect("a worker panicked") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("a worker panicked")
+                .expect("every index was claimed by a worker")
+        })
+        .collect()
+}
+
+/// Runs one cell, optionally emitting a progress/timing line (cell name,
+/// wall seconds, simulated instructions per wall second).
+fn timed_run(
+    workload: Workload,
+    kind: PrefetcherKind,
+    scale: RunScale,
+    progress: bool,
+) -> SimResult {
+    let start = Instant::now();
+    let result = run_one(workload, kind, scale);
+    if progress {
+        let wall = start.elapsed().as_secs_f64();
+        eprintln!(
+            "[cell] {:<14} {:<14} {:>7.2}s  {:>6.2} Minstr/s",
+            workload.name(),
+            kind.name(),
+            wall,
+            result.instructions() as f64 / wall.max(1e-9) / 1e6,
+        );
+    }
+    result
+}
+
+/// Serial runner with per-workload baseline caching.
 #[derive(Debug, Default)]
 pub struct Harness {
     scale: RunScale,
@@ -235,6 +407,149 @@ impl Harness {
     }
 }
 
+/// Parallel experiment harness: evaluates (workload × prefetcher) grids on
+/// a bounded worker pool, computing each workload's no-prefetcher baseline
+/// exactly once in a shared cache.
+///
+/// Results are bit-for-bit identical to [`Harness`] — see the module docs
+/// for the determinism argument.
+#[derive(Debug)]
+pub struct ParallelHarness {
+    scale: RunScale,
+    jobs: usize,
+    progress: bool,
+    baselines: HashMap<Workload, SimResult>,
+}
+
+impl ParallelHarness {
+    /// Creates a parallel harness at the given scale with
+    /// [`default_jobs`] workers.
+    pub fn new(scale: RunScale) -> Self {
+        Self::with_jobs(scale, default_jobs())
+    }
+
+    /// Creates a parallel harness with an explicit worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is zero.
+    pub fn with_jobs(scale: RunScale, jobs: usize) -> Self {
+        assert!(jobs > 0, "need at least one worker");
+        ParallelHarness {
+            scale,
+            jobs,
+            progress: true,
+            baselines: HashMap::new(),
+        }
+    }
+
+    /// Disables the per-cell progress/timing lines on stderr.
+    pub fn quiet(mut self) -> Self {
+        self.progress = false;
+        self
+    }
+
+    /// The scale in use.
+    pub fn scale(&self) -> RunScale {
+        self.scale
+    }
+
+    /// The worker count in use.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Ensures the no-prefetcher baseline of every listed workload is
+    /// cached, computing the missing ones in parallel — each exactly once,
+    /// regardless of how many cells reference it.
+    pub fn prime_baselines(&mut self, workloads: &[Workload]) {
+        let mut missing: Vec<Workload> = Vec::new();
+        for &w in workloads {
+            if !self.baselines.contains_key(&w) && !missing.contains(&w) {
+                missing.push(w);
+            }
+        }
+        if missing.is_empty() {
+            return;
+        }
+        let scale = self.scale;
+        let progress = self.progress;
+        let results = parallel_map(self.jobs, missing.len(), |i| {
+            timed_run(missing[i], PrefetcherKind::None, scale, progress)
+        });
+        for (w, r) in missing.into_iter().zip(results) {
+            self.baselines.insert(w, r);
+        }
+    }
+
+    /// The cached no-prefetcher baseline for a workload.
+    pub fn baseline(&mut self, workload: Workload) -> &SimResult {
+        self.prime_baselines(&[workload]);
+        &self.baselines[&workload]
+    }
+
+    /// Evaluates every (workload, prefetcher) cell of `cells` across the
+    /// worker pool and returns the evaluations in input order.
+    pub fn evaluate_grid(&mut self, cells: &[(Workload, PrefetcherKind)]) -> Vec<Evaluation> {
+        let workloads: Vec<Workload> = cells.iter().map(|&(w, _)| w).collect();
+        self.prime_baselines(&workloads);
+        let scale = self.scale;
+        let progress = self.progress;
+        let started = Instant::now();
+        let results = parallel_map(self.jobs, cells.len(), |i| {
+            let (w, k) = cells[i];
+            timed_run(w, k, scale, progress)
+        });
+        if progress && cells.len() > 1 {
+            eprintln!(
+                "[grid] {} cells in {:.1}s on {} worker(s)",
+                cells.len(),
+                started.elapsed().as_secs_f64(),
+                self.jobs.min(cells.len()),
+            );
+        }
+        cells
+            .iter()
+            .zip(results)
+            .map(|(&(workload, kind), result)| {
+                let baseline = self.baselines[&workload].clone();
+                let coverage = CoverageReport::from_runs(&result, &baseline);
+                let speedup = result.speedup_over(&baseline);
+                Evaluation {
+                    workload,
+                    kind,
+                    coverage,
+                    speedup,
+                    result,
+                    baseline,
+                }
+            })
+            .collect()
+    }
+
+    /// Row-major convenience over [`ParallelHarness::evaluate_grid`]:
+    /// every kind on every workload, grouped by workload (the result for
+    /// `workloads[i]` × `kinds[j]` is at index `i * kinds.len() + j`).
+    pub fn evaluate_all(
+        &mut self,
+        workloads: &[Workload],
+        kinds: &[PrefetcherKind],
+    ) -> Vec<Evaluation> {
+        let cells: Vec<(Workload, PrefetcherKind)> = workloads
+            .iter()
+            .flat_map(|&w| kinds.iter().map(move |&k| (w, k)))
+            .collect();
+        self.evaluate_grid(&cells)
+    }
+
+    /// Evaluates a single cell (uses the shared baseline cache).
+    pub fn evaluate(&mut self, workload: Workload, kind: PrefetcherKind) -> Evaluation {
+        self.evaluate_grid(&[(workload, kind)])
+            .pop()
+            .expect("one cell in, one evaluation out")
+    }
+}
+
 /// The outcome of one prefetcher-on-workload evaluation.
 #[derive(Clone, Debug)]
 pub struct Evaluation {
@@ -284,22 +599,31 @@ pub fn mean(values: &[f64]) -> f64 {
 mod tests {
     use super::*;
 
-    #[test]
-    fn kinds_build_and_have_names() {
-        for k in [
+    /// Every constructible kind, one representative per variant.
+    fn all_kinds() -> Vec<PrefetcherKind> {
+        vec![
             PrefetcherKind::None,
             PrefetcherKind::Bop,
+            PrefetcherKind::BopAggressive,
             PrefetcherKind::Spp,
+            PrefetcherKind::SppAggressive,
             PrefetcherKind::Vldp,
+            PrefetcherKind::VldpAggressive,
             PrefetcherKind::Ampm,
             PrefetcherKind::Sms,
             PrefetcherKind::Bingo,
             PrefetcherKind::BingoEntries(4096),
+            PrefetcherKind::BingoVote(0.5),
             PrefetcherKind::SingleEvent(EventKind::Offset),
             PrefetcherKind::MultiEvent(3),
             PrefetcherKind::Stride,
             PrefetcherKind::NextLine(2),
-        ] {
+        ]
+    }
+
+    #[test]
+    fn kinds_build_and_have_names() {
+        for k in all_kinds() {
             let p = k.build();
             assert!(!p.name().is_empty());
             assert!(!k.name().is_empty());
@@ -307,9 +631,25 @@ mod tests {
     }
 
     #[test]
+    fn storage_from_config_matches_built_prefetcher() {
+        for k in all_kinds() {
+            assert_eq!(
+                k.storage_bits(),
+                k.build().storage_bits(),
+                "config-level storage of {} disagrees with the built table",
+                k.name()
+            );
+        }
+    }
+
+    #[test]
     fn bingo_has_the_largest_headline_storage() {
         let bingo_kb = PrefetcherKind::Bingo.storage_kb();
-        for k in [PrefetcherKind::Bop, PrefetcherKind::Spp, PrefetcherKind::Vldp] {
+        for k in [
+            PrefetcherKind::Bop,
+            PrefetcherKind::Spp,
+            PrefetcherKind::Vldp,
+        ] {
             assert!(
                 k.storage_kb() < bingo_kb,
                 "{} should be smaller than Bingo",
@@ -328,5 +668,130 @@ mod tests {
     #[test]
     fn quick_scale_is_smaller() {
         assert!(RunScale::quick().instructions_per_core < RunScale::full().instructions_per_core);
+    }
+
+    #[test]
+    fn from_parts_reads_quick_flag_exactly() {
+        let none = |_: &str| None;
+        let quick = RunScale::from_parts(vec!["--quick".to_string()], none);
+        assert_eq!(quick, RunScale::quick());
+        let full = RunScale::from_parts(Vec::new(), none);
+        assert_eq!(full, RunScale::full());
+        // Near-misses must not enable quick mode.
+        let near = RunScale::from_parts(
+            vec![
+                "--quickly".to_string(),
+                "quick".to_string(),
+                "--QUICK".to_string(),
+            ],
+            none,
+        );
+        assert_eq!(near, RunScale::full());
+    }
+
+    #[test]
+    fn from_parts_applies_env_overrides() {
+        let env = |name: &str| match name {
+            "BINGO_WARMUP" => Some("1234".to_string()),
+            "BINGO_INSTR" => Some("5678".to_string()),
+            _ => None,
+        };
+        let scale = RunScale::from_parts(vec!["--quick".to_string()], env);
+        assert_eq!(scale.warmup_per_core, 1234);
+        assert_eq!(scale.instructions_per_core, 5678);
+        assert_eq!(scale.seed, RunScale::quick().seed);
+    }
+
+    #[test]
+    #[should_panic(expected = "BINGO_WARMUP must be an unsigned integer")]
+    fn from_parts_rejects_garbage_warmup() {
+        let env = |name: &str| (name == "BINGO_WARMUP").then(|| "1e6".to_string());
+        let _ = RunScale::from_parts(Vec::new(), env);
+    }
+
+    #[test]
+    #[should_panic(expected = "BINGO_INSTR must be an unsigned integer")]
+    fn from_parts_rejects_garbage_instr() {
+        let env = |name: &str| (name == "BINGO_INSTR").then(|| "100k".to_string());
+        let _ = RunScale::from_parts(Vec::new(), env);
+    }
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        let out = parallel_map(8, 100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        // Degenerate worker counts.
+        assert_eq!(parallel_map(1, 3, |i| i), vec![0, 1, 2]);
+        assert_eq!(parallel_map(64, 1, |i| i), vec![0]);
+        assert_eq!(parallel_map(4, 0, |i| i), Vec::<usize>::new());
+    }
+
+    /// The acceptance test of the parallel harness: identical
+    /// [`SimResult`]s (speedups, coverage, miss counts) to the serial
+    /// [`Harness`] on a 3 × 3 grid, independent of scheduling.
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let scale = RunScale {
+            instructions_per_core: 20_000,
+            warmup_per_core: 10_000,
+            seed: 7,
+        };
+        let workloads = [Workload::Em3d, Workload::Streaming, Workload::Mix1];
+        let kinds = [
+            PrefetcherKind::Bingo,
+            PrefetcherKind::Bop,
+            PrefetcherKind::Sms,
+        ];
+        let cells: Vec<(Workload, PrefetcherKind)> = workloads
+            .iter()
+            .flat_map(|&w| kinds.iter().map(move |&k| (w, k)))
+            .collect();
+        let mut parallel = ParallelHarness::with_jobs(scale, 4).quiet();
+        let par = parallel.evaluate_grid(&cells);
+        let mut serial = Harness::new(scale);
+        for (&(w, k), pe) in cells.iter().zip(&par) {
+            let se = serial.evaluate(w, k);
+            assert_eq!(pe.workload, w);
+            assert_eq!(pe.kind, k);
+            assert_eq!(se.result, pe.result, "{w} / {}: result differs", k.name());
+            assert_eq!(
+                se.baseline,
+                pe.baseline,
+                "{w} / {}: baseline differs",
+                k.name()
+            );
+            assert_eq!(
+                se.speedup.to_bits(),
+                pe.speedup.to_bits(),
+                "{w} / {}: speedup differs ({} vs {})",
+                k.name(),
+                se.speedup,
+                pe.speedup
+            );
+            assert_eq!(
+                se.coverage,
+                pe.coverage,
+                "{w} / {}: coverage report differs",
+                k.name()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_baseline_is_computed_once_and_shared() {
+        let scale = RunScale {
+            instructions_per_core: 10_000,
+            warmup_per_core: 5_000,
+            seed: 3,
+        };
+        let mut h = ParallelHarness::with_jobs(scale, 2).quiet();
+        // Many cells over one workload: one baseline, shared by all.
+        let evals = h.evaluate_all(
+            &[Workload::Streaming],
+            &[PrefetcherKind::NextLine(1), PrefetcherKind::Stride],
+        );
+        assert_eq!(evals.len(), 2);
+        assert_eq!(evals[0].baseline, evals[1].baseline);
+        assert_eq!(h.baseline(Workload::Streaming), &evals[0].baseline);
     }
 }

@@ -36,7 +36,11 @@ pub struct Residency {
 impl Residency {
     /// The event key of the given kind for this residency's trigger.
     pub fn key(&self, kind: EventKind) -> u64 {
-        kind.key_parts(self.trigger_pc, self.trigger_block, self.trigger_offset as u64)
+        kind.key_parts(
+            self.trigger_pc,
+            self.trigger_block,
+            self.trigger_offset as u64,
+        )
     }
 }
 
@@ -189,11 +193,7 @@ impl AccumulationTable {
     /// Ends the residency of `region`, if live in either structure,
     /// returning it for training.
     pub fn end_residency(&mut self, region: RegionId) -> Option<Residency> {
-        if let Some(idx) = self
-            .slots
-            .iter()
-            .position(|s| s.residency.region == region)
-        {
+        if let Some(idx) = self.slots.iter().position(|s| s.residency.region == region) {
             return Some(self.slots.swap_remove(idx).residency);
         }
         let idx = self
@@ -207,9 +207,16 @@ impl AccumulationTable {
     /// (16 b hashed), trigger offset, footprint, and LRU stamp (8 b); the
     /// filter stores the same minus the footprint.
     pub fn storage_bits(&self) -> u64 {
-        let offset_bits = 64 - (self.region_blocks as u64 - 1).leading_zeros() as u64;
-        let acc = self.capacity as u64 * (36 + 16 + offset_bits + self.region_blocks as u64 + 8);
-        let filter = self.filter_capacity as u64 * (36 + 16 + offset_bits + 8);
+        Self::storage_bits_for(self.capacity, self.region_blocks)
+    }
+
+    /// [`AccumulationTable::storage_bits`] computed from the geometry
+    /// alone, without allocating the table.
+    pub fn storage_bits_for(capacity: usize, region_blocks: u32) -> u64 {
+        let filter_capacity = capacity.max(8);
+        let offset_bits = 64 - (region_blocks as u64 - 1).leading_zeros() as u64;
+        let acc = capacity as u64 * (36 + 16 + offset_bits + region_blocks as u64 + 8);
+        let filter = filter_capacity as u64 * (36 + 16 + offset_bits + 8);
         acc + filter
     }
 }

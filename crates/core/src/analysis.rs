@@ -195,7 +195,11 @@ impl SpatialProfiler {
         let bucket = ((density * 8.0) as usize).min(7);
         self.report.density_histogram[bucket] += 1;
         for (i, kind) in EventKind::LONGEST_FIRST.iter().enumerate() {
-            let key = kind.key_parts(open.trigger_pc, open.trigger_block, open.trigger_offset as u64);
+            let key = kind.key_parts(
+                open.trigger_pc,
+                open.trigger_block,
+                open.trigger_offset as u64,
+            );
             let profile = &mut self.report.events[i];
             profile.lookups += 1;
             if let Some(prev) = self.last_footprint[i].get(&key) {
@@ -273,7 +277,10 @@ mod tests {
             }
             for filler in 0..3u64 {
                 // Unique filler PCs so the fillers never match each other.
-                p.observe_parts(0x9000 + region * 100 + filler * 4, (50 + region * 10 + filler) * 32);
+                p.observe_parts(
+                    0x9000 + region * 100 + filler * 4,
+                    (50 + region * 10 + filler) * 32,
+                );
             }
         }
         let r = p.finish();

@@ -62,6 +62,15 @@ impl BingoConfig {
             ..Self::paper()
         }
     }
+
+    /// Metadata storage in bits of a prefetcher built from this
+    /// configuration, computed without allocating any tables. Always equal
+    /// to [`Prefetcher::storage_bits`] of the built instance.
+    pub fn storage_bits(&self) -> u64 {
+        let region_blocks = self.region.blocks_per_region() as u32;
+        UnifiedHistoryTable::storage_bits_for(self.history_entries, region_blocks)
+            + AccumulationTable::storage_bits_for(self.accumulation_entries, region_blocks)
+    }
 }
 
 impl Default for BingoConfig {
@@ -78,10 +87,16 @@ pub struct BingoStats {
     /// Lookups satisfied by the long event (`PC+Address`).
     pub long_hits: u64,
     /// Lookups satisfied by the short event (`PC+Offset`) after a long
-    /// miss.
+    /// miss, where footprint voting produced at least one prefetchable
+    /// block.
     pub short_hits: u64,
     /// Lookups with no match (no prefetch issued).
     pub no_match: u64,
+    /// Short-event lookups whose vote vetoed every block except the
+    /// trigger (no prefetch issued). Possible whenever `vote_threshold`
+    /// demands more agreement than the matching footprints have; not a
+    /// match for [`BingoStats::match_probability`] purposes.
+    pub empty_votes: u64,
     /// Residencies transferred into the history table.
     pub trainings: u64,
 }
@@ -156,8 +171,17 @@ impl Bingo {
                 self.stats.no_match += 1;
                 None
             } else {
-                self.stats.short_hits += 1;
-                Some(Footprint::vote(&matches, self.cfg.vote_threshold))
+                let fp = Footprint::vote(&matches, self.cfg.vote_threshold);
+                // A strict threshold can veto every block (or leave only
+                // the trigger, which is never re-prefetched): that lookup
+                // issued nothing and must not count as a hit.
+                if fp.iter().any(|offset| offset != info.offset) {
+                    self.stats.short_hits += 1;
+                    Some(fp)
+                } else {
+                    self.stats.empty_votes += 1;
+                    None
+                }
             };
             self.short_matches = matches;
             match result {
@@ -204,11 +228,12 @@ impl Prefetcher for Bingo {
 
     fn debug_stats(&self) -> String {
         format!(
-            "lookups={} long={} short={} none={} trainings={} valid={}",
+            "lookups={} long={} short={} none={} empty_votes={} trainings={} valid={}",
             self.stats.lookups,
             self.stats.long_hits,
             self.stats.short_hits,
             self.stats.no_match,
+            self.stats.empty_votes,
             self.stats.trainings,
             self.history.valid_entries()
         )
@@ -219,7 +244,11 @@ impl Prefetcher for Bingo {
             ("lookups", self.stats.lookups as f64),
             ("long_hits", self.stats.long_hits as f64),
             ("short_hits", self.stats.short_hits as f64),
-            ("matches", (self.stats.long_hits + self.stats.short_hits) as f64),
+            ("empty_votes", self.stats.empty_votes as f64),
+            (
+                "matches",
+                (self.stats.long_hits + self.stats.short_hits) as f64,
+            ),
             ("trainings", self.stats.trainings as f64),
         ]
     }
@@ -345,6 +374,54 @@ mod tests {
         // them... need ceil(0.9*3)=3 votes. Only offset 3 (the trigger, not
         // re-prefetched) qualifies.
         assert!(blocks.is_empty(), "got {blocks:?}");
+    }
+
+    #[test]
+    fn empty_vote_is_not_counted_as_a_short_hit() {
+        let mut b = Bingo::new(BingoConfig {
+            history_entries: 256,
+            history_ways: 4,
+            accumulation_entries: 8,
+            vote_threshold: 0.9,
+            ..BingoConfig::paper()
+        });
+        // Two footprints sharing PC+Offset (offset 3) but agreeing only on
+        // the trigger block itself.
+        visit(&mut b, 0x400, 10, &[3, 7]);
+        visit(&mut b, 0x400, 11, &[3, 9]);
+        let before = b.stats;
+        // New region: the short lookup matches both entries, but at a 90 %
+        // threshold with 2 matches every block needs 2 votes — only the
+        // trigger offset 3 qualifies, so zero prefetches are issued.
+        let p = visit(&mut b, 0x400, 99, &[3]);
+        assert!(p.is_empty(), "no prefetch can be issued, got {p:?}");
+        assert_eq!(
+            b.stats.short_hits, before.short_hits,
+            "a vetoed vote must not count as a short hit"
+        );
+        assert_eq!(b.stats.empty_votes, before.empty_votes + 1);
+        assert_eq!(b.stats.lookups, before.lookups + 1);
+        assert!(
+            b.stats.match_probability() <= before.match_probability(),
+            "an issue-nothing lookup must not raise the match probability"
+        );
+    }
+
+    #[test]
+    fn config_storage_matches_built_prefetcher() {
+        for cfg in [
+            BingoConfig::paper(),
+            BingoConfig::with_history_entries(4096),
+            BingoConfig {
+                history_entries: 256,
+                history_ways: 4,
+                accumulation_entries: 8,
+                ..BingoConfig::paper()
+            },
+        ] {
+            let built = Bingo::new(cfg);
+            assert_eq!(cfg.storage_bits(), built.storage_bits());
+        }
     }
 
     #[test]

@@ -60,7 +60,11 @@ impl Footprint {
     ///
     /// Panics in debug builds if `offset >= len`.
     pub fn set(&mut self, offset: u32) {
-        debug_assert!(offset < self.len, "offset {offset} >= region length {}", self.len);
+        debug_assert!(
+            offset < self.len,
+            "offset {offset} >= region length {}",
+            self.len
+        );
         self.bits |= 1u64 << offset;
     }
 

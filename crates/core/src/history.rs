@@ -176,9 +176,15 @@ impl UnifiedHistoryTable {
     /// bits (modeled at 16 PC bits + 6 offset bits + 1 valid), and 4
     /// replacement bits.
     pub fn storage_bits(&self) -> u64 {
+        Self::storage_bits_for(self.entries(), self.region_blocks)
+    }
+
+    /// [`UnifiedHistoryTable::storage_bits`] computed from the geometry
+    /// alone, without allocating the table.
+    pub fn storage_bits_for(entries: usize, region_blocks: u32) -> u64 {
         let tag_bits = 16 + 6 + 1;
-        let per_entry = self.region_blocks as u64 + tag_bits + 4;
-        self.entries() as u64 * per_entry
+        let per_entry = region_blocks as u64 + tag_bits + 4;
+        entries as u64 * per_entry
     }
 }
 
@@ -253,7 +259,7 @@ mod tests {
     #[test]
     fn lru_eviction_within_set() {
         let mut t = UnifiedHistoryTable::new(8, 2, 32); // 4 sets x 2 ways
-        // Force all into the set selected by short key 0 (set 0): keys 0, 4, 8.
+                                                        // Force all into the set selected by short key 0 (set 0): keys 0, 4, 8.
         t.insert(1, 0, fp(1));
         t.insert(2, 4, fp(2));
         let _ = t.lookup_long(1, 0); // make long=1 most recent

@@ -86,16 +86,13 @@ impl EventTable {
             e.last_touch = stamp;
             return;
         }
-        let slot = set
-            .iter()
-            .position(|e| !e.valid)
-            .unwrap_or_else(|| {
-                set.iter()
-                    .enumerate()
-                    .min_by_key(|(_, e)| e.last_touch)
-                    .map(|(i, _)| i)
-                    .expect("sets are non-empty")
-            });
+        let slot = set.iter().position(|e| !e.valid).unwrap_or_else(|| {
+            set.iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_touch)
+                .map(|(i, _)| i)
+                .expect("sets are non-empty")
+        });
         set[slot] = Entry {
             valid: true,
             tag: key,
@@ -124,7 +121,13 @@ impl EventTable {
     /// Storage in bits: footprint + 23-bit tag + valid + 4 LRU bits per
     /// entry (same accounting as the unified table).
     pub fn storage_bits(&self) -> u64 {
-        self.entries() as u64 * (self.region_blocks as u64 + 23 + 4)
+        Self::storage_bits_for(self.entries(), self.region_blocks)
+    }
+
+    /// [`EventTable::storage_bits`] computed from the geometry alone,
+    /// without allocating the table.
+    pub fn storage_bits_for(entries: usize, region_blocks: u32) -> u64 {
+        entries as u64 * (region_blocks as u64 + 23 + 4)
     }
 }
 
@@ -178,6 +181,16 @@ impl MultiEventConfig {
     pub fn first_n(n: usize) -> Self {
         assert!((1..=5).contains(&n), "n must be 1..=5");
         Self::with_events(EventKind::LONGEST_FIRST[..n].to_vec())
+    }
+
+    /// Metadata storage in bits of a prefetcher built from this
+    /// configuration, computed without allocating any tables. Always equal
+    /// to [`Prefetcher::storage_bits`] of the built instance.
+    pub fn storage_bits(&self) -> u64 {
+        let region_blocks = self.region.blocks_per_region() as u32;
+        self.events.len() as u64
+            * EventTable::storage_bits_for(self.entries_per_table, region_blocks)
+            + AccumulationTable::storage_bits_for(self.accumulation_entries, region_blocks)
     }
 }
 
@@ -336,7 +349,10 @@ impl Prefetcher for MultiEventPrefetcher {
     }
 
     fn storage_bits(&self) -> u64 {
-        self.tables.iter().map(EventTable::storage_bits).sum::<u64>()
+        self.tables
+            .iter()
+            .map(EventTable::storage_bits)
+            .sum::<u64>()
             + self.accumulation.storage_bits()
     }
 
@@ -382,7 +398,12 @@ mod tests {
         })
     }
 
-    fn visit(p: &mut MultiEventPrefetcher, pc: u64, region: u64, offsets: &[u32]) -> Vec<BlockAddr> {
+    fn visit(
+        p: &mut MultiEventPrefetcher,
+        pc: u64,
+        region: u64,
+        offsets: &[u32],
+    ) -> Vec<BlockAddr> {
         let mut out = Vec::new();
         let mut first = Vec::new();
         for (i, &off) in offsets.iter().enumerate() {
@@ -496,6 +517,23 @@ mod tests {
         let one = small(vec![EventKind::PcOffset]).storage_bits();
         let two = small(vec![EventKind::PcAddress, EventKind::PcOffset]).storage_bits();
         assert!(two > one, "two tables must cost more than one");
+    }
+
+    #[test]
+    fn config_storage_matches_built_prefetcher() {
+        for cfg in [
+            MultiEventConfig::single(EventKind::PcOffset),
+            MultiEventConfig::first_n(3),
+            MultiEventConfig {
+                entries_per_table: 256,
+                ways: 4,
+                accumulation_entries: 8,
+                ..MultiEventConfig::first_n(2)
+            },
+        ] {
+            let built = MultiEventPrefetcher::new(cfg.clone());
+            assert_eq!(cfg.storage_bits(), built.storage_bits());
+        }
     }
 
     #[test]

@@ -215,9 +215,7 @@ impl Cache {
             return true;
         }
         let set = self.set_index(block);
-        self.sets[set]
-            .iter()
-            .any(|l| l.valid && l.block == block)
+        self.sets[set].iter().any(|l| l.valid && l.block == block)
     }
 
     /// Number of in-flight fills (MSHR occupancy).
@@ -244,7 +242,10 @@ impl Cache {
     ///
     /// Panics in debug builds if the block is already pending or resident.
     pub fn allocate_fill(&mut self, block: BlockAddr, ready: u64, prefetch: bool) {
-        debug_assert!(!self.probe(block), "allocate_fill for resident/pending {block:?}");
+        debug_assert!(
+            !self.probe(block),
+            "allocate_fill for resident/pending {block:?}"
+        );
         self.pending.insert(
             block.index(),
             PendingFill {

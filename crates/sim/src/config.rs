@@ -265,7 +265,9 @@ mod tests {
 
     #[test]
     fn paper_config_validates() {
-        SystemConfig::paper().validate().expect("paper config valid");
+        SystemConfig::paper()
+            .validate()
+            .expect("paper config valid");
         SystemConfig::tiny().validate().expect("tiny config valid");
         SystemConfig::paper_single_core()
             .validate()
@@ -294,7 +296,10 @@ mod tests {
     fn paper_dram_zero_load_latency_close_to_60ns() {
         let cfg = SystemConfig::paper();
         let ns = cfg.dram_zero_load_ns();
-        assert!((ns - 60.0).abs() < 2.0, "zero-load {ns:.1} ns should be ~60 ns");
+        assert!(
+            (ns - 60.0).abs() < 2.0,
+            "zero-load {ns:.1} ns should be ~60 ns"
+        );
     }
 
     #[test]

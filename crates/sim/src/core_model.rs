@@ -350,7 +350,10 @@ mod tests {
         // instructions. A policy where stores blocked the ROB head would
         // serialize to one store per ~260 cycles (~0.03 IPC).
         let ipc = core.stats.ipc();
-        assert!(ipc > 0.15, "store-heavy IPC {ipc} should not fully serialize");
+        assert!(
+            ipc > 0.15,
+            "store-heavy IPC {ipc} should not fully serialize"
+        );
         assert_eq!(core.stats.stores, 1000 / 8);
     }
 

@@ -195,7 +195,14 @@ impl MemorySystem {
         self.access(core, pc, addr, now, true)
     }
 
-    fn access(&mut self, core: CoreId, pc: Pc, addr: Addr, now: u64, is_write: bool) -> IssueResult {
+    fn access(
+        &mut self,
+        core: CoreId,
+        pc: Pc,
+        addr: Addr,
+        now: u64,
+        is_write: bool,
+    ) -> IssueResult {
         let block = addr.block();
         let l1 = &mut self.l1s[core.0];
         match l1.demand_access(block, now, is_write) {

@@ -103,7 +103,11 @@ impl CoreStats {
 }
 
 /// The complete outcome of one simulation run.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` compares every counter and debug string — used by the
+/// bench crate's serial-vs-parallel determinism test to assert bit-for-bit
+/// identical results.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SimResult {
     /// Per-core statistics, indexed by core id.
     pub cores: Vec<CoreStats>,

@@ -103,7 +103,8 @@ impl System {
             let mut all_done = true;
             for i in 0..self.cores.len() {
                 if !self.cores[i].is_done() {
-                    let done = self.cores[i].step(self.now, &mut self.mem, self.sources[i].as_mut());
+                    let done =
+                        self.cores[i].step(self.now, &mut self.mem, self.sources[i].as_mut());
                     all_done &= done;
                 }
             }
@@ -226,7 +227,10 @@ mod tests {
         };
         let a = run();
         let b = run();
-        assert_eq!(a.total_cycles, b.total_cycles, "simulation must be deterministic");
+        assert_eq!(
+            a.total_cycles, b.total_cycles,
+            "simulation must be deterministic"
+        );
         assert_eq!(a.llc.demand_misses, b.llc.demand_misses);
         assert_eq!(a.cores[0].cycles, b.cores[0].cycles);
         assert_eq!(a.cores[1].instructions, 10_000);

@@ -74,7 +74,10 @@ fn prefetcher_sees_evictions_from_fills() {
         }
     }
 
-    let mut mem = MemorySystem::new(SystemConfig::tiny(), vec![Box::new(EvictionCounter::default())]);
+    let mut mem = MemorySystem::new(
+        SystemConfig::tiny(),
+        vec![Box::new(EvictionCounter::default())],
+    );
     let mut now = 0;
     // 9 conflicting LLC lines (8-way set) -> at least one eviction.
     for i in 0..9u64 {
@@ -130,7 +133,7 @@ fn warmup_resets_statistics_but_keeps_contents() {
 #[test]
 fn banked_llc_serializes_same_bank_not_cross_bank() {
     let mut mem = tiny_mem(); // tiny LLC: 2 banks
-    // Warm two blocks in different banks and two in the same bank.
+                              // Warm two blocks in different banks and two in the same bank.
     let mut now = 0;
     for b in [0u64, 1, 2] {
         if let IssueResult::Done(done) = mem.load(CORE, PC, Addr::new(b * 64), now) {

@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 
-use bingo_sim::{
-    Addr, BlockAddr, Cache, CacheConfig, Dram, DramConfig, Lookup, RegionGeometry,
-};
+use bingo_sim::{Addr, BlockAddr, Cache, CacheConfig, Dram, DramConfig, Lookup, RegionGeometry};
 
 fn small_cache_config() -> CacheConfig {
     CacheConfig {

@@ -126,8 +126,7 @@ impl Workload {
                     Workload::Mix4 => spec(MIX4[core % 4]),
                     Workload::Mix5 => spec(MIX5[core % 4]),
                 };
-                Box::new(WorkloadSource::new(kernels, core_seed, base_addr))
-                    as Box<dyn InstrSource>
+                Box::new(WorkloadSource::new(kernels, core_seed, base_addr)) as Box<dyn InstrSource>
             })
             .collect()
     }
@@ -718,9 +717,7 @@ mod tests {
             let mut addrs = Vec::new();
             for _ in 0..20_000 {
                 match src.next_instr() {
-                    Instr::Load { addr, .. } | Instr::Store { addr, .. } => {
-                        addrs.push(addr.raw())
-                    }
+                    Instr::Load { addr, .. } | Instr::Store { addr, .. } => addrs.push(addr.raw()),
                     Instr::Op => {}
                 }
             }

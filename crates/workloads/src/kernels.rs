@@ -107,7 +107,6 @@ struct ActiveVisit {
 /// prefetchers' default region.
 pub const REGION_BLOCKS: u32 = 32;
 
-
 /// Offsets a kernel's address space within its core's region so that
 /// co-scheduled kernels (and same-shaped kernels with different PCs) never
 /// alias each other's data structures. The 8 bits taken from the PC base
@@ -312,7 +311,11 @@ impl StreamKernel {
                 } else {
                     None
                 };
-                out.push_back(Instr::Load { pc, addr, dep: chain });
+                out.push_back(Instr::Load {
+                    pc,
+                    addr,
+                    dep: chain,
+                });
             }
         }
         self.cursor = (self.cursor + self.chunk_blocks * self.stride_blocks) % self.wrap_blocks;
@@ -595,7 +598,10 @@ mod tests {
         let a = k.pattern(2, 10);
         let b = k.pattern(2, 20);
         let differing = (a ^ b).count_ones();
-        assert!(differing <= 6, "only {differing} bits may differ at 5% variation");
+        assert!(
+            differing <= 6,
+            "only {differing} bits may differ at 5% variation"
+        );
     }
 
     #[test]
@@ -689,10 +695,7 @@ mod tests {
         let mut r = rng();
         k.emit(0, &mut r, &mut out);
         let total = out.len();
-        let mems = out
-            .iter()
-            .filter(|i| !matches!(i, Instr::Op))
-            .count();
+        let mems = out.iter().filter(|i| !matches!(i, Instr::Op)).count();
         assert_eq!(total, 100);
         assert_eq!(mems, 10, "1 memory access per 9 ops");
     }

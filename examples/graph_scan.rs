@@ -31,7 +31,9 @@ fn run(make: impl Fn() -> Box<dyn Prefetcher>) -> SimResult {
 
 fn main() {
     println!("workload: em3d — {}", Workload::Em3d.description());
-    println!("system: 4-core Table I configuration, 400K warmup + 400K measured instructions/core\n");
+    println!(
+        "system: 4-core Table I configuration, 400K warmup + 400K measured instructions/core\n"
+    );
 
     let baseline = run(|| Box::new(NoPrefetcher));
     println!(
@@ -49,11 +51,17 @@ fn main() {
     let contenders: Vec<(&str, MakePrefetcher)> = vec![
         ("BOP", Box::new(|| Box::new(Bop::new(BopConfig::paper())))),
         ("SMS", Box::new(|| Box::new(Sms::default()))),
-        ("Bingo", Box::new(|| Box::new(Bingo::new(BingoConfig::paper())))),
+        (
+            "Bingo",
+            Box::new(|| Box::new(Bingo::new(BingoConfig::paper()))),
+        ),
     ];
     for (name, make) in contenders {
         let r = run(make.as_ref());
-        let cov = (baseline.llc.demand_misses.saturating_sub(r.llc.demand_misses)) as f64
+        let cov = (baseline
+            .llc
+            .demand_misses
+            .saturating_sub(r.llc.demand_misses)) as f64
             / baseline.llc.demand_misses as f64;
         println!(
             "{:>8}  {:>6.3}  {:>10}  {:>7.2}x  {:>7.1}%",

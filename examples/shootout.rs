@@ -7,13 +7,10 @@
 //! ```
 //!
 //! `workload` is one of: data-serving, sat-solver, streaming, zeus, em3d,
-//! mix1..mix5 (default: data-serving).
+//! mix1..mix5 (default: data-serving). The six cells run in parallel; set
+//! `BINGO_JOBS` to bound the worker count.
 
-use bingo_repro::baselines::{
-    Ampm, AmpmConfig, Bop, BopConfig, Sms, Spp, SppConfig, Vldp, VldpConfig,
-};
-use bingo_repro::prefetcher::{Bingo, BingoConfig};
-use bingo_repro::sim::{CoverageReport, NoPrefetcher, Prefetcher, SimResult, System, SystemConfig};
+use bingo_repro::bench::{ParallelHarness, PrefetcherKind, RunScale};
 use bingo_repro::workloads::Workload;
 
 fn parse_workload(name: &str) -> Option<Workload> {
@@ -32,13 +29,6 @@ fn parse_workload(name: &str) -> Option<Workload> {
     })
 }
 
-fn run(workload: Workload, make: &dyn Fn() -> Box<dyn Prefetcher>) -> SimResult {
-    let cfg = SystemConfig::paper();
-    System::with_prefetchers(cfg, workload.sources(cfg.cores, 42), |_| make(), 400_000)
-        .with_warmup(600_000)
-        .run()
-}
-
 fn main() {
     let workload = std::env::args()
         .nth(1)
@@ -46,7 +36,15 @@ fn main() {
         .unwrap_or(Workload::DataServing);
     println!("workload: {workload} — {}\n", workload.description());
 
-    let baseline = run(workload, &|| Box::new(NoPrefetcher));
+    let scale = RunScale {
+        instructions_per_core: 400_000,
+        warmup_per_core: 600_000,
+        seed: 42,
+    };
+    let mut harness = ParallelHarness::new(scale).quiet();
+    let evals = harness.evaluate_all(&[workload], &PrefetcherKind::HEADLINE);
+
+    let baseline = &evals[0].baseline;
     println!(
         "baseline: IPC {:.3}, {} LLC misses (MPKI {:.1})\n",
         baseline.aggregate_ipc(),
@@ -57,25 +55,14 @@ fn main() {
         "{:>6}  {:>9}  {:>9}  {:>9}  {:>8}",
         "", "coverage", "overpred", "accuracy", "speedup"
     );
-    type MakePrefetcher = Box<dyn Fn() -> Box<dyn Prefetcher>>;
-    let contenders: Vec<(&str, MakePrefetcher)> = vec![
-        ("BOP", Box::new(|| Box::new(Bop::new(BopConfig::paper())))),
-        ("SPP", Box::new(|| Box::new(Spp::new(SppConfig::paper())))),
-        ("VLDP", Box::new(|| Box::new(Vldp::new(VldpConfig::paper())))),
-        ("AMPM", Box::new(|| Box::new(Ampm::new(AmpmConfig::paper())))),
-        ("SMS", Box::new(|| Box::new(Sms::default()))),
-        ("Bingo", Box::new(|| Box::new(Bingo::new(BingoConfig::paper())))),
-    ];
-    for (name, make) in &contenders {
-        let r = run(workload, make.as_ref());
-        let c = CoverageReport::from_runs(&r, &baseline);
+    for e in &evals {
         println!(
             "{:>6}  {:>8.1}%  {:>8.1}%  {:>8.1}%  {:>7.1}%",
-            name,
-            c.coverage * 100.0,
-            c.overprediction * 100.0,
-            c.accuracy * 100.0,
-            (r.speedup_over(&baseline) - 1.0) * 100.0
+            e.kind.name(),
+            e.coverage.coverage * 100.0,
+            e.coverage.overprediction * 100.0,
+            e.coverage.accuracy * 100.0,
+            (e.speedup - 1.0) * 100.0
         );
     }
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full pre-merge check: build, tests, formatting, lints.
+# Usage: scripts/check.sh  (run from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> all checks passed"

@@ -3,9 +3,7 @@
 
 use bingo_repro::baselines::{Bop, BopConfig, Sms, Vldp, VldpConfig};
 use bingo_repro::prefetcher::{Bingo, BingoConfig};
-use bingo_repro::sim::{
-    CoverageReport, NoPrefetcher, Prefetcher, SimResult, System, SystemConfig,
-};
+use bingo_repro::sim::{CoverageReport, NoPrefetcher, Prefetcher, SimResult, System, SystemConfig};
 use bingo_repro::workloads::Workload;
 
 const INSTRUCTIONS: u64 = 120_000;
@@ -33,8 +31,16 @@ fn every_workload_runs_to_completion_without_prefetcher() {
             assert!(c.cycles > 0, "{w} core {i}");
         }
         assert!(r.llc.demand_misses > 0, "{w} must produce LLC misses");
-        assert!(r.llc_mpki() > 0.3, "{w} MPKI {:.2} unreasonably low", r.llc_mpki());
-        assert!(r.llc_mpki() < 60.0, "{w} MPKI {:.2} unreasonably high", r.llc_mpki());
+        assert!(
+            r.llc_mpki() > 0.3,
+            "{w} MPKI {:.2} unreasonably low",
+            r.llc_mpki()
+        );
+        assert!(
+            r.llc_mpki() < 60.0,
+            "{w} MPKI {:.2} unreasonably high",
+            r.llc_mpki()
+        );
     }
 }
 
@@ -59,7 +65,9 @@ fn bingo_reduces_misses_on_spatially_regular_workloads() {
 #[test]
 fn bingo_beats_bop_on_the_graph_workload() {
     let base = run(Workload::Em3d, &|| Box::new(NoPrefetcher));
-    let bingo = run(Workload::Em3d, &|| Box::new(Bingo::new(BingoConfig::paper())));
+    let bingo = run(Workload::Em3d, &|| {
+        Box::new(Bingo::new(BingoConfig::paper()))
+    });
     let bop = run(Workload::Em3d, &|| Box::new(Bop::new(BopConfig::paper())));
     let s_bingo = bingo.speedup_over(&base);
     let s_bop = bop.speedup_over(&base);
@@ -109,8 +117,12 @@ fn zeus_gains_are_small_for_every_prefetcher() {
 fn warmup_determinism_and_reset() {
     // Two identical runs must agree exactly, and warmup must not leak into
     // measured instruction counts.
-    let a = run(Workload::Mix1, &|| Box::new(Bingo::new(BingoConfig::paper())));
-    let b = run(Workload::Mix1, &|| Box::new(Bingo::new(BingoConfig::paper())));
+    let a = run(Workload::Mix1, &|| {
+        Box::new(Bingo::new(BingoConfig::paper()))
+    });
+    let b = run(Workload::Mix1, &|| {
+        Box::new(Bingo::new(BingoConfig::paper()))
+    });
     assert_eq!(a.total_cycles, b.total_cycles);
     assert_eq!(a.llc.demand_misses, b.llc.demand_misses);
     assert_eq!(a.llc.pf_issued, b.llc.pf_issued);
@@ -121,9 +133,15 @@ fn warmup_determinism_and_reset() {
 fn prefetcher_storage_accounting_is_sane() {
     let bingo = Bingo::new(BingoConfig::paper());
     let kb = bingo.storage_bits() as f64 / 8.0 / 1024.0;
-    assert!((110.0..130.0).contains(&kb), "Bingo storage {kb:.1} KB (paper: 119)");
+    assert!(
+        (110.0..130.0).contains(&kb),
+        "Bingo storage {kb:.1} KB (paper: 119)"
+    );
     let bop = Bop::new(BopConfig::paper());
-    assert!(bop.storage_bits() < bingo.storage_bits() / 50, "BOP is tiny");
+    assert!(
+        bop.storage_bits() < bingo.storage_bits() / 50,
+        "BOP is tiny"
+    );
 }
 
 #[test]

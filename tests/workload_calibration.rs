@@ -38,7 +38,10 @@ fn table2_mpki_bands() {
 fn em3d_is_the_most_memory_intensive() {
     let em3d = baseline_mpki(Workload::Em3d);
     for w in [Workload::DataServing, Workload::SatSolver, Workload::Zeus] {
-        assert!(em3d > 2.0 * baseline_mpki(w), "{w} should be far below em3d");
+        assert!(
+            em3d > 2.0 * baseline_mpki(w),
+            "{w} should be far below em3d"
+        );
     }
 }
 
