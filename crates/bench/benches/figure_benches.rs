@@ -1,8 +1,12 @@
-//! Criterion end-to-end benches: one small-scale simulation per paper
-//! figure family, so `cargo bench` exercises every experiment path and
-//! tracks simulator-throughput regressions.
+//! End-to-end benches: one small-scale simulation per paper figure family,
+//! so `cargo bench` exercises every experiment path and tracks
+//! simulator-throughput regressions.
+//!
+//! The hermetic build has no criterion, so this is a plain `harness = false`
+//! binary printing wall-clock seconds per simulation case.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
 use bingo::EventKind;
 use bingo_bench::{run_one, PrefetcherKind, RunScale};
@@ -16,30 +20,38 @@ fn tiny_scale() -> RunScale {
     }
 }
 
-fn bench_simulation_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulation");
-    group.sample_size(10);
-    group.bench_function("baseline_em3d", |b| {
-        b.iter(|| black_box(run_one(Workload::Em3d, PrefetcherKind::None, tiny_scale())))
-    });
-    group.bench_function("bingo_em3d", |b| {
-        b.iter(|| black_box(run_one(Workload::Em3d, PrefetcherKind::Bingo, tiny_scale())))
-    });
-    group.bench_function("bingo_data_serving", |b| {
-        b.iter(|| {
-            black_box(run_one(
-                Workload::DataServing,
-                PrefetcherKind::Bingo,
-                tiny_scale(),
-            ))
-        })
-    });
-    group.finish();
+fn report(group: &str, name: &str, samples: u32, f: impl Fn()) {
+    f(); // warmup
+    let start = Instant::now();
+    for _ in 0..samples {
+        f();
+    }
+    let per_run = start.elapsed().as_secs_f64() / f64::from(samples);
+    println!(
+        "{group}/{name}: {:.1} ms/run ({samples} samples)",
+        per_run * 1e3
+    );
 }
 
-fn bench_figure_paths(c: &mut Criterion) {
-    // One representative (workload, prefetcher) per figure family, at a
-    // scale small enough for Criterion's repeated sampling.
+fn bench_simulation_throughput() {
+    report("simulation", "baseline_em3d", 3, || {
+        black_box(run_one(Workload::Em3d, PrefetcherKind::None, tiny_scale()));
+    });
+    report("simulation", "bingo_em3d", 3, || {
+        black_box(run_one(Workload::Em3d, PrefetcherKind::Bingo, tiny_scale()));
+    });
+    report("simulation", "bingo_data_serving", 3, || {
+        black_box(run_one(
+            Workload::DataServing,
+            PrefetcherKind::Bingo,
+            tiny_scale(),
+        ));
+    });
+}
+
+fn bench_figure_paths() {
+    // One representative (workload, prefetcher) per figure family, small
+    // enough to repeat a few times per case.
     let cases: [(&str, Workload, PrefetcherKind); 6] = [
         (
             "fig2_single_event",
@@ -64,15 +76,14 @@ fn bench_figure_paths(c: &mut Criterion) {
             PrefetcherKind::SppAggressive,
         ),
     ];
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
     for (name, w, k) in cases {
-        group.bench_function(name, move |b| {
-            b.iter(|| black_box(run_one(w, k, tiny_scale())))
+        report("figures", name, 3, move || {
+            black_box(run_one(w, k, tiny_scale()));
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_simulation_throughput, bench_figure_paths);
-criterion_main!(benches);
+fn main() {
+    bench_simulation_throughput();
+    bench_figure_paths();
+}

@@ -1,8 +1,14 @@
-//! Criterion microbenchmarks of the prefetcher data structures: per-access
-//! costs of Bingo's tables versus the baselines, and the unified history
-//! table's three operations (the storage-consolidation contribution).
+//! Microbenchmarks of the prefetcher data structures: per-access costs of
+//! Bingo's tables versus the baselines, and the unified history table's
+//! three operations (the storage-consolidation contribution).
+//!
+//! The hermetic build has no criterion, so this is a plain `harness = false`
+//! binary: each case runs a fixed-iteration timed loop and prints
+//! nanoseconds per operation. Numbers are indicative, not statistically
+//! filtered — good enough to spot order-of-magnitude regressions.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
 use bingo::multi_event::{MultiEventConfig, MultiEventPrefetcher};
 use bingo::{Bingo, BingoConfig, Footprint, UnifiedHistoryTable};
@@ -49,79 +55,91 @@ fn drive(p: &mut dyn Prefetcher, accesses: u64) -> usize {
     issued
 }
 
-fn bench_prefetcher_access(c: &mut Criterion) {
-    let mut group = c.benchmark_group("prefetcher_access");
-    group.bench_function("bingo", |b| {
-        let mut p = Bingo::new(BingoConfig::paper());
-        b.iter(|| drive(black_box(&mut p), 2_000))
-    });
-    group.bench_function("bingo_naive_two_table", |b| {
-        let mut p = MultiEventPrefetcher::new(MultiEventConfig::first_n(2));
-        b.iter(|| drive(black_box(&mut p), 2_000))
-    });
-    group.bench_function("sms", |b| {
-        let mut p = Sms::default();
-        b.iter(|| drive(black_box(&mut p), 2_000))
-    });
-    group.bench_function("ampm", |b| {
-        let mut p = Ampm::new(AmpmConfig::paper());
-        b.iter(|| drive(black_box(&mut p), 2_000))
-    });
-    group.bench_function("vldp", |b| {
-        let mut p = Vldp::new(VldpConfig::paper());
-        b.iter(|| drive(black_box(&mut p), 2_000))
-    });
-    group.bench_function("spp", |b| {
-        let mut p = Spp::new(SppConfig::paper());
-        b.iter(|| drive(black_box(&mut p), 2_000))
-    });
-    group.bench_function("bop", |b| {
-        let mut p = Bop::new(BopConfig::paper());
-        b.iter(|| drive(black_box(&mut p), 2_000))
-    });
-    group.finish();
+/// Times `iters` runs of `f` and prints ns per inner operation.
+fn report(group: &str, name: &str, iters: u64, ops_per_iter: u64, mut f: impl FnMut()) {
+    // One warmup pass, then the timed passes.
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed();
+    let ns_per_op = elapsed.as_nanos() as f64 / (iters * ops_per_iter) as f64;
+    println!("{group}/{name}: {ns_per_op:.1} ns/op ({iters} iters)");
 }
 
-fn bench_history_table(c: &mut Criterion) {
-    let mut group = c.benchmark_group("unified_history_table");
-    group.bench_function("insert", |b| {
-        let mut t = UnifiedHistoryTable::new(16 * 1024, 16, 32);
-        let mut i = 0u64;
-        b.iter(|| {
+fn bench_prefetcher_access() {
+    const ACCESSES: u64 = 2_000;
+    const ITERS: u64 = 50;
+    let cases: Vec<(&str, Box<dyn Prefetcher>)> = vec![
+        ("bingo", Box::new(Bingo::new(BingoConfig::paper()))),
+        (
+            "bingo_naive_two_table",
+            Box::new(MultiEventPrefetcher::new(MultiEventConfig::first_n(2))),
+        ),
+        ("sms", Box::<Sms>::default()),
+        ("ampm", Box::new(Ampm::new(AmpmConfig::paper()))),
+        ("vldp", Box::new(Vldp::new(VldpConfig::paper()))),
+        ("spp", Box::new(Spp::new(SppConfig::paper()))),
+        ("bop", Box::new(Bop::new(BopConfig::paper()))),
+    ];
+    for (name, mut p) in cases {
+        report("prefetcher_access", name, ITERS, ACCESSES, || {
+            black_box(drive(p.as_mut(), ACCESSES));
+        });
+    }
+}
+
+fn bench_history_table() {
+    const OPS: u64 = 100_000;
+
+    let mut t = UnifiedHistoryTable::new(16 * 1024, 16, 32);
+    let mut i = 0u64;
+    report("unified_history_table", "insert", 10, OPS, || {
+        for _ in 0..OPS {
             i += 1;
             t.insert(
                 black_box(i),
                 black_box(i % 512),
                 Footprint::from_bits(i & 0xffff_ffff, 32),
             );
-        })
-    });
-    group.bench_function("lookup_long", |b| {
-        let mut t = UnifiedHistoryTable::new(16 * 1024, 16, 32);
-        for i in 0..16_384u64 {
-            t.insert(i, i % 1024, Footprint::from_bits(i & 0xffff_ffff, 32));
         }
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            black_box(t.lookup_long(black_box(i % 16_384), black_box(i % 1024)))
-        })
     });
-    group.bench_function("lookup_short_vote", |b| {
-        let mut t = UnifiedHistoryTable::new(16 * 1024, 16, 32);
-        for i in 0..16_384u64 {
-            t.insert(i, i % 64, Footprint::from_bits(i & 0xffff_ffff, 32));
+
+    let mut t = UnifiedHistoryTable::new(16 * 1024, 16, 32);
+    for i in 0..16_384u64 {
+        t.insert(i, i % 1024, Footprint::from_bits(i & 0xffff_ffff, 32));
+    }
+    let mut i = 0u64;
+    report("unified_history_table", "lookup_long", 10, OPS, || {
+        for _ in 0..OPS {
+            i += 1;
+            black_box(t.lookup_long(black_box(i % 16_384), black_box(i % 1024)));
         }
-        let mut matches = Vec::with_capacity(16);
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            t.lookup_short(black_box(i % 64), &mut matches);
-            black_box(Footprint::vote(&matches, 0.2))
-        })
     });
-    group.finish();
+
+    let mut t = UnifiedHistoryTable::new(16 * 1024, 16, 32);
+    for i in 0..16_384u64 {
+        t.insert(i, i % 64, Footprint::from_bits(i & 0xffff_ffff, 32));
+    }
+    let mut matches = Vec::with_capacity(16);
+    let mut i = 0u64;
+    report(
+        "unified_history_table",
+        "lookup_short_vote",
+        10,
+        OPS,
+        || {
+            for _ in 0..OPS {
+                i += 1;
+                t.lookup_short(black_box(i % 64), &mut matches);
+                black_box(Footprint::vote(&matches, 0.2));
+            }
+        },
+    );
 }
 
-criterion_group!(benches, bench_prefetcher_access, bench_history_table);
-criterion_main!(benches);
+fn main() {
+    bench_prefetcher_access();
+    bench_history_table();
+}

@@ -30,22 +30,47 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let total = Instant::now();
     let mut timings = Vec::new();
+    let mut failures: Vec<(&str, String)> = Vec::new();
     for bin in BINARIES {
         println!("\n================ {bin} ================\n");
         let start = Instant::now();
-        let status = Command::new(dir.join(bin))
-            .args(&args)
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        assert!(status.success(), "{bin} failed");
+        // One failing figure must not cost the remaining thirteen: record
+        // the failure, keep sweeping, and report everything at the end.
+        let outcome = match Command::new(dir.join(bin)).args(&args).status() {
+            Ok(status) if status.success() => Ok(()),
+            Ok(status) => Err(format!("exited with {status}")),
+            Err(e) => Err(format!("failed to launch: {e}")),
+        };
         let secs = start.elapsed().as_secs_f64();
-        eprintln!("[all] {bin} finished in {secs:.1}s");
+        match outcome {
+            Ok(()) => eprintln!("[all] {bin} finished in {secs:.1}s"),
+            Err(reason) => {
+                eprintln!("[all] {bin} FAILED after {secs:.1}s: {reason}");
+                failures.push((bin, reason));
+            }
+        }
         timings.push((bin, secs));
     }
     let total_secs = total.elapsed().as_secs_f64();
     println!("\n================ timing summary ================\n");
     for (bin, secs) in &timings {
-        println!("{bin:<18} {secs:>8.1}s");
+        let mark = if failures.iter().any(|(f, _)| f == bin) {
+            "  FAILED"
+        } else {
+            ""
+        };
+        println!("{bin:<18} {secs:>8.1}s{mark}");
     }
     println!("{:<18} {:>8.1}s", "total", total_secs);
+    if !failures.is_empty() {
+        eprintln!(
+            "\nFAILURE REPORT: {} of {} binaries failed",
+            failures.len(),
+            BINARIES.len()
+        );
+        for (bin, reason) in &failures {
+            eprintln!("  {bin}: {reason}");
+        }
+        std::process::exit(1);
+    }
 }

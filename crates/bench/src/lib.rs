@@ -23,12 +23,15 @@
 #![warn(missing_debug_implementations)]
 
 pub mod area;
+pub mod checkpoint;
 pub mod runner;
 pub mod table;
 
 pub use area::AreaModel;
+pub use checkpoint::{Checkpoint, CHECKPOINT_ENV};
 pub use runner::{
-    default_jobs, geometric_mean, mean, parallel_map, run_one, Evaluation, Harness,
-    ParallelHarness, PrefetcherKind, RunScale,
+    cell_key, default_jobs, geometric_mean, mean, parallel_map, run_cell, run_one,
+    run_one_with_deadline, CellFailure, CellOutcome, Evaluation, GridReport, Harness,
+    ParallelHarness, PrefetcherKind, RunScale, CELL_TIMEOUT_ENV,
 };
 pub use table::{f2, pct, Table};

@@ -25,9 +25,10 @@
 //! `parallel_matches_serial_bit_for_bit` test below.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 use bingo::{Bingo, BingoConfig, EventKind, MultiEventConfig, MultiEventPrefetcher};
 use bingo_baselines::{
@@ -35,9 +36,12 @@ use bingo_baselines::{
     StridePrefetcher, Vldp, VldpConfig,
 };
 use bingo_sim::{
-    CoverageReport, NextLinePrefetcher, NoPrefetcher, Prefetcher, SimResult, System, SystemConfig,
+    CoverageReport, FaultPlan, FaultyPrefetcher, NextLinePrefetcher, NoPrefetcher, Prefetcher,
+    SimAbort, SimResult, System, SystemConfig,
 };
 use bingo_workloads::Workload;
+
+use crate::checkpoint::{Checkpoint, CHECKPOINT_ENV};
 
 /// Which prefetcher to attach to every core.
 #[derive(Copy, Clone, Debug, PartialEq)]
@@ -75,6 +79,23 @@ pub enum PrefetcherKind {
     Stride,
     /// Next-line prefetcher with the given degree (reference).
     NextLine(usize),
+    /// Bingo with seeded metadata corruption at the given per-event rate
+    /// (fault-injection robustness experiments; see `bingo_sim::FaultPlan`).
+    BingoFaulty {
+        /// Seed of the fault injector's RNG stream (independent of the
+        /// workload seed, so corruption varies while the access stream
+        /// does not).
+        fault_seed: u64,
+        /// Probability applied to every fault class: footprint bit flips,
+        /// history-entry drops, prefetch drops.
+        rate: f64,
+    },
+    /// A prefetcher that deliberately panics after the given number of
+    /// accesses — the test vehicle for panic-isolated sweeps.
+    Faulty {
+        /// Accesses observed before the deliberate panic.
+        panic_after: u64,
+    },
 }
 
 impl PrefetcherKind {
@@ -108,6 +129,10 @@ impl PrefetcherKind {
             PrefetcherKind::MultiEvent(n) => format!("{n}-event"),
             PrefetcherKind::Stride => "Stride".into(),
             PrefetcherKind::NextLine(d) => format!("NextLine-{d}"),
+            PrefetcherKind::BingoFaulty { rate, .. } => {
+                format!("Bingo-fault{:.1}%", rate * 100.0)
+            }
+            PrefetcherKind::Faulty { panic_after } => format!("Faulty@{panic_after}"),
         }
     }
 
@@ -139,6 +164,11 @@ impl PrefetcherKind {
             }
             PrefetcherKind::Stride => Box::new(StridePrefetcher::new(StrideConfig::typical())),
             PrefetcherKind::NextLine(d) => Box::new(NextLinePrefetcher::new(d)),
+            PrefetcherKind::BingoFaulty { fault_seed, rate } => Box::new(Bingo::with_faults(
+                BingoConfig::paper(),
+                FaultPlan::uniform(fault_seed, rate),
+            )),
+            PrefetcherKind::Faulty { panic_after } => Box::new(FaultyPrefetcher::new(panic_after)),
         }
     }
 
@@ -170,6 +200,11 @@ impl PrefetcherKind {
             PrefetcherKind::Stride => StrideConfig::typical().storage_bits(),
             // Next-line keeps no metadata (trait default).
             PrefetcherKind::NextLine(_) => 0,
+            // Fault injection corrupts Bingo's tables, it does not resize
+            // them.
+            PrefetcherKind::BingoFaulty { .. } => BingoConfig::paper().storage_bits(),
+            // The panic vehicle keeps no metadata (trait default).
+            PrefetcherKind::Faulty { .. } => 0,
         }
     }
 
@@ -253,14 +288,121 @@ fn parse_override(name: &str, value: &str) -> u64 {
         .unwrap_or_else(|_| panic!("{name} must be an unsigned integer, got {value:?}"))
 }
 
-/// Runs one (workload, prefetcher) simulation on the paper's 4-core system.
-pub fn run_one(workload: Workload, kind: PrefetcherKind, scale: RunScale) -> SimResult {
+/// Runs one (workload, prefetcher) simulation on the paper's 4-core
+/// system, reporting deadline or cycle-limit aborts as values instead of
+/// panicking.
+///
+/// # Errors
+///
+/// Returns [`SimAbort::DeadlineExceeded`] when a `deadline` is given and
+/// the simulation's wall clock exceeds it, and [`SimAbort::CycleLimit`] on
+/// a suspected livelock.
+pub fn run_one_with_deadline(
+    workload: Workload,
+    kind: PrefetcherKind,
+    scale: RunScale,
+    deadline: Option<Duration>,
+) -> Result<SimResult, SimAbort> {
     let cfg = SystemConfig::paper();
     let sources = workload.sources(cfg.cores, scale.seed);
-    let system =
+    let mut system =
         System::with_prefetchers(cfg, sources, |_| kind.build(), scale.instructions_per_core)
             .with_warmup(scale.warmup_per_core);
-    system.run()
+    if let Some(limit) = deadline {
+        system = system.with_time_limit(limit);
+    }
+    system.try_run()
+}
+
+/// Runs one (workload, prefetcher) simulation on the paper's 4-core system.
+///
+/// # Panics
+///
+/// Panics on a suspected simulator livelock (cycle-limit abort), like
+/// [`System::run`].
+pub fn run_one(workload: Workload, kind: PrefetcherKind, scale: RunScale) -> SimResult {
+    match run_one_with_deadline(workload, kind, scale, None) {
+        Ok(result) => result,
+        Err(SimAbort::CycleLimit { .. }) => panic!("simulation livelock suspected"),
+        Err(abort) => panic!("{abort}"),
+    }
+}
+
+/// How one sweep cell resolved. A fault-tolerant sweep never lets a cell
+/// take down its siblings: a panicking prefetcher or a blown deadline
+/// becomes a value here, reported at the end, while every other cell runs
+/// to completion.
+#[derive(Clone, Debug)]
+pub enum CellOutcome {
+    /// The simulation completed normally (boxed: a `SimResult` dwarfs the
+    /// failure variants).
+    Ok(Box<SimResult>),
+    /// The cell's code panicked; the payload message is preserved for the
+    /// failure report.
+    Panicked {
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// The cell exceeded the per-cell soft deadline.
+    TimedOut {
+        /// The deadline that was exceeded.
+        limit: Duration,
+    },
+}
+
+impl CellOutcome {
+    /// Whether the cell completed normally.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CellOutcome::Ok(_))
+    }
+}
+
+/// Stringifies a panic payload: `&str` and `String` payloads (everything
+/// `panic!` produces) verbatim, anything else a placeholder.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "opaque panic payload".to_string())
+    }
+}
+
+/// Runs one cell with panic isolation and an optional soft deadline: the
+/// fault-tolerant core of the sweep. Never panics and never blocks past
+/// the deadline (checked at instruction-batch granularity inside the
+/// simulation loop) — every failure mode comes back as a [`CellOutcome`].
+pub fn run_cell(
+    workload: Workload,
+    kind: PrefetcherKind,
+    scale: RunScale,
+    deadline: Option<Duration>,
+) -> CellOutcome {
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        run_one_with_deadline(workload, kind, scale, deadline)
+    }));
+    match attempt {
+        Ok(Ok(result)) => CellOutcome::Ok(Box::new(result)),
+        Ok(Err(SimAbort::DeadlineExceeded { limit })) => CellOutcome::TimedOut { limit },
+        Ok(Err(abort @ SimAbort::CycleLimit { .. })) => CellOutcome::Panicked {
+            message: abort.to_string(),
+        },
+        Err(payload) => CellOutcome::Panicked {
+            message: panic_message(payload.as_ref()),
+        },
+    }
+}
+
+/// The checkpoint key of a cell: everything that determines its
+/// [`SimResult`] (see the determinism notes in the module docs). Two cells
+/// with equal keys are interchangeable across process lifetimes.
+pub fn cell_key(scale: RunScale, workload: Workload, kind: PrefetcherKind) -> String {
+    format!(
+        "{}/{}/{}/{:?}/{:?}",
+        scale.seed, scale.instructions_per_core, scale.warmup_per_core, workload, kind
+    )
 }
 
 /// Worker count for parallel sweeps: the `BINGO_JOBS` environment override
@@ -317,7 +459,12 @@ where
                     break;
                 }
                 let result = f(i);
-                *slots[i].lock().expect("a worker panicked") = Some(result);
+                // A panic in another worker must not cascade here: lock
+                // poisoning only records that *some* thread panicked, and
+                // these per-index slots are written exactly once, so the
+                // data is sound regardless. Clearing the poison lets every
+                // healthy worker deliver its finished cell.
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
             });
         }
     });
@@ -325,33 +472,42 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("a worker panicked")
+                .unwrap_or_else(PoisonError::into_inner)
                 .expect("every index was claimed by a worker")
         })
         .collect()
 }
 
-/// Runs one cell, optionally emitting a progress/timing line (cell name,
-/// wall seconds, simulated instructions per wall second).
-fn timed_run(
+/// Runs one isolated cell, optionally emitting a progress/timing line
+/// (cell name, wall seconds, simulated instructions per wall second or the
+/// failure mode).
+fn timed_cell(
     workload: Workload,
     kind: PrefetcherKind,
     scale: RunScale,
+    deadline: Option<Duration>,
     progress: bool,
-) -> SimResult {
+) -> CellOutcome {
     let start = Instant::now();
-    let result = run_one(workload, kind, scale);
+    let outcome = run_cell(workload, kind, scale, deadline);
     if progress {
         let wall = start.elapsed().as_secs_f64();
+        let status = match &outcome {
+            CellOutcome::Ok(result) => format!(
+                "{:>6.2} Minstr/s",
+                result.instructions() as f64 / wall.max(1e-9) / 1e6
+            ),
+            CellOutcome::Panicked { .. } => "PANICKED".to_string(),
+            CellOutcome::TimedOut { .. } => "TIMED OUT".to_string(),
+        };
         eprintln!(
-            "[cell] {:<14} {:<14} {:>7.2}s  {:>6.2} Minstr/s",
+            "[cell] {:<14} {:<14} {:>7.2}s  {status}",
             workload.name(),
             kind.name(),
             wall,
-            result.instructions() as f64 / wall.max(1e-9) / 1e6,
         );
     }
-    result
+    outcome
 }
 
 /// Serial runner with per-workload baseline caching.
@@ -418,17 +574,63 @@ pub struct ParallelHarness {
     scale: RunScale,
     jobs: usize,
     progress: bool,
+    cell_timeout: Option<Duration>,
+    checkpoint: Option<Checkpoint>,
     baselines: HashMap<Workload, SimResult>,
 }
 
+/// Parses the `BINGO_CELL_TIMEOUT` value (seconds, fractional allowed),
+/// aborting loudly on garbage — a typo'd deadline must not silently run
+/// unlimited.
+fn parse_cell_timeout(value: &str) -> Duration {
+    let secs: f64 = value.trim().parse().unwrap_or_else(|_| {
+        panic!("{CELL_TIMEOUT_ENV} must be a number of seconds, got {value:?}")
+    });
+    assert!(
+        secs.is_finite() && secs >= 0.0,
+        "{CELL_TIMEOUT_ENV} must be a non-negative number of seconds, got {value:?}"
+    );
+    Duration::from_secs_f64(secs)
+}
+
+/// Environment variable holding the per-cell soft deadline in seconds.
+pub const CELL_TIMEOUT_ENV: &str = "BINGO_CELL_TIMEOUT";
+
 impl ParallelHarness {
     /// Creates a parallel harness at the given scale with
-    /// [`default_jobs`] workers.
+    /// [`default_jobs`] workers, honoring the `BINGO_CELL_TIMEOUT`
+    /// (per-cell deadline, seconds) and `BINGO_CHECKPOINT` (resume file)
+    /// environment knobs. The explicit constructors
+    /// ([`ParallelHarness::with_jobs`] + builders) ignore the environment
+    /// so tests stay hermetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `BINGO_CELL_TIMEOUT` is set but not a non-negative number
+    /// of seconds, or if `BINGO_CHECKPOINT` names an unopenable file.
     pub fn new(scale: RunScale) -> Self {
-        Self::with_jobs(scale, default_jobs())
+        let mut harness = Self::with_jobs(scale, default_jobs());
+        if let Ok(v) = std::env::var(CELL_TIMEOUT_ENV) {
+            harness.cell_timeout = Some(parse_cell_timeout(&v));
+        }
+        if let Ok(path) = std::env::var(CHECKPOINT_ENV) {
+            let checkpoint = Checkpoint::open(&path)
+                .unwrap_or_else(|e| panic!("{CHECKPOINT_ENV}: cannot open {path:?}: {e}"));
+            if checkpoint.skipped_lines() > 0 {
+                eprintln!(
+                    "[checkpoint] {}: loaded {} cell(s), skipped {} corrupt line(s)",
+                    path,
+                    checkpoint.len(),
+                    checkpoint.skipped_lines()
+                );
+            }
+            harness.checkpoint = Some(checkpoint);
+        }
+        harness
     }
 
-    /// Creates a parallel harness with an explicit worker count.
+    /// Creates a parallel harness with an explicit worker count and no
+    /// timeout/checkpoint (environment ignored).
     ///
     /// # Panics
     ///
@@ -439,6 +641,8 @@ impl ParallelHarness {
             scale,
             jobs,
             progress: true,
+            cell_timeout: None,
+            checkpoint: None,
             baselines: HashMap::new(),
         }
     }
@@ -446,6 +650,22 @@ impl ParallelHarness {
     /// Disables the per-cell progress/timing lines on stderr.
     pub fn quiet(mut self) -> Self {
         self.progress = false;
+        self
+    }
+
+    /// Sets a per-cell soft deadline: any cell whose simulation wall clock
+    /// exceeds it resolves to [`CellOutcome::TimedOut`] instead of
+    /// blocking the sweep.
+    pub fn with_cell_timeout(mut self, limit: Duration) -> Self {
+        self.cell_timeout = Some(limit);
+        self
+    }
+
+    /// Attaches a checkpoint: completed cells are made durable as they
+    /// finish, and cells (or baselines) already in the checkpoint are
+    /// replayed from it instead of re-simulated.
+    pub fn with_checkpoint(mut self, checkpoint: Checkpoint) -> Self {
+        self.checkpoint = Some(checkpoint);
         self
     }
 
@@ -462,23 +682,74 @@ impl ParallelHarness {
     /// Ensures the no-prefetcher baseline of every listed workload is
     /// cached, computing the missing ones in parallel — each exactly once,
     /// regardless of how many cells reference it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a baseline simulation fails (panics or exceeds the cell
+    /// deadline); [`ParallelHarness::try_evaluate_grid`] reports such
+    /// failures as values instead.
     pub fn prime_baselines(&mut self, workloads: &[Workload]) {
+        let (failures, _) = self.try_prime_baselines(workloads);
+        if let Some(f) = failures.first() {
+            panic!("baseline for {} failed: {}", f.workload.name(), f.reason);
+        }
+    }
+
+    /// Fault-tolerant baseline priming: failed baselines come back as
+    /// [`CellFailure`]s (kind [`PrefetcherKind::None`]) instead of
+    /// panicking. Returns the failures plus the number of baselines
+    /// replayed from the checkpoint.
+    fn try_prime_baselines(&mut self, workloads: &[Workload]) -> (Vec<CellFailure>, usize) {
         let mut missing: Vec<Workload> = Vec::new();
         for &w in workloads {
             if !self.baselines.contains_key(&w) && !missing.contains(&w) {
                 missing.push(w);
             }
         }
-        if missing.is_empty() {
-            return;
-        }
         let scale = self.scale;
+        let mut hits = 0;
+        if let Some(cp) = &self.checkpoint {
+            missing.retain(
+                |&w| match cp.get(&cell_key(scale, w, PrefetcherKind::None)) {
+                    Some(result) => {
+                        self.baselines.insert(w, result);
+                        hits += 1;
+                        false
+                    }
+                    None => true,
+                },
+            );
+        }
+        if missing.is_empty() {
+            return (Vec::new(), hits);
+        }
         let progress = self.progress;
-        let results = parallel_map(self.jobs, missing.len(), |i| {
-            timed_run(missing[i], PrefetcherKind::None, scale, progress)
+        let deadline = self.cell_timeout;
+        let outcomes = parallel_map(self.jobs, missing.len(), |i| {
+            timed_cell(missing[i], PrefetcherKind::None, scale, deadline, progress)
         });
-        for (w, r) in missing.into_iter().zip(results) {
-            self.baselines.insert(w, r);
+        let mut failures = Vec::new();
+        for (w, outcome) in missing.into_iter().zip(outcomes) {
+            match outcome {
+                CellOutcome::Ok(result) => {
+                    self.record_checkpoint(w, PrefetcherKind::None, &result);
+                    self.baselines.insert(w, *result);
+                }
+                failed => failures.push(CellFailure::new(w, PrefetcherKind::None, &failed)),
+            }
+        }
+        (failures, hits)
+    }
+
+    /// Appends a completed cell to the checkpoint, if one is attached.
+    /// Write errors degrade the checkpoint (the cell will re-run on
+    /// resume), never the sweep.
+    fn record_checkpoint(&self, workload: Workload, kind: PrefetcherKind, result: &SimResult) {
+        if let Some(cp) = &self.checkpoint {
+            let key = cell_key(self.scale, workload, kind);
+            if let Err(e) = cp.record(&key, result) {
+                eprintln!("[checkpoint] write for {key} failed: {e}");
+            }
         }
     }
 
@@ -490,16 +761,67 @@ impl ParallelHarness {
 
     /// Evaluates every (workload, prefetcher) cell of `cells` across the
     /// worker pool and returns the evaluations in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics — after completing every healthy cell and printing the full
+    /// failure report to stderr — if any cell failed. Callers that want
+    /// the failures as data use [`ParallelHarness::try_evaluate_grid`].
     pub fn evaluate_grid(&mut self, cells: &[(Workload, PrefetcherKind)]) -> Vec<Evaluation> {
+        self.try_evaluate_grid(cells).into_complete()
+    }
+
+    /// Fault-tolerant grid evaluation: every cell runs panic-isolated and
+    /// deadline-bounded, so one bad cell cannot abort the sweep. The
+    /// report carries an evaluation slot per input cell (in input order;
+    /// `None` where the cell failed) plus one [`CellFailure`] per failed
+    /// cell or baseline. With a checkpoint attached, completed cells are
+    /// made durable immediately and already-recorded cells are replayed
+    /// without re-simulation.
+    pub fn try_evaluate_grid(&mut self, cells: &[(Workload, PrefetcherKind)]) -> GridReport {
         let workloads: Vec<Workload> = cells.iter().map(|&(w, _)| w).collect();
-        self.prime_baselines(&workloads);
+        let (mut failures, mut checkpoint_hits) = self.try_prime_baselines(&workloads);
+        let failed_baselines: Vec<Workload> = failures.iter().map(|f| f.workload).collect();
         let scale = self.scale;
         let progress = self.progress;
+        let deadline = self.cell_timeout;
         let started = Instant::now();
-        let results = parallel_map(self.jobs, cells.len(), |i| {
-            let (w, k) = cells[i];
-            timed_run(w, k, scale, progress)
+
+        // Resolve what we can without simulating: cells whose baseline is
+        // gone (nothing to compare against) and cells already in the
+        // checkpoint.
+        let mut resolved: Vec<Option<CellOutcome>> = cells
+            .iter()
+            .map(|&(w, k)| {
+                if failed_baselines.contains(&w) {
+                    return Some(CellOutcome::Panicked {
+                        message: format!("not run: the {} no-prefetcher baseline failed", w.name()),
+                    });
+                }
+                if let Some(cp) = &self.checkpoint {
+                    if let Some(result) = cp.get(&cell_key(scale, w, k)) {
+                        checkpoint_hits += 1;
+                        return Some(CellOutcome::Ok(Box::new(result)));
+                    }
+                }
+                None
+            })
+            .collect();
+
+        let todo: Vec<usize> = (0..cells.len())
+            .filter(|&i| resolved[i].is_none())
+            .collect();
+        let outcomes = parallel_map(self.jobs, todo.len(), |j| {
+            let (w, k) = cells[todo[j]];
+            timed_cell(w, k, scale, deadline, progress)
         });
+        for (&i, outcome) in todo.iter().zip(outcomes) {
+            if let CellOutcome::Ok(result) = &outcome {
+                let (w, k) = cells[i];
+                self.record_checkpoint(w, k, result);
+            }
+            resolved[i] = Some(outcome);
+        }
         if progress && cells.len() > 1 {
             eprintln!(
                 "[grid] {} cells in {:.1}s on {} worker(s)",
@@ -508,23 +830,38 @@ impl ParallelHarness {
                 self.jobs.min(cells.len()),
             );
         }
-        cells
+
+        let evaluations = cells
             .iter()
-            .zip(results)
-            .map(|(&(workload, kind), result)| {
-                let baseline = self.baselines[&workload].clone();
-                let coverage = CoverageReport::from_runs(&result, &baseline);
-                let speedup = result.speedup_over(&baseline);
-                Evaluation {
-                    workload,
-                    kind,
-                    coverage,
-                    speedup,
-                    result,
-                    baseline,
+            .zip(resolved)
+            .map(|(&(workload, kind), outcome)| {
+                let outcome = outcome.expect("every cell was resolved or run");
+                match outcome {
+                    CellOutcome::Ok(result) => {
+                        let baseline = self.baselines[&workload].clone();
+                        let coverage = CoverageReport::from_runs(&result, &baseline);
+                        let speedup = result.speedup_over(&baseline);
+                        Some(Evaluation {
+                            workload,
+                            kind,
+                            coverage,
+                            speedup,
+                            result: *result,
+                            baseline,
+                        })
+                    }
+                    failed => {
+                        failures.push(CellFailure::new(workload, kind, &failed));
+                        None
+                    }
                 }
             })
-            .collect()
+            .collect();
+        GridReport {
+            evaluations,
+            failures,
+            checkpoint_hits,
+        }
     }
 
     /// Row-major convenience over [`ParallelHarness::evaluate_grid`]:
@@ -574,6 +911,105 @@ impl Evaluation {
     }
 }
 
+/// One failed sweep cell: which cell, and why.
+#[derive(Clone, Debug)]
+pub struct CellFailure {
+    /// Workload of the failed cell.
+    pub workload: Workload,
+    /// Prefetcher of the failed cell ([`PrefetcherKind::None`] for a
+    /// failed no-prefetcher baseline).
+    pub kind: PrefetcherKind,
+    /// Human-readable failure reason, including the panic message or the
+    /// exceeded deadline.
+    pub reason: String,
+}
+
+impl CellFailure {
+    fn new(workload: Workload, kind: PrefetcherKind, outcome: &CellOutcome) -> CellFailure {
+        let reason = match outcome {
+            CellOutcome::Ok(_) => unreachable!("successful cells are not failures"),
+            CellOutcome::Panicked { message } => format!("panicked: {message}"),
+            CellOutcome::TimedOut { limit } => {
+                format!("timed out after {:.3}s", limit.as_secs_f64())
+            }
+        };
+        CellFailure {
+            workload,
+            kind,
+            reason,
+        }
+    }
+}
+
+/// The result of a fault-tolerant sweep: per-cell evaluations (in input
+/// order, `None` where the cell failed) plus the collected failures.
+#[derive(Debug)]
+pub struct GridReport {
+    /// One slot per input cell, input order; `None` for failed cells.
+    pub evaluations: Vec<Option<Evaluation>>,
+    /// Every failed cell and failed baseline, in discovery order.
+    pub failures: Vec<CellFailure>,
+    /// Cells and baselines replayed from the checkpoint instead of
+    /// simulated.
+    pub checkpoint_hits: usize,
+}
+
+impl GridReport {
+    /// Whether every cell (and every baseline) completed.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Number of cells that produced an evaluation.
+    pub fn completed(&self) -> usize {
+        self.evaluations.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// The multi-line failure report: one line per failed cell with its
+    /// workload, prefetcher, and reason. Empty string when clean.
+    pub fn failure_report(&self) -> String {
+        if self.failures.is_empty() {
+            return String::new();
+        }
+        let mut out = format!(
+            "FAILURE REPORT: {} of {} cell(s) completed, {} failure(s)\n",
+            self.completed(),
+            self.evaluations.len(),
+            self.failures.len()
+        );
+        for f in &self.failures {
+            out.push_str(&format!(
+                "  {} / {}: {}\n",
+                f.workload.name(),
+                f.kind.name(),
+                f.reason
+            ));
+        }
+        out
+    }
+
+    /// Unwraps a clean report into its evaluations.
+    ///
+    /// # Panics
+    ///
+    /// Panics — after printing the failure report to stderr — if any cell
+    /// failed, turning a faulty sweep into a nonzero process exit *after*
+    /// every healthy cell has completed and been checkpointed.
+    pub fn into_complete(self) -> Vec<Evaluation> {
+        if !self.failures.is_empty() {
+            eprint!("{}", self.failure_report());
+            panic!(
+                "{} sweep cell(s) failed; see the failure report above",
+                self.failures.len()
+            );
+        }
+        self.evaluations
+            .into_iter()
+            .map(|e| e.expect("clean reports have every evaluation"))
+            .collect()
+    }
+}
+
 /// Geometric mean over a nonempty slice of positive values.
 ///
 /// # Panics
@@ -618,6 +1054,11 @@ mod tests {
             PrefetcherKind::MultiEvent(3),
             PrefetcherKind::Stride,
             PrefetcherKind::NextLine(2),
+            PrefetcherKind::BingoFaulty {
+                fault_seed: 9,
+                rate: 0.05,
+            },
+            PrefetcherKind::Faulty { panic_after: 1000 },
         ]
     }
 
@@ -775,6 +1216,173 @@ mod tests {
                 k.name()
             );
         }
+    }
+
+    fn tiny_scale(seed: u64) -> RunScale {
+        RunScale {
+            instructions_per_core: 15_000,
+            warmup_per_core: 5_000,
+            seed,
+        }
+    }
+
+    /// The tentpole acceptance test: a sweep containing a deliberately
+    /// panicking cell completes every other cell and lists the failed
+    /// cell with its panic message.
+    #[test]
+    fn panicking_cell_does_not_abort_the_sweep() {
+        let faulty = PrefetcherKind::Faulty { panic_after: 100 };
+        let cells = [
+            (Workload::Em3d, PrefetcherKind::NextLine(1)),
+            (Workload::Em3d, faulty),
+            (Workload::Streaming, PrefetcherKind::Stride),
+        ];
+        let mut h = ParallelHarness::with_jobs(tiny_scale(11), 2).quiet();
+        let report = h.try_evaluate_grid(&cells);
+        assert!(!report.is_clean());
+        assert_eq!(report.evaluations.len(), 3);
+        assert!(report.evaluations[0].is_some(), "healthy cell 0 completed");
+        assert!(report.evaluations[1].is_none(), "faulty cell has no result");
+        assert!(report.evaluations[2].is_some(), "healthy cell 2 completed");
+        assert_eq!(report.completed(), 2);
+        assert_eq!(report.failures.len(), 1);
+        let failure = &report.failures[0];
+        assert_eq!(failure.workload, Workload::Em3d);
+        assert_eq!(failure.kind, faulty);
+        assert!(
+            failure
+                .reason
+                .contains("FaultyPrefetcher panicked deliberately"),
+            "panic message must be preserved, got: {}",
+            failure.reason
+        );
+        let text = report.failure_report();
+        assert!(text.contains("Faulty@100"), "report names the cell: {text}");
+        assert!(
+            text.contains("FaultyPrefetcher panicked deliberately"),
+            "report carries the message: {text}"
+        );
+    }
+
+    /// The nonzero-exit path: unwrapping a dirty report panics (after the
+    /// sweep completed), so `cargo run` sweeps exit nonzero on failures.
+    #[test]
+    #[should_panic(expected = "sweep cell(s) failed")]
+    fn into_complete_panics_on_failed_cells() {
+        let cells = [
+            (Workload::Streaming, PrefetcherKind::NextLine(1)),
+            (
+                Workload::Streaming,
+                PrefetcherKind::Faulty { panic_after: 0 },
+            ),
+        ];
+        let mut h = ParallelHarness::with_jobs(tiny_scale(12), 2).quiet();
+        let _ = h.evaluate_grid(&cells);
+    }
+
+    /// A zero deadline times out every cell — including the baseline —
+    /// and the sweep still completes with the failures as data.
+    #[test]
+    fn zero_cell_timeout_times_out_instead_of_hanging() {
+        let mut h = ParallelHarness::with_jobs(tiny_scale(13), 2)
+            .quiet()
+            .with_cell_timeout(Duration::ZERO);
+        let report = h.try_evaluate_grid(&[(Workload::Em3d, PrefetcherKind::NextLine(1))]);
+        assert!(report.evaluations.iter().all(Option::is_none));
+        let baseline_failure = report
+            .failures
+            .iter()
+            .find(|f| f.kind == PrefetcherKind::None)
+            .expect("the no-prefetcher baseline timed out");
+        assert!(
+            baseline_failure.reason.contains("timed out"),
+            "got: {}",
+            baseline_failure.reason
+        );
+        // The dependent cell is reported as not-run, tied to its baseline.
+        let cell_failure = report
+            .failures
+            .iter()
+            .find(|f| f.kind == PrefetcherKind::NextLine(1))
+            .expect("the dependent cell is reported too");
+        assert!(
+            cell_failure.reason.contains("baseline failed"),
+            "got: {}",
+            cell_failure.reason
+        );
+    }
+
+    /// A generous deadline changes nothing: same bits as no deadline.
+    #[test]
+    fn generous_cell_timeout_is_bit_for_bit_invisible() {
+        let scale = tiny_scale(14);
+        let cells = [(Workload::Streaming, PrefetcherKind::Stride)];
+        let plain = ParallelHarness::with_jobs(scale, 1)
+            .quiet()
+            .try_evaluate_grid(&cells)
+            .into_complete();
+        let timed = ParallelHarness::with_jobs(scale, 1)
+            .quiet()
+            .with_cell_timeout(Duration::from_secs(3600))
+            .try_evaluate_grid(&cells)
+            .into_complete();
+        assert_eq!(plain[0].result, timed[0].result);
+        assert_eq!(plain[0].speedup.to_bits(), timed[0].speedup.to_bits());
+    }
+
+    #[test]
+    fn run_cell_reports_panics_as_outcomes() {
+        let outcome = run_cell(
+            Workload::Streaming,
+            PrefetcherKind::Faulty { panic_after: 0 },
+            tiny_scale(15),
+            None,
+        );
+        match outcome {
+            CellOutcome::Panicked { message } => {
+                assert!(message.contains("FaultyPrefetcher panicked deliberately"));
+            }
+            other => panic!("expected a panic outcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cell_keys_separate_every_dimension() {
+        let base = cell_key(tiny_scale(1), Workload::Em3d, PrefetcherKind::Bingo);
+        for other in [
+            cell_key(tiny_scale(2), Workload::Em3d, PrefetcherKind::Bingo),
+            cell_key(tiny_scale(1), Workload::Streaming, PrefetcherKind::Bingo),
+            cell_key(tiny_scale(1), Workload::Em3d, PrefetcherKind::Bop),
+            cell_key(
+                RunScale {
+                    instructions_per_core: 1,
+                    ..tiny_scale(1)
+                },
+                Workload::Em3d,
+                PrefetcherKind::Bingo,
+            ),
+        ] {
+            assert_ne!(base, other);
+        }
+    }
+
+    #[test]
+    fn parse_cell_timeout_accepts_seconds() {
+        assert_eq!(parse_cell_timeout("2"), Duration::from_secs(2));
+        assert_eq!(parse_cell_timeout(" 0.25 "), Duration::from_millis(250));
+        assert_eq!(parse_cell_timeout("0"), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "BINGO_CELL_TIMEOUT must be a number of seconds")]
+    fn parse_cell_timeout_rejects_garbage() {
+        let _ = parse_cell_timeout("fast");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn parse_cell_timeout_rejects_negative() {
+        let _ = parse_cell_timeout("-1");
     }
 
     #[test]

@@ -111,8 +111,10 @@ impl Table {
         };
         let dir = args.get(pos + 1).cloned().unwrap_or_else(|| ".".into());
         let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
-        std::fs::create_dir_all(&dir).expect("create csv directory");
-        std::fs::write(&path, self.to_csv()).expect("write csv");
+        std::fs::create_dir_all(&dir)
+            .unwrap_or_else(|e| panic!("cannot create csv directory {dir:?}: {e}"));
+        std::fs::write(&path, self.to_csv())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
         eprintln!("wrote {}", path.display());
         true
     }

@@ -1,0 +1,202 @@
+//! Acceptance test of checkpoint/resume: a sweep interrupted mid-run and
+//! resumed from its `BINGO_CHECKPOINT` file produces bit-for-bit the same
+//! [`bingo_bench::Evaluation`]s as an uninterrupted sweep — including
+//! after the file picks up a torn final line from the simulated kill.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use bingo_bench::{Checkpoint, Evaluation, ParallelHarness, PrefetcherKind, RunScale};
+use bingo_workloads::Workload;
+
+fn scale() -> RunScale {
+    RunScale {
+        instructions_per_core: 15_000,
+        warmup_per_core: 5_000,
+        seed: 21,
+    }
+}
+
+fn grid() -> Vec<(Workload, PrefetcherKind)> {
+    vec![
+        (Workload::Em3d, PrefetcherKind::NextLine(1)),
+        (Workload::Em3d, PrefetcherKind::Stride),
+        (Workload::Streaming, PrefetcherKind::NextLine(1)),
+        (Workload::Streaming, PrefetcherKind::Stride),
+    ]
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("bingo-resume-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("{name}-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// NaN-proof bitwise comparison of two evaluations.
+fn assert_bit_identical(fresh: &Evaluation, resumed: &Evaluation, what: &str) {
+    assert_eq!(fresh.result, resumed.result, "{what}: result differs");
+    assert_eq!(fresh.baseline, resumed.baseline, "{what}: baseline differs");
+    assert_eq!(
+        fresh.speedup.to_bits(),
+        resumed.speedup.to_bits(),
+        "{what}: speedup differs"
+    );
+    for (a, b, field) in [
+        (
+            fresh.coverage.coverage,
+            resumed.coverage.coverage,
+            "coverage",
+        ),
+        (
+            fresh.coverage.overprediction,
+            resumed.coverage.overprediction,
+            "overprediction",
+        ),
+        (
+            fresh.coverage.accuracy,
+            resumed.coverage.accuracy,
+            "accuracy",
+        ),
+    ] {
+        assert_eq!(a.to_bits(), b.to_bits(), "{what}: {field} differs");
+    }
+    assert_eq!(
+        fresh.coverage.baseline_misses, resumed.coverage.baseline_misses,
+        "{what}: baseline misses differ"
+    );
+    assert_eq!(
+        fresh.coverage.misses_with_prefetch, resumed.coverage.misses_with_prefetch,
+        "{what}: prefetch misses differ"
+    );
+}
+
+#[test]
+fn resume_from_checkpoint_is_bit_for_bit_identical() {
+    let cells = grid();
+    let path = tmp_path("resume");
+
+    // The reference: one uninterrupted sweep, no checkpoint involved.
+    let fresh = ParallelHarness::with_jobs(scale(), 2)
+        .quiet()
+        .evaluate_grid(&cells);
+
+    // The "killed" sweep: only the first half of the grid completes
+    // before the process dies.
+    {
+        let mut h = ParallelHarness::with_jobs(scale(), 2)
+            .quiet()
+            .with_checkpoint(Checkpoint::open(&path).expect("create checkpoint"));
+        let partial = h.evaluate_grid(&cells[..2]);
+        assert_eq!(partial.len(), 2);
+    }
+
+    // The kill also tears the last line mid-write.
+    {
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .expect("open for tearing");
+        write!(f, "{{\"key\":\"torn-mid-wri").expect("torn tail");
+    }
+
+    // Resume: the finished cells (and the Em3d baseline) replay from the
+    // file; only the missing half simulates.
+    let resumed_checkpoint = Checkpoint::open(&path).expect("reopen checkpoint");
+    assert_eq!(
+        resumed_checkpoint.skipped_lines(),
+        1,
+        "exactly the torn line is skipped"
+    );
+    assert_eq!(
+        resumed_checkpoint.len(),
+        3,
+        "two cells plus the Em3d baseline were durable"
+    );
+    let mut h = ParallelHarness::with_jobs(scale(), 2)
+        .quiet()
+        .with_checkpoint(resumed_checkpoint);
+    let report = h.try_evaluate_grid(&cells);
+    assert!(report.is_clean(), "{}", report.failure_report());
+    assert_eq!(
+        report.checkpoint_hits, 3,
+        "the finished cells and baseline must replay, not re-simulate"
+    );
+    let resumed = report.into_complete();
+
+    assert_eq!(fresh.len(), resumed.len());
+    for (f, r) in fresh.iter().zip(&resumed) {
+        assert_eq!(f.workload, r.workload);
+        assert_eq!(f.kind, r.kind);
+        assert_bit_identical(f, r, &format!("{} / {}", f.workload.name(), f.kind.name()));
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn completed_checkpoint_resumes_without_any_simulation() {
+    let cells = grid();
+    let path = tmp_path("full");
+    let fresh = {
+        let mut h = ParallelHarness::with_jobs(scale(), 2)
+            .quiet()
+            .with_checkpoint(Checkpoint::open(&path).expect("create"));
+        h.evaluate_grid(&cells)
+    };
+    // Second harness, same file: every cell and baseline is a hit, and a
+    // tight deadline proves nothing is simulated (a real simulation at
+    // Duration::ZERO would time out).
+    let mut h = ParallelHarness::with_jobs(scale(), 2)
+        .quiet()
+        .with_cell_timeout(Duration::ZERO)
+        .with_checkpoint(Checkpoint::open(&path).expect("reopen"));
+    let report = h.try_evaluate_grid(&cells);
+    assert!(report.is_clean(), "{}", report.failure_report());
+    assert_eq!(
+        report.checkpoint_hits,
+        cells.len() + 2,
+        "4 cells + 2 baselines"
+    );
+    let resumed = report.into_complete();
+    for (f, r) in fresh.iter().zip(&resumed) {
+        assert_bit_identical(f, r, &format!("{} / {}", f.workload.name(), f.kind.name()));
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn failed_cells_are_not_checkpointed_and_retry_on_resume() {
+    let path = tmp_path("failed");
+    let cells = [
+        (Workload::Streaming, PrefetcherKind::NextLine(1)),
+        (
+            Workload::Streaming,
+            PrefetcherKind::Faulty { panic_after: 0 },
+        ),
+    ];
+    {
+        let mut h = ParallelHarness::with_jobs(scale(), 2)
+            .quiet()
+            .with_checkpoint(Checkpoint::open(&path).expect("create"));
+        let report = h.try_evaluate_grid(&cells);
+        assert_eq!(report.failures.len(), 1);
+    }
+    let cp = Checkpoint::open(&path).expect("reopen");
+    assert_eq!(
+        cp.len(),
+        2,
+        "baseline + healthy cell only; no failure entry"
+    );
+    assert!(
+        cp.get(&bingo_bench::cell_key(
+            scale(),
+            Workload::Streaming,
+            PrefetcherKind::Faulty { panic_after: 0 }
+        ))
+        .is_none(),
+        "a panicked cell must be retried on resume, not replayed"
+    );
+    let _ = std::fs::remove_file(&path);
+}

@@ -115,6 +115,14 @@ impl AccumulationTable {
     /// residency and any residency evicted by overflow (for early
     /// training).
     pub fn observe(&mut self, info: &AccessInfo) -> Observation {
+        bingo_sim::audit_assert!(
+            self.slots.len() <= self.capacity && self.filter.len() <= self.filter_capacity,
+            "accumulation occupancy invariant: {} slots (cap {}), {} filtered (cap {})",
+            self.slots.len(),
+            self.capacity,
+            self.filter.len(),
+            self.filter_capacity
+        );
         self.stamp += 1;
         let stamp = self.stamp;
 

@@ -9,7 +9,9 @@
 //! 20 % of the matching footprints (the paper's empirically best
 //! multi-match heuristic).
 
-use bingo_sim::{AccessInfo, BlockAddr, Prefetcher, RegionGeometry};
+use bingo_sim::{
+    AccessInfo, BlockAddr, FaultInjector, FaultPlan, FaultStats, Prefetcher, RegionGeometry,
+};
 
 use crate::accumulation::{AccumulationTable, Residency};
 use crate::event::EventKind;
@@ -119,6 +121,9 @@ pub struct Bingo {
     accumulation: AccumulationTable,
     history: UnifiedHistoryTable,
     short_matches: Vec<Footprint>,
+    /// Seeded metadata-corruption source for robustness experiments; `None`
+    /// in normal operation.
+    faults: Option<FaultInjector>,
     /// Lookup statistics.
     pub stats: BingoStats,
 }
@@ -135,9 +140,32 @@ impl Bingo {
             accumulation: AccumulationTable::new(cfg.accumulation_entries, region_blocks),
             history: UnifiedHistoryTable::new(cfg.history_entries, cfg.history_ways, region_blocks),
             short_matches: Vec::with_capacity(cfg.history_ways),
+            faults: None,
             stats: BingoStats::default(),
             cfg,
         }
+    }
+
+    /// Creates a Bingo prefetcher whose metadata is corrupted by a seeded
+    /// [`FaultInjector`]: stored footprints get random bit flips, history
+    /// entries are randomly dropped, and prefetch candidates are randomly
+    /// discarded, each at the plan's configured rate. The paper's
+    /// graceful-degradation claim says this prefetcher must never corrupt
+    /// the simulation — only lose coverage toward no-prefetch behavior.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent geometry or if a plan rate is not a
+    /// probability.
+    pub fn with_faults(cfg: BingoConfig, plan: FaultPlan) -> Self {
+        let mut b = Bingo::new(cfg);
+        b.faults = Some(FaultInjector::new(plan));
+        b
+    }
+
+    /// Injection counts when built via [`Bingo::with_faults`], else `None`.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.faults.as_ref().map(|inj| &inj.stats)
     }
 
     /// The configuration in use.
@@ -145,9 +173,17 @@ impl Bingo {
         &self.cfg
     }
 
-    fn train(&mut self, residency: Residency) {
+    fn train(&mut self, mut residency: Residency) {
         if residency.footprint.count() < self.cfg.min_footprint_blocks {
             return;
+        }
+        // Fault injection: a footprint headed for storage may have one
+        // random bit flipped, modeling a corrupted metadata write.
+        if let Some(inj) = self.faults.as_mut() {
+            if inj.should_flip_footprint_bit() {
+                let offset = inj.pick(u64::from(residency.footprint.len())) as u32;
+                residency.footprint.flip(offset);
+            }
         }
         self.stats.trainings += 1;
         self.history.insert(
@@ -203,12 +239,25 @@ impl Prefetcher for Bingo {
     }
 
     fn on_access(&mut self, info: &AccessInfo, out: &mut Vec<BlockAddr>) {
+        // Fault injection: metadata loss — a random valid history entry
+        // vanishes, as if its storage cell were corrupted and invalidated.
+        if let Some(inj) = self.faults.as_mut() {
+            if inj.should_drop_history_entry() {
+                let pick = inj.pick(1 << 48);
+                self.history.evict_entry(pick);
+            }
+        }
         let observation = self.accumulation.observe(info);
         if let Some(res) = observation.evicted {
             self.train(res);
         }
         if observation.trigger {
             self.predict(info, out);
+        }
+        // Fault injection: individual prefetch requests silently dropped
+        // on their way to the memory system.
+        if let Some(inj) = self.faults.as_mut() {
+            out.retain(|_| !inj.should_drop_prefetch());
         }
     }
 
@@ -227,7 +276,7 @@ impl Prefetcher for Bingo {
     }
 
     fn debug_stats(&self) -> String {
-        format!(
+        let mut out = format!(
             "lookups={} long={} short={} none={} empty_votes={} trainings={} valid={}",
             self.stats.lookups,
             self.stats.long_hits,
@@ -236,11 +285,18 @@ impl Prefetcher for Bingo {
             self.stats.empty_votes,
             self.stats.trainings,
             self.history.valid_entries()
-        )
+        );
+        if let Some(inj) = &self.faults {
+            out.push_str(&format!(
+                " faults: bits_flipped={} entries_dropped={} prefetches_dropped={}",
+                inj.stats.bits_flipped, inj.stats.entries_dropped, inj.stats.prefetches_dropped
+            ));
+        }
+        out
     }
 
     fn metrics(&self) -> Vec<(&'static str, f64)> {
-        vec![
+        let mut out = vec![
             ("lookups", self.stats.lookups as f64),
             ("long_hits", self.stats.long_hits as f64),
             ("short_hits", self.stats.short_hits as f64),
@@ -250,7 +306,16 @@ impl Prefetcher for Bingo {
                 (self.stats.long_hits + self.stats.short_hits) as f64,
             ),
             ("trainings", self.stats.trainings as f64),
-        ]
+        ];
+        if let Some(inj) = &self.faults {
+            out.push(("fault_bits_flipped", inj.stats.bits_flipped as f64));
+            out.push(("fault_entries_dropped", inj.stats.entries_dropped as f64));
+            out.push((
+                "fault_prefetches_dropped",
+                inj.stats.prefetches_dropped as f64,
+            ));
+        }
+        out
     }
 }
 
@@ -489,6 +554,67 @@ mod tests {
         visit(&mut b, 0x500, 50, &[1, 2]); // no match on trigger
         assert_eq!(b.stats.lookups, 3);
         assert!((b.stats.match_probability() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_free_constructor_reports_no_fault_stats() {
+        let b = small();
+        assert!(b.fault_stats().is_none());
+        assert!(!b.debug_stats().contains("faults:"));
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_is_behaviorally_invisible() {
+        let mut clean = small();
+        let mut faulty = Bingo::with_faults(
+            BingoConfig {
+                history_entries: 256,
+                history_ways: 4,
+                accumulation_entries: 8,
+                ..BingoConfig::paper()
+            },
+            FaultPlan::none(99),
+        );
+        for b in [&mut clean, &mut faulty] {
+            visit(b, 0x400, 10, &[3, 7, 9]);
+        }
+        assert_eq!(
+            visit(&mut clean, 0x400, 10, &[3]),
+            visit(&mut faulty, 0x400, 10, &[3]),
+            "a zero-rate injector must not change predictions"
+        );
+        let stats = faulty.fault_stats().expect("injector attached");
+        assert_eq!(
+            (
+                stats.bits_flipped,
+                stats.entries_dropped,
+                stats.prefetches_dropped
+            ),
+            (0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn saturated_fault_plan_drops_every_prefetch() {
+        let mut b = Bingo::with_faults(
+            BingoConfig {
+                history_entries: 256,
+                history_ways: 4,
+                accumulation_entries: 8,
+                ..BingoConfig::paper()
+            },
+            FaultPlan::uniform(7, 1.0),
+        );
+        visit(&mut b, 0x400, 10, &[3, 7, 9]);
+        let p = visit(&mut b, 0x400, 10, &[3]);
+        assert!(p.is_empty(), "rate-1.0 drop must discard all candidates");
+        let stats = b.fault_stats().expect("injector attached");
+        assert!(stats.entries_dropped > 0, "history drops fired");
+        assert!(b.debug_stats().contains("faults:"));
+        let metrics = b.metrics();
+        assert!(metrics
+            .iter()
+            .any(|(n, v)| *n == "fault_entries_dropped" && *v > 0.0));
     }
 
     #[test]

@@ -68,6 +68,22 @@ impl Footprint {
         self.bits |= 1u64 << offset;
     }
 
+    /// Toggles block `offset` (used by fault injection to model a metadata
+    /// bit flip: a touched block is forgotten, or a spurious one appears).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= len` — even a corrupted footprint must stay
+    /// within its region.
+    pub fn flip(&mut self, offset: u32) {
+        assert!(
+            offset < self.len,
+            "flip offset {offset} >= region length {}",
+            self.len
+        );
+        self.bits ^= 1u64 << offset;
+    }
+
     /// Whether block `offset` is recorded.
     pub fn contains(self, offset: u32) -> bool {
         offset < self.len && (self.bits >> offset) & 1 == 1
@@ -287,6 +303,24 @@ mod tests {
         f.set(63);
         assert!(f.contains(63));
         assert_eq!(Footprint::from_bits(u64::MAX, 64).count(), 64);
+    }
+
+    #[test]
+    fn flip_toggles_bits() {
+        let mut f = Footprint::from_bits(0b0101, 8);
+        f.flip(0);
+        assert_eq!(f.bits(), 0b0100);
+        f.flip(3);
+        assert_eq!(f.bits(), 0b1100);
+        f.flip(3);
+        assert_eq!(f.bits(), 0b0100);
+    }
+
+    #[test]
+    #[should_panic(expected = "flip offset")]
+    fn flip_rejects_out_of_range() {
+        let mut f = Footprint::empty(8);
+        f.flip(8);
     }
 
     #[test]

@@ -102,6 +102,14 @@ impl UnifiedHistoryTable {
     /// the set is full, is the LRU entry.
     pub fn insert(&mut self, long_key: u64, short_key: u64, footprint: Footprint) {
         debug_assert_eq!(footprint.len(), self.region_blocks);
+        bingo_sim::audit_assert!(
+            footprint.len() == self.region_blocks && footprint.count() <= self.region_blocks,
+            "footprint geometry invariant: {} set bits in a {}-block footprint \
+             stored into a {}-block-region table",
+            footprint.count(),
+            footprint.len(),
+            self.region_blocks
+        );
         let stamp = self.next_stamp();
         let set_idx = self.set_of(short_key);
         let set = &mut self.sets[set_idx];
@@ -160,6 +168,30 @@ impl UnifiedHistoryTable {
             .collect();
         matches.sort_by_key(|m| std::cmp::Reverse(m.0));
         out.extend(matches.into_iter().map(|(_, f)| f));
+    }
+
+    /// Invalidates one valid entry chosen by `pick` (a value used modulo
+    /// the number of valid entries), returning whether anything was
+    /// dropped. Models metadata loss for fault-injection experiments: the
+    /// prefetcher behaves exactly as if the entry had been evicted.
+    pub fn evict_entry(&mut self, pick: u64) -> bool {
+        let valid = self.valid_entries();
+        if valid == 0 {
+            return false;
+        }
+        let mut target = (pick % valid as u64) as usize;
+        for set in &mut self.sets {
+            for e in set.iter_mut() {
+                if e.valid {
+                    if target == 0 {
+                        *e = Entry::invalid(self.region_blocks);
+                        return true;
+                    }
+                    target -= 1;
+                }
+            }
+        }
+        unreachable!("target was chosen modulo the valid-entry count");
     }
 
     /// Number of valid entries (diagnostics).
@@ -295,6 +327,20 @@ mod tests {
     #[should_panic(expected = "power-of-two")]
     fn bad_geometry_rejected() {
         let _ = UnifiedHistoryTable::new(48, 16, 32);
+    }
+
+    #[test]
+    fn evict_entry_drops_exactly_one() {
+        let mut t = table();
+        t.insert(1, 1, fp(1));
+        t.insert(2, 2, fp(2));
+        t.insert(3, 3, fp(4));
+        assert!(t.evict_entry(7));
+        assert_eq!(t.valid_entries(), 2);
+        assert!(t.evict_entry(0));
+        assert!(t.evict_entry(0));
+        assert_eq!(t.valid_entries(), 0);
+        assert!(!t.evict_entry(0), "empty table has nothing to drop");
     }
 
     #[test]

@@ -246,6 +246,12 @@ impl Cache {
             !self.probe(block),
             "allocate_fill for resident/pending {block:?}"
         );
+        crate::audit_assert!(
+            self.pending.len() < self.cfg.mshrs,
+            "MSHR occupancy invariant: allocate_fill at occupancy {} with only {} MSHRs",
+            self.pending.len(),
+            self.cfg.mshrs
+        );
         self.pending.insert(
             block.index(),
             PendingFill {
@@ -314,6 +320,13 @@ impl Cache {
             inserted: stamp,
             measured: true,
         };
+        crate::audit_assert!(
+            self.sets[set].len() == self.cfg.ways,
+            "set structure invariant: set {} has {} ways, configured {}",
+            set,
+            self.sets[set].len(),
+            self.cfg.ways
+        );
         evicted
     }
 

@@ -53,6 +53,7 @@ pub mod cache;
 pub mod config;
 pub mod core_model;
 pub mod dram;
+pub mod fault;
 pub mod memory;
 pub mod prefetch;
 pub mod stats;
@@ -64,8 +65,28 @@ pub use cache::{Cache, Evicted, Lookup, ReplacementPolicy};
 pub use config::{CacheConfig, CoreConfig, DramConfig, SystemConfig};
 pub use core_model::{Instr, InstrSource, OooCore};
 pub use dram::{Dram, DramStats};
+pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use memory::{IssueResult, MemorySystem};
-pub use prefetch::{AccessInfo, NextLinePrefetcher, NoPrefetcher, Prefetcher};
+pub use prefetch::{AccessInfo, FaultyPrefetcher, NextLinePrefetcher, NoPrefetcher, Prefetcher};
 pub use stats::{CacheStats, CoreStats, CoverageReport, SimResult};
-pub use system::System;
+pub use system::{SimAbort, System};
 pub use trace::{record, Trace, TraceError, TraceSource};
+
+/// Asserts an internal invariant, compiled in only under the `audit`
+/// feature.
+///
+/// Production runs keep hot paths free of redundant checks; audit runs
+/// (`cargo test --features audit`) promote the documented invariants —
+/// MSHR occupancy bounds, prefetch burst caps, footprint popcounts — to
+/// hard assertions. The `cfg` is evaluated in the crate where the macro
+/// *expands*, so every workspace crate declares its own `audit` feature
+/// forwarding to its dependencies'.
+#[macro_export]
+macro_rules! audit_assert {
+    ($($arg:tt)*) => {
+        #[cfg(feature = "audit")]
+        {
+            assert!($($arg)*);
+        }
+    };
+}

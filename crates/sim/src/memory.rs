@@ -60,7 +60,8 @@ impl MemorySystem {
     /// Panics if the configuration is invalid or the prefetcher count does
     /// not match the core count.
     pub fn new(cfg: SystemConfig, prefetchers: Vec<Box<dyn Prefetcher>>) -> Self {
-        cfg.validate().expect("invalid system configuration");
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid system configuration: {e}"));
         assert_eq!(
             prefetchers.len(),
             cfg.cores,
@@ -281,6 +282,12 @@ impl MemorySystem {
         let mut buf = std::mem::take(&mut self.pf_buf);
         buf.clear();
         self.prefetchers[core.0].on_access(&info, &mut buf);
+        crate::audit_assert!(
+            buf.len() <= 64,
+            "prefetch burst invariant: {} emitted {} candidates for one access (cap 64)",
+            self.prefetchers[core.0].name(),
+            buf.len()
+        );
         for &candidate in &buf {
             self.issue_prefetch(candidate, cycle);
         }
@@ -307,6 +314,12 @@ impl MemorySystem {
         self.llc.allocate_fill(block, ready, true);
         self.schedule_fill(FillLevel::Llc, block, ready);
         self.llc.stats.pf_issued += 1;
+        crate::audit_assert!(
+            self.llc.mshr_occupancy() <= self.cfg.llc.mshrs,
+            "MSHR occupancy invariant: LLC occupancy {} exceeds {} MSHRs after prefetch",
+            self.llc.mshr_occupancy(),
+            self.cfg.llc.mshrs
+        );
     }
 
     /// Drains all outstanding fills (used at end of simulation so that

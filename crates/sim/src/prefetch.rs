@@ -130,6 +130,44 @@ impl Prefetcher for NextLinePrefetcher {
     }
 }
 
+/// A prefetcher that deliberately panics after a fixed number of accesses.
+///
+/// Exists purely for fault-tolerance testing: a harness cell built on this
+/// prefetcher is guaranteed to die mid-simulation, exercising the
+/// panic-isolation path without touching real prefetcher code.
+#[derive(Copy, Clone, Debug)]
+pub struct FaultyPrefetcher {
+    panic_after: u64,
+    accesses: u64,
+}
+
+impl FaultyPrefetcher {
+    /// Creates a prefetcher that panics on access number `panic_after + 1`
+    /// (i.e. it survives exactly `panic_after` accesses).
+    pub fn new(panic_after: u64) -> Self {
+        FaultyPrefetcher {
+            panic_after,
+            accesses: 0,
+        }
+    }
+}
+
+impl Prefetcher for FaultyPrefetcher {
+    fn name(&self) -> &str {
+        "Faulty"
+    }
+
+    fn on_access(&mut self, _info: &AccessInfo, _out: &mut Vec<BlockAddr>) {
+        self.accesses += 1;
+        if self.accesses > self.panic_after {
+            panic!(
+                "FaultyPrefetcher panicked deliberately after {} accesses",
+                self.panic_after
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,5 +214,24 @@ mod tests {
     #[should_panic(expected = "degree")]
     fn next_line_rejects_zero_degree() {
         let _ = NextLinePrefetcher::new(0);
+    }
+
+    #[test]
+    fn faulty_prefetcher_survives_its_budget() {
+        let mut p = FaultyPrefetcher::new(3);
+        let mut out = Vec::new();
+        for b in 0..3 {
+            p.on_access(&info(b), &mut out);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked deliberately after 3 accesses")]
+    fn faulty_prefetcher_panics_past_its_budget() {
+        let mut p = FaultyPrefetcher::new(3);
+        let mut out = Vec::new();
+        for b in 0..4 {
+            p.on_access(&info(b), &mut out);
+        }
     }
 }

@@ -4,12 +4,52 @@
 //! [`MemorySystem`]; [`System::run`] steps everything cycle by cycle until
 //! every core retires its instruction budget, then returns a [`SimResult`].
 
+use std::time::{Duration, Instant};
+
 use crate::addr::CoreId;
 use crate::config::SystemConfig;
 use crate::core_model::{InstrSource, OooCore};
 use crate::memory::MemorySystem;
 use crate::prefetch::Prefetcher;
 use crate::stats::SimResult;
+
+/// Why a simulation stopped before reaching its instruction targets.
+///
+/// Returned by [`System::try_run`]; [`System::run`] converts these into
+/// panics for callers that treat an abort as fatal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimAbort {
+    /// The wall-clock budget set by [`System::with_time_limit`] ran out.
+    ///
+    /// The deadline is *soft*: it is polled once per cycle batch (every
+    /// 8192 cycles), so a run may overshoot the limit by one batch of
+    /// simulation work before aborting.
+    DeadlineExceeded {
+        /// The configured wall-clock limit.
+        limit: Duration,
+    },
+    /// The simulation exceeded the livelock cycle bound without every core
+    /// reaching its retirement target.
+    CycleLimit {
+        /// The cycle bound that was hit.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for SimAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimAbort::DeadlineExceeded { limit } => {
+                write!(f, "simulation exceeded its {limit:?} wall-clock deadline")
+            }
+            SimAbort::CycleLimit { limit } => {
+                write!(f, "simulation livelock suspected (cycle {limit} reached)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimAbort {}
 
 /// A complete simulated chip.
 pub struct System {
@@ -19,6 +59,7 @@ pub struct System {
     now: u64,
     mem_stats_reset: bool,
     measure_start: u64,
+    deadline: Option<Duration>,
 }
 
 impl System {
@@ -49,7 +90,20 @@ impl System {
             now: 0,
             mem_stats_reset: true,
             measure_start: 0,
+            deadline: None,
         }
+    }
+
+    /// Sets a soft wall-clock deadline for [`System::try_run`].
+    ///
+    /// The clock starts when `try_run` is entered. The deadline is polled
+    /// at batch granularity (every 8192 cycles) to keep `Instant::now`
+    /// calls off the per-cycle hot path, so the run can overshoot `limit`
+    /// by one batch of work before aborting with
+    /// [`SimAbort::DeadlineExceeded`].
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.deadline = Some(limit);
+        self
     }
 
     /// Adds a warmup window of `instructions` per core: caches, predictor
@@ -95,9 +149,31 @@ impl System {
     /// # Panics
     ///
     /// Panics if the simulation exceeds a very generous cycle bound
-    /// (1e10 cycles), which would indicate a livelock in the model.
-    pub fn run(mut self) -> SimResult {
+    /// (1e10 cycles), which would indicate a livelock in the model, or if
+    /// a deadline set via [`System::with_time_limit`] expires. Callers that
+    /// want to survive either condition should use [`System::try_run`].
+    pub fn run(self) -> SimResult {
+        match self.try_run() {
+            Ok(result) => result,
+            Err(SimAbort::CycleLimit { .. }) => panic!("simulation livelock suspected"),
+            Err(abort @ SimAbort::DeadlineExceeded { .. }) => panic!("{abort}"),
+        }
+    }
+
+    /// Runs like [`System::run`], but reports livelock or an expired
+    /// wall-clock deadline as a [`SimAbort`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`SimAbort::DeadlineExceeded`] if a limit set via
+    /// [`System::with_time_limit`] ran out; [`SimAbort::CycleLimit`] if the
+    /// livelock cycle bound (1e10 cycles) was reached.
+    pub fn try_run(mut self) -> Result<SimResult, SimAbort> {
         const CYCLE_LIMIT: u64 = 10_000_000_000;
+        // Poll the wall clock only once per batch of cycles: `Instant::now`
+        // is far too expensive to call on every simulated cycle.
+        const DEADLINE_POLL_MASK: u64 = 8192 - 1;
+        let started = self.deadline.map(|_| Instant::now());
         loop {
             self.mem.tick(self.now);
             let mut all_done = true;
@@ -117,11 +193,20 @@ impl System {
                 break;
             }
             self.now += 1;
-            assert!(self.now < CYCLE_LIMIT, "simulation livelock suspected");
+            if self.now >= CYCLE_LIMIT {
+                return Err(SimAbort::CycleLimit { limit: CYCLE_LIMIT });
+            }
+            if self.now & DEADLINE_POLL_MASK == 0 {
+                if let (Some(limit), Some(start)) = (self.deadline, started) {
+                    if start.elapsed() >= limit {
+                        return Err(SimAbort::DeadlineExceeded { limit });
+                    }
+                }
+            }
         }
         let total_cycles = self.now - self.measure_start;
         self.mem.drain();
-        SimResult {
+        Ok(SimResult {
             cores: self.cores.iter().map(|c| c.stats.clone()).collect(),
             l1d: self.mem.l1d_stats_sum(),
             llc: self.mem.llc_stats().clone(),
@@ -129,7 +214,7 @@ impl System {
             total_cycles,
             prefetcher_debug: self.mem.prefetcher_debug(),
             prefetcher_metrics: self.mem.prefetcher_metrics(),
-        }
+        })
     }
 }
 
@@ -241,5 +326,43 @@ mod tests {
     fn source_count_must_match() {
         let cfg = SystemConfig::tiny();
         let _ = System::new(cfg, vec![], vec![Box::new(NoPrefetcher)], 100);
+    }
+
+    #[test]
+    fn zero_deadline_aborts_immediately() {
+        let cfg = SystemConfig::tiny();
+        let sys = System::new(
+            cfg,
+            vec![streaming_source(0)],
+            vec![Box::new(NoPrefetcher)],
+            1_000_000,
+        )
+        .with_time_limit(std::time::Duration::ZERO);
+        match sys.try_run() {
+            Err(SimAbort::DeadlineExceeded { limit }) => {
+                assert_eq!(limit, std::time::Duration::ZERO);
+            }
+            other => panic!("expected deadline abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_deadline_matches_unlimited_run() {
+        let cfg = SystemConfig::tiny();
+        let build = || {
+            System::new(
+                cfg,
+                vec![streaming_source(0)],
+                vec![Box::new(NoPrefetcher)],
+                20_000,
+            )
+        };
+        let unlimited = build().run();
+        let limited = build()
+            .with_time_limit(std::time::Duration::from_secs(3600))
+            .try_run()
+            .expect("an hour is plenty for 20k instructions");
+        assert_eq!(unlimited.total_cycles, limited.total_cycles);
+        assert_eq!(unlimited.llc.demand_misses, limited.llc.demand_misses);
     }
 }

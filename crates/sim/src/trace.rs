@@ -57,6 +57,26 @@ pub enum TraceError {
     BadVersion(u32),
     /// A record had an unknown instruction kind tag.
     BadRecord(u8),
+    /// The input ended inside the header or a record.
+    Truncated {
+        /// Which structure the input ended inside.
+        context: &'static str,
+    },
+    /// The header's record count cannot fit in the remaining input (every
+    /// record is at least one byte), so it is corrupt; rejecting it here
+    /// means the count is never trusted for an allocation.
+    OversizedCount {
+        /// The claimed record count.
+        count: u64,
+        /// Bytes actually remaining after the header.
+        available: u64,
+    },
+    /// Bytes remained after the last declared record — the count field or
+    /// the payload is corrupt.
+    TrailingData {
+        /// Number of unconsumed bytes.
+        bytes: u64,
+    },
 }
 
 impl std::fmt::Display for TraceError {
@@ -66,6 +86,16 @@ impl std::fmt::Display for TraceError {
             TraceError::BadMagic => write!(f, "not a trace file (bad magic)"),
             TraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
             TraceError::BadRecord(k) => write!(f, "unknown instruction kind {k}"),
+            TraceError::Truncated { context } => {
+                write!(f, "trace truncated inside {context}")
+            }
+            TraceError::OversizedCount { count, available } => write!(
+                f,
+                "trace claims {count} records but only {available} bytes follow the header"
+            ),
+            TraceError::TrailingData { bytes } => {
+                write!(f, "{bytes} bytes of trailing data after the last record")
+            }
         }
     }
 }
@@ -149,50 +179,86 @@ impl Trace {
 
     /// Deserializes a trace.
     ///
+    /// Reads the stream to its end, then parses the bytes with full
+    /// validation: the record count is checked against the bytes actually
+    /// present *before* any count-sized allocation (a corrupt count can
+    /// therefore never drive memory use), truncation anywhere inside the
+    /// header or a record is reported as [`TraceError::Truncated`], and
+    /// bytes left over after the declared records are rejected as
+    /// [`TraceError::TrailingData`].
+    ///
     /// # Errors
     ///
-    /// Returns [`TraceError::BadMagic`]/[`TraceError::BadVersion`]/
-    /// [`TraceError::BadRecord`] on malformed input, or the underlying I/O
-    /// error.
+    /// Any [`TraceError`] variant describing the malformation, or the
+    /// underlying I/O error.
     pub fn read_from<R: Read>(mut r: R) -> Result<Self, TraceError> {
-        let mut magic = [0u8; 4];
-        r.read_exact(&mut magic)?;
-        if magic != MAGIC {
+        let mut bytes = Vec::new();
+        r.read_to_end(&mut bytes)?;
+        Self::parse(&bytes)
+    }
+
+    /// Parses a complete in-memory trace image (see [`Trace::read_from`]).
+    ///
+    /// # Errors
+    ///
+    /// Any non-I/O [`TraceError`] variant describing the malformation.
+    pub fn parse(bytes: &[u8]) -> Result<Self, TraceError> {
+        fn take<'a>(
+            cur: &mut &'a [u8],
+            n: usize,
+            context: &'static str,
+        ) -> Result<&'a [u8], TraceError> {
+            if cur.len() < n {
+                return Err(TraceError::Truncated { context });
+            }
+            let (head, tail) = cur.split_at(n);
+            *cur = tail;
+            Ok(head)
+        }
+        fn take_u64(cur: &mut &[u8], context: &'static str) -> Result<u64, TraceError> {
+            let b = take(cur, 8, context)?;
+            Ok(u64::from_le_bytes(
+                b.try_into().expect("split_at gave 8 bytes"),
+            ))
+        }
+
+        let mut cur = bytes;
+        if take(&mut cur, 4, "magic")? != MAGIC {
             return Err(TraceError::BadMagic);
         }
-        let mut u32buf = [0u8; 4];
-        r.read_exact(&mut u32buf)?;
-        let version = u32::from_le_bytes(u32buf);
+        let version_bytes = take(&mut cur, 4, "version")?;
+        let version = u32::from_le_bytes(version_bytes.try_into().expect("4 bytes"));
         if version != VERSION {
             return Err(TraceError::BadVersion(version));
         }
-        let mut u64buf = [0u8; 8];
-        r.read_exact(&mut u64buf)?;
-        let count = u64::from_le_bytes(u64buf);
-        let mut instrs = Vec::with_capacity(count.min(1 << 24) as usize);
+        let count = take_u64(&mut cur, "record count")?;
+        // Every record occupies at least one byte, so a count larger than
+        // the remaining payload is corrupt; rejecting it here means the
+        // count is never trusted for the Vec allocation below.
+        if count > cur.len() as u64 {
+            return Err(TraceError::OversizedCount {
+                count,
+                available: cur.len() as u64,
+            });
+        }
+        let mut instrs = Vec::with_capacity(count as usize);
         for _ in 0..count {
-            let mut kind = [0u8; 1];
-            r.read_exact(&mut kind)?;
-            match kind[0] {
+            let kind = take(&mut cur, 1, "record kind")?[0];
+            match kind {
                 0 => instrs.push(Instr::Op),
                 1 => {
-                    r.read_exact(&mut u64buf)?;
-                    let pc = u64::from_le_bytes(u64buf);
-                    r.read_exact(&mut u64buf)?;
-                    let addr = u64::from_le_bytes(u64buf);
-                    let mut dep = [0u8; 1];
-                    r.read_exact(&mut dep)?;
+                    let pc = take_u64(&mut cur, "load record")?;
+                    let addr = take_u64(&mut cur, "load record")?;
+                    let dep = take(&mut cur, 1, "load record")?[0];
                     instrs.push(Instr::Load {
                         pc: Pc::new(pc),
                         addr: Addr::new(addr),
-                        dep: if dep[0] == 0xFF { None } else { Some(dep[0]) },
+                        dep: if dep == 0xFF { None } else { Some(dep) },
                     });
                 }
                 2 => {
-                    r.read_exact(&mut u64buf)?;
-                    let pc = u64::from_le_bytes(u64buf);
-                    r.read_exact(&mut u64buf)?;
-                    let addr = u64::from_le_bytes(u64buf);
+                    let pc = take_u64(&mut cur, "store record")?;
+                    let addr = take_u64(&mut cur, "store record")?;
                     instrs.push(Instr::Store {
                         pc: Pc::new(pc),
                         addr: Addr::new(addr),
@@ -200,6 +266,11 @@ impl Trace {
                 }
                 k => return Err(TraceError::BadRecord(k)),
             }
+        }
+        if !cur.is_empty() {
+            return Err(TraceError::TrailingData {
+                bytes: cur.len() as u64,
+            });
         }
         Ok(Trace { instrs })
     }
@@ -311,13 +382,48 @@ mod tests {
     }
 
     #[test]
-    fn truncated_input_is_an_io_error() {
+    fn truncated_input_is_a_typed_error() {
         let trace = sample_trace();
         let mut buf = Vec::new();
         trace.write_to(&mut buf).expect("serialize");
         buf.truncate(buf.len() - 3);
         let err = Trace::read_from(buf.as_slice()).unwrap_err();
-        assert!(matches!(err, TraceError::Io(_)), "{err}");
+        assert!(matches!(err, TraceError::Truncated { .. }), "{err}");
+    }
+
+    #[test]
+    fn oversized_count_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"BGTR");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        // Claim u64::MAX records with a one-byte payload: must be rejected
+        // from the length check, never from an allocation attempt.
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.push(0);
+        let err = Trace::read_from(buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TraceError::OversizedCount {
+                    count: u64::MAX,
+                    available: 1
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn trailing_data_is_rejected() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        trace.write_to(&mut buf).expect("serialize");
+        buf.push(0);
+        let err = Trace::read_from(buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, TraceError::TrailingData { bytes: 1 }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Property tests of `Trace` parsing robustness: arbitrarily truncated or
+//! bit-flipped `BGTR` bytes must produce a typed `Err` (or, for payload
+//! flips, possibly a different valid trace) — never a panic, never an
+//! attempt to allocate a liar's `count`.
+
+use bingo_rng::rngs::SmallRng;
+use bingo_rng::{Rng, SeedableRng};
+use bingo_sim::{Addr, Instr, Pc, Trace};
+
+/// A trace with every record kind, long enough that corruption has bytes
+/// to land on.
+fn sample_bytes(seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut instrs = Vec::new();
+    for i in 0..64u64 {
+        match rng.gen_range(0..3u32) {
+            0 => instrs.push(Instr::Op),
+            1 => instrs.push(Instr::Load {
+                pc: Pc::new(0x400 + i * 4),
+                addr: Addr::new(rng.gen_range(0..1u64 << 30)),
+                dep: if rng.gen_bool(0.3) {
+                    Some(rng.gen_range(0..4u32) as u8)
+                } else {
+                    None
+                },
+            }),
+            _ => instrs.push(Instr::Store {
+                pc: Pc::new(0x800 + i * 4),
+                addr: Addr::new(rng.gen_range(0..1u64 << 30)),
+            }),
+        }
+    }
+    let trace = Trace::from_instrs(instrs);
+    let mut bytes = Vec::new();
+    trace.write_to(&mut bytes).expect("serialize");
+    bytes
+}
+
+#[test]
+fn every_proper_prefix_is_a_typed_error_never_a_panic() {
+    let bytes = sample_bytes(0x7ACE_0001);
+    for len in 0..bytes.len() {
+        let result = Trace::parse(&bytes[..len]);
+        assert!(
+            result.is_err(),
+            "prefix of {len}/{} bytes must not parse as a complete trace",
+            bytes.len()
+        );
+    }
+    // The intact buffer, of course, still parses.
+    assert!(Trace::parse(&bytes).is_ok());
+}
+
+#[test]
+fn random_bit_flips_never_panic() {
+    let bytes = sample_bytes(0x7ACE_0002);
+    let mut rng = SmallRng::seed_from_u64(0x7ACE_0003);
+    for _ in 0..2000 {
+        let mut corrupted = bytes.clone();
+        // 1..=8 random single-bit flips anywhere in the stream, header
+        // included.
+        for _ in 0..rng.gen_range(1..=8u32) {
+            let byte = rng.gen_range(0..corrupted.len());
+            let bit = rng.gen_range(0..8u32);
+            corrupted[byte] ^= 1 << bit;
+        }
+        // Payload flips may legitimately decode to a *different* valid
+        // trace; the property is purely "no panic, and any Ok parse is
+        // internally consistent".
+        if let Ok(trace) = Trace::parse(&corrupted) {
+            let _ = trace.memory_accesses();
+            assert!(
+                trace.len() <= corrupted.len(),
+                "records cannot outnumber bytes"
+            );
+        }
+    }
+}
+
+#[test]
+fn random_truncation_plus_flips_never_panics() {
+    let bytes = sample_bytes(0x7ACE_0004);
+    let mut rng = SmallRng::seed_from_u64(0x7ACE_0005);
+    for _ in 0..2000 {
+        let len = rng.gen_range(0..=bytes.len());
+        let mut corrupted = bytes[..len].to_vec();
+        if !corrupted.is_empty() && rng.gen_bool(0.5) {
+            let byte = rng.gen_range(0..corrupted.len());
+            corrupted[byte] = corrupted[byte].wrapping_add(rng.gen_range(1..=255u32) as u8);
+        }
+        let _ = Trace::parse(&corrupted); // must not panic or over-allocate
+    }
+}
+
+#[test]
+fn corrupted_count_field_cannot_cause_huge_allocation() {
+    let bytes = sample_bytes(0x7ACE_0006);
+    // The count lives at offset 8 (after magic + version); force every
+    // byte pattern of its high byte, including absurd counts.
+    for high in 0..=255u8 {
+        let mut corrupted = bytes.clone();
+        corrupted[15] = high; // most significant byte of the LE count
+        let _ = Trace::parse(&corrupted); // completing without OOM/abort is the assertion
+    }
+}

@@ -728,8 +728,8 @@ mod tests {
             let b = collect_addrs(&mut s[1]);
             (a, b)
         };
-        let max_a = a.iter().max().unwrap();
-        let min_b = b.iter().min().unwrap();
+        let max_a = a.iter().max().expect("core 0 issued memory accesses");
+        let min_b = b.iter().min().expect("core 1 issued memory accesses");
         assert!(max_a < min_b, "core address spaces overlap");
     }
 

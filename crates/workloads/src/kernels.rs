@@ -20,9 +20,9 @@
 
 use std::collections::VecDeque;
 
+use bingo_rng::rngs::SmallRng;
+use bingo_rng::Rng;
 use bingo_sim::{Addr, Instr, Pc};
-use rand::rngs::SmallRng;
-use rand::Rng;
 
 /// How a region's footprint is keyed — the knob that separates
 /// spatially-correlated applications from temporally-correlated ones.
@@ -245,7 +245,7 @@ impl ObjectKernel {
         let visit = &mut self.active[idx];
         let off = visit.offsets[visit.next];
         let pc = Pc::new(visit.pc);
-        let addr = Addr::new(visit.region_base + off as u64 * 64 + rng.gen_range(0..8) * 8);
+        let addr = Addr::new(visit.region_base + off as u64 * 64 + rng.gen_range(0..8u64) * 8);
         for _ in 0..self.ops_per_access {
             out.push_back(Instr::Op);
         }
@@ -538,7 +538,7 @@ pub fn random(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use bingo_rng::SeedableRng;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(42)

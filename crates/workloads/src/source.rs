@@ -3,9 +3,9 @@
 
 use std::collections::VecDeque;
 
+use bingo_rng::rngs::SmallRng;
+use bingo_rng::{Rng, SeedableRng};
 use bingo_sim::{Instr, InstrSource};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::kernels::Kernel;
 

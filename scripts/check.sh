@@ -10,6 +10,9 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test --workspace -q --features audit"
+cargo test --workspace -q --features audit
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
