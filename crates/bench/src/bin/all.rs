@@ -7,7 +7,7 @@
 use std::process::Command;
 use std::time::Instant;
 
-const BINARIES: [&str; 14] = [
+const BINARIES: [&str; 15] = [
     "table1_config",
     "table2_workloads",
     "fig2_events",
@@ -18,6 +18,7 @@ const BINARIES: [&str; 14] = [
     "fig8_performance",
     "fig9_density",
     "fig10_isodegree",
+    "fig_timeliness",
     "ablation_voting",
     "ablation_region",
     "ablation_training",

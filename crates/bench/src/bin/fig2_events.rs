@@ -16,7 +16,14 @@ fn main() {
         .into_iter()
         .map(PrefetcherKind::SingleEvent)
         .collect();
-    let evals = harness.evaluate_all(&Workload::ALL, &kinds);
+    let cells: Vec<(Workload, PrefetcherKind)> = Workload::ALL
+        .iter()
+        .flat_map(|&w| kinds.iter().map(move |&k| (w, k)))
+        .collect();
+    let mut report = harness.try_evaluate_grid(&cells);
+    // A renamed counter must fail the figure by name, not plot as zero.
+    report.require_metrics(&["lookups", "matches"]);
+    let evals = report.into_complete();
     let mut t = Table::new(vec!["Event", "Accuracy", "Match Probability"]);
     for (j, kind) in EventKind::LONGEST_FIRST.into_iter().enumerate() {
         let mut accs = Vec::new();
@@ -24,8 +31,8 @@ fn main() {
         for i in 0..Workload::ALL.len() {
             let e = &evals[i * kinds.len() + j];
             accs.push(e.coverage.accuracy);
-            let lookups = e.result.metric_sum("lookups").unwrap_or(0.0);
-            let matches = e.result.metric_sum("matches").unwrap_or(0.0);
+            let lookups = e.result.metric_sum("lookups").expect("required above");
+            let matches = e.result.metric_sum("matches").expect("required above");
             probs.push(if lookups > 0.0 {
                 matches / lookups
             } else {

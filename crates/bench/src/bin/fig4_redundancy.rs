@@ -11,13 +11,26 @@ use bingo_workloads::Workload;
 fn main() {
     let scale = RunScale::from_args();
     let mut harness = ParallelHarness::new(scale);
-    let evals = harness.evaluate_all(&Workload::ALL, &[PrefetcherKind::MultiEvent(2)]);
+    let cells: Vec<(Workload, PrefetcherKind)> = Workload::ALL
+        .iter()
+        .map(|&w| (w, PrefetcherKind::MultiEvent(2)))
+        .collect();
+    let mut report = harness.try_evaluate_grid(&cells);
+    // A renamed counter must fail the figure by name, not plot as zero.
+    report.require_metrics(&["lookups", "dual_identical", "dual_both_matched"]);
+    let evals = report.into_complete();
     let mut t = Table::new(vec!["Workload", "Redundancy", "Both-matched"]);
     let mut all = Vec::new();
     for e in &evals {
-        let lookups = e.result.metric_sum("lookups").unwrap_or(0.0);
-        let identical = e.result.metric_sum("dual_identical").unwrap_or(0.0);
-        let both = e.result.metric_sum("dual_both_matched").unwrap_or(0.0);
+        let lookups = e.result.metric_sum("lookups").expect("required above");
+        let identical = e
+            .result
+            .metric_sum("dual_identical")
+            .expect("required above");
+        let both = e
+            .result
+            .metric_sum("dual_both_matched")
+            .expect("required above");
         let redundancy = if lookups > 0.0 {
             identical / lookups
         } else {

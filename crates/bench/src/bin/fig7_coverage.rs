@@ -17,6 +17,7 @@ fn main() {
         "Coverage",
         "Overprediction",
         "Accuracy",
+        "Timeliness",
     ]);
     let mut avg: Vec<(String, Vec<f64>, Vec<f64>)> = PrefetcherKind::HEADLINE
         .iter()
@@ -30,6 +31,7 @@ fn main() {
             pct(e.coverage.coverage),
             pct(e.coverage.overprediction),
             pct(e.coverage.accuracy),
+            pct(e.coverage.timeliness),
         ]);
         avg[i].1.push(e.coverage.coverage);
         avg[i].2.push(e.coverage.overprediction);
@@ -40,6 +42,7 @@ fn main() {
             name.clone(),
             pct(mean(covs)),
             pct(mean(ovs)),
+            String::new(),
             String::new(),
         ]);
     }

@@ -32,7 +32,7 @@ use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::{Mutex, PoisonError};
 
-use bingo_sim::{CacheStats, CoreStats, SimResult};
+use bingo_sim::{CacheStats, CoreStats, SimResult, SourceCounters, TelemetryReport};
 
 /// Environment variable naming the checkpoint file for CLI sweeps.
 pub const CHECKPOINT_ENV: &str = "BINGO_CHECKPOINT";
@@ -139,7 +139,7 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 
 // --- serialization -------------------------------------------------------
 
-fn serialize_entry(key: &str, r: &SimResult) -> String {
+pub(crate) fn serialize_entry(key: &str, r: &SimResult) -> String {
     let mut s = String::with_capacity(512);
     s.push_str("{\"key\":");
     push_json_string(&mut s, key);
@@ -189,8 +189,55 @@ fn serialize_entry(key: &str, r: &SimResult) -> String {
         }
         s.push(']');
     }
-    s.push_str("]}");
+    s.push(']');
+    // The telemetry field is optional: absent when the run had telemetry
+    // off, so files written before the field existed still parse.
+    if let Some(t) = &r.telemetry {
+        s.push_str(",\"telemetry\":{\"counts\":");
+        s.push_str(&format!(
+            "[{},{},{},{},{},{},{},{},{},{}]",
+            t.issued,
+            t.dropped_duplicate,
+            t.dropped_mshr,
+            t.timely,
+            t.late,
+            t.unused,
+            t.fills,
+            t.fill_latency_sum,
+            t.in_flight_at_end,
+            t.orphans
+        ));
+        s.push_str(",\"by_source\":[");
+        for (i, (label, c)) in t.by_source.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('[');
+            push_json_string(&mut s, label);
+            s.push(',');
+            push_source_counters(&mut s, c);
+            s.push(']');
+        }
+        s.push_str("],\"hot_pcs\":[");
+        for (i, (pc, c)) in t.hot_pcs.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("[{pc},"));
+            push_source_counters(&mut s, c);
+            s.push(']');
+        }
+        s.push_str("]}");
+    }
+    s.push('}');
     s
+}
+
+fn push_source_counters(s: &mut String, c: &SourceCounters) {
+    s.push_str(&format!(
+        "[{},{},{},{},{}]",
+        c.issued, c.timely, c.late, c.unused, c.dropped
+    ));
 }
 
 fn push_cache(s: &mut String, c: &CacheStats) {
@@ -446,8 +493,74 @@ fn parse_entry(line: &str) -> Option<(String, SimResult)> {
             .iter()
             .map(parse_metrics)
             .collect::<Option<Vec<_>>>()?,
+        // Optional: pre-telemetry checkpoint lines simply have no field.
+        telemetry: match root.field("telemetry") {
+            Some(v) => Some(parse_telemetry(v)?),
+            None => None,
+        },
     };
     Some((key, result))
+}
+
+fn parse_telemetry(v: &Json) -> Option<TelemetryReport> {
+    let counts = v.field("counts")?.arr()?;
+    if counts.len() != 10 {
+        return None;
+    }
+    Some(TelemetryReport {
+        issued: counts[0].num()?,
+        dropped_duplicate: counts[1].num()?,
+        dropped_mshr: counts[2].num()?,
+        timely: counts[3].num()?,
+        late: counts[4].num()?,
+        unused: counts[5].num()?,
+        fills: counts[6].num()?,
+        fill_latency_sum: counts[7].num()?,
+        in_flight_at_end: counts[8].num()?,
+        orphans: counts[9].num()?,
+        by_source: v
+            .field("by_source")?
+            .arr()?
+            .iter()
+            .map(|pair| {
+                let a = pair.arr()?;
+                if a.len() != 2 {
+                    return None;
+                }
+                let label = match &a[0] {
+                    Json::Str(s) => s.clone(),
+                    _ => return None,
+                };
+                Some((label, parse_source_counters(&a[1])?))
+            })
+            .collect::<Option<Vec<_>>>()?,
+        hot_pcs: v
+            .field("hot_pcs")?
+            .arr()?
+            .iter()
+            .map(|pair| {
+                let a = pair.arr()?;
+                if a.len() != 2 {
+                    return None;
+                }
+                Some((a[0].num()?, parse_source_counters(&a[1])?))
+            })
+            .collect::<Option<Vec<_>>>()?,
+    })
+}
+
+fn parse_source_counters(v: &Json) -> Option<SourceCounters> {
+    let a = v.arr()?;
+    if a.len() != 5 {
+        return None;
+    }
+    Some(SourceCounters {
+        issued: a[0].num()?,
+        timely: a[1].num()?,
+        late: a[2].num()?,
+        unused: a[3].num()?,
+        dropped: a[4].num()?,
+    })
 }
 
 fn parse_core(v: &Json) -> Option<CoreStats> {
@@ -558,6 +671,31 @@ mod tests {
                 ],
                 vec![],
             ],
+            telemetry: None,
+        }
+    }
+
+    fn sample_telemetry(salt: u64) -> TelemetryReport {
+        let c = |base: u64| SourceCounters {
+            issued: base,
+            timely: base / 2,
+            late: base / 4,
+            unused: base / 8,
+            dropped: base / 16,
+        };
+        TelemetryReport {
+            issued: 100 + salt,
+            dropped_duplicate: 3,
+            dropped_mshr: 2,
+            timely: 60,
+            late: 20,
+            unused: 20,
+            fills: 95,
+            fill_latency_sum: 40_000,
+            in_flight_at_end: 0,
+            orphans: 0,
+            by_source: vec![("long".to_string(), c(64)), ("short".to_string(), c(32))],
+            hot_pcs: vec![(0x400, c(48)), (0x1234, c(16))],
         }
     }
 
@@ -586,6 +724,7 @@ mod tests {
                 assert_eq!(va.to_bits(), vb.to_bits(), "metric {na} lost bits");
             }
         }
+        assert_eq!(a.telemetry, b.telemetry);
     }
 
     #[test]
@@ -595,6 +734,19 @@ mod tests {
         let (key, parsed) = parse_entry(&line).expect("own output parses");
         assert_eq!(key, "42/1000/500/Em3d/Bingo");
         assert_bit_equal(&r, &parsed);
+    }
+
+    #[test]
+    fn round_trip_preserves_telemetry() {
+        let mut r = sample_result(2);
+        r.telemetry = Some(sample_telemetry(7));
+        let line = serialize_entry("42/1000/500/Em3d/Bingo/telemetry=counts", &r);
+        let (_, parsed) = parse_entry(&line).expect("own output parses");
+        assert_bit_equal(&r, &parsed);
+        // A pre-telemetry reader shape (no field) still parses to None.
+        let plain = serialize_entry("k", &sample_result(2));
+        let (_, parsed) = parse_entry(&plain).expect("parses");
+        assert!(parsed.telemetry.is_none());
     }
 
     #[test]

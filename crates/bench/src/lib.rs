@@ -17,6 +17,7 @@
 //! | `fig8_performance` | Fig. 8: performance improvement |
 //! | `fig9_density` | Fig. 9: performance-density improvement |
 //! | `fig10_isodegree` | Fig. 10: iso-degree comparison |
+//! | `fig_timeliness` | prefetch-lifecycle timeliness & event-kind attribution |
 //! | `ablation_voting` / `ablation_region` | design-choice ablations |
 
 #![warn(missing_docs)]
@@ -25,13 +26,16 @@
 pub mod area;
 pub mod checkpoint;
 pub mod runner;
+pub mod stats_export;
 pub mod table;
 
 pub use area::AreaModel;
 pub use checkpoint::{Checkpoint, CHECKPOINT_ENV};
 pub use runner::{
-    cell_key, default_jobs, geometric_mean, mean, parallel_map, run_cell, run_one,
-    run_one_with_deadline, CellFailure, CellOutcome, Evaluation, GridReport, Harness,
-    ParallelHarness, PrefetcherKind, RunScale, CELL_TIMEOUT_ENV,
+    cell_key, cell_key_with_telemetry, default_jobs, geometric_mean, mean, parallel_map, run_cell,
+    run_cell_configured, run_one, run_one_configured, run_one_with_deadline, telemetry_from_env,
+    CellFailure, CellOutcome, Evaluation, GridReport, Harness, ParallelHarness, PrefetcherKind,
+    RunScale, CELL_TIMEOUT_ENV, TELEMETRY_ENV,
 };
+pub use stats_export::{StatsExport, STATS_ENV};
 pub use table::{f2, pct, Table};

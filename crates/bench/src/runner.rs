@@ -37,11 +37,12 @@ use bingo_baselines::{
 };
 use bingo_sim::{
     CoverageReport, FaultPlan, FaultyPrefetcher, NextLinePrefetcher, NoPrefetcher, Prefetcher,
-    SimAbort, SimResult, System, SystemConfig,
+    SimAbort, SimResult, System, SystemConfig, TelemetryLevel,
 };
 use bingo_workloads::Workload;
 
 use crate::checkpoint::{Checkpoint, CHECKPOINT_ENV};
+use crate::stats_export::StatsExport;
 
 /// Which prefetcher to attach to every core.
 #[derive(Copy, Clone, Debug, PartialEq)]
@@ -288,6 +289,25 @@ fn parse_override(name: &str, value: &str) -> u64 {
         .unwrap_or_else(|_| panic!("{name} must be an unsigned integer, got {value:?}"))
 }
 
+/// Environment variable selecting the prefetch-lifecycle telemetry level
+/// for CLI sweeps: `off` (default), `counts`, or `trace`.
+pub const TELEMETRY_ENV: &str = "BINGO_TELEMETRY";
+
+/// Reads [`TELEMETRY_ENV`], aborting loudly on garbage — a typo'd level
+/// must not silently run without telemetry.
+///
+/// # Panics
+///
+/// Panics if the variable is set but is not a recognized level.
+pub fn telemetry_from_env() -> TelemetryLevel {
+    match std::env::var(TELEMETRY_ENV) {
+        Ok(v) => TelemetryLevel::parse(&v).unwrap_or_else(|| {
+            panic!("{TELEMETRY_ENV} must be one of off/counts/trace, got {v:?}")
+        }),
+        Err(_) => TelemetryLevel::Off,
+    }
+}
+
 /// Runs one (workload, prefetcher) simulation on the paper's 4-core
 /// system, reporting deadline or cycle-limit aborts as values instead of
 /// panicking.
@@ -303,11 +323,30 @@ pub fn run_one_with_deadline(
     scale: RunScale,
     deadline: Option<Duration>,
 ) -> Result<SimResult, SimAbort> {
+    run_one_configured(workload, kind, scale, deadline, TelemetryLevel::Off)
+}
+
+/// [`run_one_with_deadline`] with an explicit prefetch-lifecycle telemetry
+/// level. Telemetry never perturbs the simulated machine (test-locked by
+/// the sim crate's invisibility tests); it only populates
+/// [`SimResult::telemetry`].
+///
+/// # Errors
+///
+/// Same as [`run_one_with_deadline`].
+pub fn run_one_configured(
+    workload: Workload,
+    kind: PrefetcherKind,
+    scale: RunScale,
+    deadline: Option<Duration>,
+    telemetry: TelemetryLevel,
+) -> Result<SimResult, SimAbort> {
     let cfg = SystemConfig::paper();
     let sources = workload.sources(cfg.cores, scale.seed);
     let mut system =
         System::with_prefetchers(cfg, sources, |_| kind.build(), scale.instructions_per_core)
-            .with_warmup(scale.warmup_per_core);
+            .with_warmup(scale.warmup_per_core)
+            .with_telemetry(telemetry);
     if let Some(limit) = deadline {
         system = system.with_time_limit(limit);
     }
@@ -380,8 +419,19 @@ pub fn run_cell(
     scale: RunScale,
     deadline: Option<Duration>,
 ) -> CellOutcome {
+    run_cell_configured(workload, kind, scale, deadline, TelemetryLevel::Off)
+}
+
+/// [`run_cell`] with an explicit telemetry level.
+pub fn run_cell_configured(
+    workload: Workload,
+    kind: PrefetcherKind,
+    scale: RunScale,
+    deadline: Option<Duration>,
+    telemetry: TelemetryLevel,
+) -> CellOutcome {
     let attempt = catch_unwind(AssertUnwindSafe(|| {
-        run_one_with_deadline(workload, kind, scale, deadline)
+        run_one_configured(workload, kind, scale, deadline, telemetry)
     }));
     match attempt {
         Ok(Ok(result)) => CellOutcome::Ok(Box::new(result)),
@@ -403,6 +453,25 @@ pub fn cell_key(scale: RunScale, workload: Workload, kind: PrefetcherKind) -> St
         "{}/{}/{}/{:?}/{:?}",
         scale.seed, scale.instructions_per_core, scale.warmup_per_core, workload, kind
     )
+}
+
+/// [`cell_key`] extended with the telemetry level. A telemetry-off run
+/// keeps the historical key unchanged, so checkpoints written before the
+/// telemetry layer existed stay valid; telemetry-on runs get their own
+/// namespace (their results carry the extra report, which a telemetry-off
+/// resume must not replay).
+pub fn cell_key_with_telemetry(
+    scale: RunScale,
+    workload: Workload,
+    kind: PrefetcherKind,
+    telemetry: TelemetryLevel,
+) -> String {
+    let base = cell_key(scale, workload, kind);
+    match telemetry {
+        TelemetryLevel::Off => base,
+        TelemetryLevel::Counts => format!("{base}/telemetry=counts"),
+        TelemetryLevel::Trace => format!("{base}/telemetry=trace"),
+    }
 }
 
 /// Worker count for parallel sweeps: the `BINGO_JOBS` environment override
@@ -486,10 +555,11 @@ fn timed_cell(
     kind: PrefetcherKind,
     scale: RunScale,
     deadline: Option<Duration>,
+    telemetry: TelemetryLevel,
     progress: bool,
 ) -> CellOutcome {
     let start = Instant::now();
-    let outcome = run_cell(workload, kind, scale, deadline);
+    let outcome = run_cell_configured(workload, kind, scale, deadline, telemetry);
     if progress {
         let wall = start.elapsed().as_secs_f64();
         let status = match &outcome {
@@ -576,6 +646,8 @@ pub struct ParallelHarness {
     progress: bool,
     cell_timeout: Option<Duration>,
     checkpoint: Option<Checkpoint>,
+    telemetry: TelemetryLevel,
+    stats: Option<StatsExport>,
     baselines: HashMap<Workload, SimResult>,
 }
 
@@ -599,17 +671,21 @@ pub const CELL_TIMEOUT_ENV: &str = "BINGO_CELL_TIMEOUT";
 impl ParallelHarness {
     /// Creates a parallel harness at the given scale with
     /// [`default_jobs`] workers, honoring the `BINGO_CELL_TIMEOUT`
-    /// (per-cell deadline, seconds) and `BINGO_CHECKPOINT` (resume file)
-    /// environment knobs. The explicit constructors
-    /// ([`ParallelHarness::with_jobs`] + builders) ignore the environment
-    /// so tests stay hermetic.
+    /// (per-cell deadline, seconds), `BINGO_CHECKPOINT` (resume file),
+    /// `BINGO_TELEMETRY` (prefetch-lifecycle telemetry level), and
+    /// `BINGO_STATS` (machine-readable stats export) environment knobs.
+    /// The explicit constructors ([`ParallelHarness::with_jobs`] +
+    /// builders) ignore the environment so tests stay hermetic.
     ///
     /// # Panics
     ///
     /// Panics if `BINGO_CELL_TIMEOUT` is set but not a non-negative number
-    /// of seconds, or if `BINGO_CHECKPOINT` names an unopenable file.
+    /// of seconds, if `BINGO_CHECKPOINT` or `BINGO_STATS` names an
+    /// unopenable file, or if `BINGO_TELEMETRY` is not a recognized level.
     pub fn new(scale: RunScale) -> Self {
         let mut harness = Self::with_jobs(scale, default_jobs());
+        harness.telemetry = telemetry_from_env();
+        harness.stats = StatsExport::from_env();
         if let Ok(v) = std::env::var(CELL_TIMEOUT_ENV) {
             harness.cell_timeout = Some(parse_cell_timeout(&v));
         }
@@ -643,6 +719,8 @@ impl ParallelHarness {
             progress: true,
             cell_timeout: None,
             checkpoint: None,
+            telemetry: TelemetryLevel::Off,
+            stats: None,
             baselines: HashMap::new(),
         }
     }
@@ -666,6 +744,27 @@ impl ParallelHarness {
     /// replayed from it instead of re-simulated.
     pub fn with_checkpoint(mut self, checkpoint: Checkpoint) -> Self {
         self.checkpoint = Some(checkpoint);
+        self
+    }
+
+    /// Sets the prefetch-lifecycle telemetry level for every cell
+    /// (baselines included). Telemetry never changes the simulated
+    /// machine; it adds a [`bingo_sim::TelemetryReport`] to each result
+    /// and namespaces the checkpoint keys (see [`cell_key_with_telemetry`]).
+    pub fn with_telemetry(mut self, level: TelemetryLevel) -> Self {
+        self.telemetry = level;
+        self
+    }
+
+    /// The telemetry level in use.
+    pub fn telemetry(&self) -> TelemetryLevel {
+        self.telemetry
+    }
+
+    /// Attaches a machine-readable stats export: every completed cell and
+    /// baseline (checkpoint replays included) is written as one JSON line.
+    pub fn with_stats_export(mut self, export: StatsExport) -> Self {
+        self.stats = Some(export);
         self
     }
 
@@ -707,18 +806,24 @@ impl ParallelHarness {
             }
         }
         let scale = self.scale;
+        let telemetry = self.telemetry;
         let mut hits = 0;
         if let Some(cp) = &self.checkpoint {
-            missing.retain(
-                |&w| match cp.get(&cell_key(scale, w, PrefetcherKind::None)) {
+            missing.retain(|&w| {
+                match cp.get(&cell_key_with_telemetry(
+                    scale,
+                    w,
+                    PrefetcherKind::None,
+                    telemetry,
+                )) {
                     Some(result) => {
                         self.baselines.insert(w, result);
                         hits += 1;
                         false
                     }
                     None => true,
-                },
-            );
+                }
+            });
         }
         if missing.is_empty() {
             return (Vec::new(), hits);
@@ -726,7 +831,14 @@ impl ParallelHarness {
         let progress = self.progress;
         let deadline = self.cell_timeout;
         let outcomes = parallel_map(self.jobs, missing.len(), |i| {
-            timed_cell(missing[i], PrefetcherKind::None, scale, deadline, progress)
+            timed_cell(
+                missing[i],
+                PrefetcherKind::None,
+                scale,
+                deadline,
+                telemetry,
+                progress,
+            )
         });
         let mut failures = Vec::new();
         for (w, outcome) in missing.into_iter().zip(outcomes) {
@@ -746,9 +858,20 @@ impl ParallelHarness {
     /// resume), never the sweep.
     fn record_checkpoint(&self, workload: Workload, kind: PrefetcherKind, result: &SimResult) {
         if let Some(cp) = &self.checkpoint {
-            let key = cell_key(self.scale, workload, kind);
+            let key = cell_key_with_telemetry(self.scale, workload, kind, self.telemetry);
             if let Err(e) = cp.record(&key, result) {
                 eprintln!("[checkpoint] write for {key} failed: {e}");
+            }
+        }
+    }
+
+    /// Appends a completed cell to the stats export, if one is attached.
+    /// Write errors degrade the export, never the sweep.
+    fn record_stats(&self, workload: Workload, kind: PrefetcherKind, result: &SimResult) {
+        if let Some(stats) = &self.stats {
+            let key = cell_key_with_telemetry(self.scale, workload, kind, self.telemetry);
+            if let Err(e) = stats.record(&key, result) {
+                eprintln!("[stats] write for {key} failed: {e}");
             }
         }
     }
@@ -785,6 +908,7 @@ impl ParallelHarness {
         let scale = self.scale;
         let progress = self.progress;
         let deadline = self.cell_timeout;
+        let telemetry = self.telemetry;
         let started = Instant::now();
 
         // Resolve what we can without simulating: cells whose baseline is
@@ -799,7 +923,7 @@ impl ParallelHarness {
                     });
                 }
                 if let Some(cp) = &self.checkpoint {
-                    if let Some(result) = cp.get(&cell_key(scale, w, k)) {
+                    if let Some(result) = cp.get(&cell_key_with_telemetry(scale, w, k, telemetry)) {
                         checkpoint_hits += 1;
                         return Some(CellOutcome::Ok(Box::new(result)));
                     }
@@ -813,7 +937,7 @@ impl ParallelHarness {
             .collect();
         let outcomes = parallel_map(self.jobs, todo.len(), |j| {
             let (w, k) = cells[todo[j]];
-            timed_cell(w, k, scale, deadline, progress)
+            timed_cell(w, k, scale, deadline, telemetry, progress)
         });
         for (&i, outcome) in todo.iter().zip(outcomes) {
             if let CellOutcome::Ok(result) = &outcome {
@@ -831,7 +955,7 @@ impl ParallelHarness {
             );
         }
 
-        let evaluations = cells
+        let evaluations: Vec<Option<Evaluation>> = cells
             .iter()
             .zip(resolved)
             .map(|(&(workload, kind), outcome)| {
@@ -857,10 +981,39 @@ impl ParallelHarness {
                 }
             })
             .collect();
+        self.export_stats(cells, &failed_baselines, &evaluations);
         GridReport {
             evaluations,
             failures,
             checkpoint_hits,
+        }
+    }
+
+    /// Writes the grid's machine-readable stats, if an export is attached:
+    /// each unique baseline once (first-occurrence order), then every
+    /// completed cell in input order. Checkpoint replays are included, so
+    /// the export is always the complete grid; the export itself
+    /// deduplicates keys across repeated grids.
+    fn export_stats(
+        &self,
+        cells: &[(Workload, PrefetcherKind)],
+        failed_baselines: &[Workload],
+        evaluations: &[Option<Evaluation>],
+    ) {
+        if self.stats.is_none() {
+            return;
+        }
+        let mut seen: Vec<Workload> = Vec::new();
+        for &(w, _) in cells {
+            if !seen.contains(&w) && !failed_baselines.contains(&w) {
+                seen.push(w);
+                if let Some(baseline) = self.baselines.get(&w) {
+                    self.record_stats(w, PrefetcherKind::None, baseline);
+                }
+            }
+        }
+        for e in evaluations.iter().flatten() {
+            self.record_stats(e.workload, e.kind, &e.result);
         }
     }
 
@@ -963,6 +1116,29 @@ impl GridReport {
     /// Number of cells that produced an evaluation.
     pub fn completed(&self) -> usize {
         self.evaluations.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Requires every completed cell to have reported each named
+    /// prefetcher metric, turning the silent `None` of
+    /// [`SimResult::metric_sum`] into a listed [`CellFailure`]. A typo'd
+    /// or renamed metric therefore shows up by name in the failure report
+    /// (and fails [`GridReport::into_complete`]) instead of plotting as a
+    /// silent zero.
+    pub fn require_metrics(&mut self, names: &[&str]) {
+        for e in self.evaluations.iter().flatten() {
+            for &name in names {
+                if e.result.metric_sum(name).is_none() {
+                    self.failures.push(CellFailure {
+                        workload: e.workload,
+                        kind: e.kind,
+                        reason: format!(
+                            "metric {name:?} missing: {} reported no such metric",
+                            e.kind.name()
+                        ),
+                    });
+                }
+            }
+        }
     }
 
     /// The multi-line failure report: one line per failed cell with its
@@ -1383,6 +1559,169 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn parse_cell_timeout_rejects_negative() {
         let _ = parse_cell_timeout("-1");
+    }
+
+    /// Workload-scale determinism lock for the telemetry layer: a
+    /// telemetry-on sweep produces bit-for-bit the machine results of a
+    /// telemetry-off sweep — same IPC, same miss counts, same speedup —
+    /// plus an attached report whose counters agree with the LLC's own.
+    #[test]
+    fn telemetry_is_invisible_at_workload_scale() {
+        let scale = RunScale {
+            instructions_per_core: 60_000,
+            warmup_per_core: 20_000,
+            seed: 16,
+        };
+        let cells = [(Workload::Streaming, PrefetcherKind::Bingo)];
+        let off = ParallelHarness::with_jobs(scale, 1)
+            .quiet()
+            .evaluate_grid(&cells);
+        let on = ParallelHarness::with_jobs(scale, 1)
+            .quiet()
+            .with_telemetry(TelemetryLevel::Counts)
+            .evaluate_grid(&cells);
+        assert!(off[0].result.telemetry.is_none());
+        let mut on_result = on[0].result.clone();
+        let t = on_result.telemetry.take().expect("report attached");
+        assert_eq!(off[0].result, on_result, "telemetry changed the machine");
+        let mut on_baseline = on[0].baseline.clone();
+        on_baseline.telemetry = None;
+        assert_eq!(off[0].baseline, on_baseline);
+        assert_eq!(off[0].speedup.to_bits(), on[0].speedup.to_bits());
+        // The ledger agrees with the cache's own lifecycle counters.
+        let llc = &on[0].result.llc;
+        assert_eq!(t.issued, llc.pf_issued);
+        assert_eq!(t.timely, llc.pf_useful);
+        assert_eq!(t.late, llc.pf_late);
+        assert_eq!(t.unused, llc.pf_useless);
+        assert_eq!(t.orphans, 0);
+        // Bingo attributes its bursts to event kinds.
+        let attributed: u64 = ["long", "short"]
+            .iter()
+            .filter_map(|l| t.source(l))
+            .map(|c| c.issued)
+            .sum();
+        assert!(t.issued > 0, "Bingo must prefetch on em3d");
+        assert_eq!(attributed, t.issued, "every Bingo burst is attributed");
+    }
+
+    /// A fault-injected Bingo cell with telemetry enabled completes
+    /// without panicking and keeps the ledger consistent with the cache —
+    /// corrupted metadata must not desynchronize the observability layer.
+    #[test]
+    fn faulty_bingo_with_telemetry_stays_consistent() {
+        let kind = PrefetcherKind::BingoFaulty {
+            fault_seed: 5,
+            rate: 0.05,
+        };
+        let mut h = ParallelHarness::with_jobs(tiny_scale(17), 2)
+            .quiet()
+            .with_telemetry(TelemetryLevel::Counts);
+        let report = h.try_evaluate_grid(&[(Workload::Em3d, kind)]);
+        assert!(report.is_clean(), "{}", report.failure_report());
+        let evals = report.into_complete();
+        let t = evals[0].result.telemetry.as_ref().expect("report attached");
+        let llc = &evals[0].result.llc;
+        assert_eq!(t.issued, llc.pf_issued);
+        assert_eq!(t.timely, llc.pf_useful);
+        assert_eq!(t.late, llc.pf_late);
+        assert_eq!(t.unused, llc.pf_useless);
+        assert_eq!(t.orphans, 0, "fault injection must not orphan records");
+    }
+
+    #[test]
+    fn telemetry_cell_keys_extend_but_preserve_off_keys() {
+        let scale = tiny_scale(1);
+        let (w, k) = (Workload::Em3d, PrefetcherKind::Bingo);
+        assert_eq!(
+            cell_key_with_telemetry(scale, w, k, TelemetryLevel::Off),
+            cell_key(scale, w, k),
+            "off keys must match pre-telemetry checkpoints"
+        );
+        let counts = cell_key_with_telemetry(scale, w, k, TelemetryLevel::Counts);
+        let trace = cell_key_with_telemetry(scale, w, k, TelemetryLevel::Trace);
+        assert!(counts.ends_with("/telemetry=counts"));
+        assert_ne!(counts, trace);
+        assert_ne!(counts, cell_key(scale, w, k));
+    }
+
+    /// A telemetry-on sweep resumed from its checkpoint replays the full
+    /// result — report included — instead of re-simulating.
+    #[test]
+    fn checkpoint_replays_telemetry_reports() {
+        let dir = std::env::temp_dir().join("bingo-runner-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(format!("telemetry-replay-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let scale = tiny_scale(19);
+        let cells = [(Workload::Streaming, PrefetcherKind::NextLine(1))];
+        let run = |path: &std::path::Path| {
+            let mut h = ParallelHarness::with_jobs(scale, 1)
+                .quiet()
+                .with_telemetry(TelemetryLevel::Counts)
+                .with_checkpoint(Checkpoint::open(path).expect("open checkpoint"));
+            h.try_evaluate_grid(&cells)
+        };
+        let fresh = run(&path);
+        assert_eq!(fresh.checkpoint_hits, 0);
+        let resumed = run(&path);
+        assert!(
+            resumed.checkpoint_hits >= 2,
+            "baseline and cell replay from the checkpoint"
+        );
+        let a = fresh.into_complete();
+        let b = resumed.into_complete();
+        assert_eq!(a[0].result, b[0].result);
+        assert!(b[0].result.telemetry.is_some(), "report survives the file");
+        assert_eq!(a[0].result.telemetry, b[0].result.telemetry);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// The metric_sum satellite: a figure requiring a metric no
+    /// prefetcher reports gets a named failure instead of a silent zero.
+    #[test]
+    fn require_metrics_reports_unknown_names() {
+        let mut h = ParallelHarness::with_jobs(tiny_scale(18), 2).quiet();
+        let mut report =
+            h.try_evaluate_grid(&[(Workload::Streaming, PrefetcherKind::MultiEvent(2))]);
+        report.require_metrics(&["lookups"]);
+        assert!(report.is_clean(), "known metrics pass");
+        report.require_metrics(&["no_such_metric"]);
+        assert!(!report.is_clean());
+        let text = report.failure_report();
+        assert!(
+            text.contains("\"no_such_metric\""),
+            "failure report names the missing metric: {text}"
+        );
+    }
+
+    /// The stats export captures every completed cell plus each unique
+    /// baseline, one JSON line per cell.
+    #[test]
+    fn stats_export_writes_grid_and_baselines() {
+        let dir = std::env::temp_dir().join("bingo-runner-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(format!("stats-export-{}.json", std::process::id()));
+        let scale = tiny_scale(20);
+        let export = StatsExport::create(&path).expect("create export");
+        let mut h = ParallelHarness::with_jobs(scale, 2)
+            .quiet()
+            .with_telemetry(TelemetryLevel::Counts)
+            .with_stats_export(export);
+        let _ = h.evaluate_all(
+            &[Workload::Streaming],
+            &[PrefetcherKind::NextLine(1), PrefetcherKind::Stride],
+        );
+        let text = std::fs::read_to_string(&path).expect("read export");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "one baseline + two cells");
+        assert!(
+            lines[0].contains("/None/telemetry=counts\""),
+            "{}",
+            lines[0]
+        );
+        assert!(lines.iter().all(|l| l.contains("\"telemetry\":")));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //! multi-match heuristic).
 
 use bingo_sim::{
-    AccessInfo, BlockAddr, FaultInjector, FaultPlan, FaultStats, Prefetcher, RegionGeometry,
+    AccessInfo, BlockAddr, FaultInjector, FaultPlan, FaultStats, PrefetchSource, Prefetcher,
+    RegionGeometry,
 };
 
 use crate::accumulation::{AccumulationTable, Residency};
@@ -124,6 +125,9 @@ pub struct Bingo {
     /// Seeded metadata-corruption source for robustness experiments; `None`
     /// in normal operation.
     faults: Option<FaultInjector>,
+    /// Which event produced the most recent prediction, for lifecycle
+    /// telemetry ([`Prefetcher::last_burst_source`]).
+    last_source: PrefetchSource,
     /// Lookup statistics.
     pub stats: BingoStats,
 }
@@ -141,6 +145,7 @@ impl Bingo {
             history: UnifiedHistoryTable::new(cfg.history_entries, cfg.history_ways, region_blocks),
             short_matches: Vec::with_capacity(cfg.history_ways),
             faults: None,
+            last_source: PrefetchSource::Unattributed,
             stats: BingoStats::default(),
             cfg,
         }
@@ -199,6 +204,7 @@ impl Bingo {
         let short = EventKind::PcOffset.key_of(info);
         let footprint = if let Some(fp) = self.history.lookup_long(long, short) {
             self.stats.long_hits += 1;
+            self.last_source = PrefetchSource::LongEvent;
             fp
         } else {
             let mut matches = std::mem::take(&mut self.short_matches);
@@ -213,6 +219,7 @@ impl Bingo {
                 // issued nothing and must not count as a hit.
                 if fp.iter().any(|offset| offset != info.offset) {
                     self.stats.short_hits += 1;
+                    self.last_source = PrefetchSource::ShortVote;
                     Some(fp)
                 } else {
                     self.stats.empty_votes += 1;
@@ -239,6 +246,7 @@ impl Prefetcher for Bingo {
     }
 
     fn on_access(&mut self, info: &AccessInfo, out: &mut Vec<BlockAddr>) {
+        self.last_source = PrefetchSource::Unattributed;
         // Fault injection: metadata loss — a random valid history entry
         // vanishes, as if its storage cell were corrupted and invalidated.
         if let Some(inj) = self.faults.as_mut() {
@@ -316,6 +324,10 @@ impl Prefetcher for Bingo {
             ));
         }
         out
+    }
+
+    fn last_burst_source(&self) -> PrefetchSource {
+        self.last_source
     }
 }
 
@@ -615,6 +627,30 @@ mod tests {
         assert!(metrics
             .iter()
             .any(|(n, v)| *n == "fault_entries_dropped" && *v > 0.0));
+    }
+
+    #[test]
+    fn burst_source_tracks_originating_event() {
+        let mut b = small();
+        assert_eq!(b.last_burst_source(), PrefetchSource::Unattributed);
+        visit(&mut b, 0x400, 10, &[3, 7, 9]);
+        // Same region, PC, and trigger: the long event replays.
+        let mut out = Vec::new();
+        b.on_access(&info(0x400, 10 * 32 + 3), &mut out);
+        assert!(!out.is_empty());
+        assert_eq!(b.last_burst_source(), PrefetchSource::LongEvent);
+        b.on_eviction(BlockAddr::new(10 * 32 + 3));
+        // New region, same PC+offset: the voted short event fires.
+        out.clear();
+        b.on_access(&info(0x400, 99 * 32 + 3), &mut out);
+        assert!(!out.is_empty());
+        assert_eq!(b.last_burst_source(), PrefetchSource::ShortVote);
+        b.on_eviction(BlockAddr::new(99 * 32 + 3));
+        // A no-match trigger clears the stale attribution.
+        out.clear();
+        b.on_access(&info(0x999, 55 * 32 + 1), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(b.last_burst_source(), PrefetchSource::Unattributed);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! produces Fig. 3. Its built-in redundancy probe — does the short table
 //! predict the same footprint as the long table? — produces Fig. 4.
 
-use bingo_sim::{AccessInfo, BlockAddr, Prefetcher, RegionGeometry};
+use bingo_sim::{AccessInfo, BlockAddr, PrefetchSource, Prefetcher, RegionGeometry};
 
 use crate::accumulation::{AccumulationTable, Residency};
 use crate::event::EventKind;
@@ -241,6 +241,9 @@ pub struct MultiEventPrefetcher {
     tables: Vec<EventTable>,
     accumulation: AccumulationTable,
     name: String,
+    /// Which cascade level produced the most recent prediction, for
+    /// lifecycle telemetry ([`Prefetcher::last_burst_source`]).
+    last_source: PrefetchSource,
     /// Lookup statistics.
     pub stats: MultiEventStats,
 }
@@ -267,6 +270,7 @@ impl MultiEventPrefetcher {
             accumulation: AccumulationTable::new(cfg.accumulation_entries, region_blocks),
             tables,
             name,
+            last_source: PrefetchSource::Unattributed,
             stats: MultiEventStats {
                 hits_by_event: vec![0; cfg.events.len()],
                 ..Default::default()
@@ -318,6 +322,7 @@ impl MultiEventPrefetcher {
             return;
         };
         self.stats.hits_by_event[i] += 1;
+        self.last_source = PrefetchSource::CascadeLevel(i as u8);
         for offset in fp.iter() {
             if offset != info.offset {
                 out.push(self.cfg.region.block_at(info.region, offset));
@@ -332,6 +337,7 @@ impl Prefetcher for MultiEventPrefetcher {
     }
 
     fn on_access(&mut self, info: &AccessInfo, out: &mut Vec<BlockAddr>) {
+        self.last_source = PrefetchSource::Unattributed;
         let observation = self.accumulation.observe(info);
         if let Some(res) = observation.evicted {
             self.train(res);
@@ -365,6 +371,10 @@ impl Prefetcher for MultiEventPrefetcher {
             ("dual_identical", self.stats.dual_identical as f64),
             ("trainings", self.stats.trainings as f64),
         ]
+    }
+
+    fn last_burst_source(&self) -> PrefetchSource {
+        self.last_source
     }
 }
 
@@ -464,6 +474,24 @@ mod tests {
         // New region: falls through to PC+Offset (index 1).
         visit(&mut p, 0x400, 60, &[3]);
         assert_eq!(p.stats.hits_by_event[1], 1);
+    }
+
+    #[test]
+    fn burst_source_reports_cascade_level() {
+        let mut p = small(EventKind::LONGEST_FIRST.to_vec());
+        assert_eq!(p.last_burst_source(), PrefetchSource::Unattributed);
+        visit(&mut p, 0x400, 10, &[3, 7]);
+        // Exact revisit: cascade level 0 (PC+Address).
+        let mut out = Vec::new();
+        p.on_access(&info(0x400, 10 * 32 + 3), &mut out);
+        assert!(!out.is_empty());
+        assert_eq!(p.last_burst_source(), PrefetchSource::CascadeLevel(0));
+        p.on_eviction(BlockAddr::new(10 * 32 + 3));
+        // New region: falls through to level 1 (PC+Offset).
+        out.clear();
+        p.on_access(&info(0x400, 60 * 32 + 3), &mut out);
+        assert!(!out.is_empty());
+        assert_eq!(p.last_burst_source(), PrefetchSource::CascadeLevel(1));
     }
 
     #[test]

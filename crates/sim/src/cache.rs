@@ -218,6 +218,15 @@ impl Cache {
         self.sets[set].iter().any(|l| l.valid && l.block == block)
     }
 
+    /// Whether the block has an in-flight fill that was allocated by a
+    /// prefetch and has not yet been demanded. Telemetry cross-check hook;
+    /// does not disturb state or statistics.
+    pub fn prefetch_pending(&self, block: BlockAddr) -> bool {
+        self.pending
+            .get(&block.index())
+            .is_some_and(|e| e.prefetch && !e.demanded)
+    }
+
     /// Number of in-flight fills (MSHR occupancy).
     pub fn mshr_occupancy(&self) -> usize {
         self.pending.len()

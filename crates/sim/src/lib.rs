@@ -58,6 +58,7 @@ pub mod memory;
 pub mod prefetch;
 pub mod stats;
 pub mod system;
+pub mod telemetry;
 pub mod trace;
 
 pub use addr::{Addr, BlockAddr, CoreId, Pc, RegionGeometry, RegionId, BLOCK_BYTES, BLOCK_SHIFT};
@@ -70,6 +71,10 @@ pub use memory::{IssueResult, MemorySystem};
 pub use prefetch::{AccessInfo, FaultyPrefetcher, NextLinePrefetcher, NoPrefetcher, Prefetcher};
 pub use stats::{CacheStats, CoreStats, CoverageReport, SimResult};
 pub use system::{SimAbort, System};
+pub use telemetry::{
+    DropReason, LifecycleEvent, LifecycleEventKind, PrefetchLedger, PrefetchSource, SourceCounters,
+    TelemetryLevel, TelemetryReport,
+};
 pub use trace::{record, Trace, TraceError, TraceSource};
 
 /// Asserts an internal invariant, compiled in only under the `audit`

@@ -23,6 +23,9 @@ use crate::config::SystemConfig;
 use crate::dram::Dram;
 use crate::prefetch::{AccessInfo, Prefetcher};
 use crate::stats::CacheStats;
+use crate::telemetry::{
+    DropReason, PrefetchLedger, PrefetchSource, TelemetryLevel, TelemetryReport,
+};
 
 /// Result of issuing a memory operation.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -49,6 +52,7 @@ pub struct MemorySystem {
     fills: BinaryHeap<Reverse<(u64, u64, FillLevel, u64)>>, // (ready, seq, level, block)
     fill_seq: u64,
     pf_buf: Vec<BlockAddr>,
+    ledger: PrefetchLedger,
 }
 
 impl MemorySystem {
@@ -75,8 +79,25 @@ impl MemorySystem {
             fills: BinaryHeap::new(),
             fill_seq: 0,
             pf_buf: Vec::with_capacity(64),
+            ledger: PrefetchLedger::new(TelemetryLevel::Off),
             cfg,
         }
+    }
+
+    /// Sets the prefetch-lifecycle telemetry level. Call before running;
+    /// switching levels mid-run discards any records collected so far.
+    pub fn set_telemetry(&mut self, level: TelemetryLevel) {
+        self.ledger = PrefetchLedger::new(level);
+    }
+
+    /// The prefetch-lifecycle ledger (off by default).
+    pub fn telemetry(&self) -> &PrefetchLedger {
+        &self.ledger
+    }
+
+    /// The aggregate lifecycle report; `None` when telemetry is off.
+    pub fn telemetry_report(&self) -> Option<TelemetryReport> {
+        self.ledger.report()
     }
 
     /// The system configuration.
@@ -138,6 +159,7 @@ impl MemorySystem {
         }
         self.llc.reset_stats();
         self.dram.reset_stats();
+        self.ledger.on_stats_reset();
     }
 
     /// Processes all fills that are due at or before `now`. Must be called
@@ -155,10 +177,15 @@ impl MemorySystem {
                         if evicted.dirty {
                             self.dram.write(evicted.block, now);
                         }
+                        if evicted.unused_prefetch {
+                            self.ledger.evicted_unused(evicted.block.index(), now);
+                        }
                         for pf in &mut self.prefetchers {
                             pf.on_eviction(evicted.block);
                         }
                     }
+                    // Settle the ledger record, if this fill was a prefetch.
+                    self.ledger.filled(block.index(), now);
                     // Notify fill observers (e.g. SPP's filter learns fills).
                     for pf in &mut self.prefetchers {
                         pf.on_fill(block, false);
@@ -219,6 +246,13 @@ impl MemorySystem {
 
         // L1 miss: consult the LLC after the L1 lookup latency.
         let t_llc = now + self.cfg.l1d.latency;
+        // The LLC lookup below is the single point where a prefetch is
+        // judged useful (`pf_useful`, resident hit) or late (`pf_late`,
+        // in-flight merge); the ledger classifies by observing those
+        // increments, so its counts agree with `CacheStats` by
+        // construction.
+        let pf_useful_before = self.llc.stats.pf_useful;
+        let pf_late_before = self.llc.stats.pf_late;
         let llc_hit;
         let data_ready = match self.llc.demand_access(block, t_llc, is_write) {
             Lookup::Hit { ready_at } => {
@@ -242,6 +276,13 @@ impl MemorySystem {
                 ready
             }
         };
+        if self.ledger.enabled() {
+            if self.llc.stats.pf_useful > pf_useful_before {
+                self.ledger.used_timely(block.index(), t_llc);
+            } else if self.llc.stats.pf_late > pf_late_before {
+                self.ledger.used_late(block.index(), t_llc);
+            }
+        }
 
         // Commit the L1 miss. A store miss installs its line dirty
         // (write-allocate, write-back).
@@ -288,19 +329,39 @@ impl MemorySystem {
             self.prefetchers[core.0].name(),
             buf.len()
         );
+        // One attribution query per burst: every candidate of a burst comes
+        // from the same prediction event.
+        let source = if self.ledger.enabled() && !buf.is_empty() {
+            self.prefetchers[core.0].last_burst_source()
+        } else {
+            PrefetchSource::Unattributed
+        };
         for &candidate in &buf {
-            self.issue_prefetch(candidate, cycle);
+            self.issue_prefetch_attributed(candidate, cycle, source, pc.raw());
         }
         self.pf_buf = buf;
     }
 
     /// Issues one prefetch candidate into the LLC at cycle `now`, applying
     /// duplicate filtering and MSHR limits. Exposed for prefetcher unit
-    /// tests and the harness's direct-drive mode.
+    /// tests and the harness's direct-drive mode; telemetry records the
+    /// prefetch as unattributed.
     pub fn issue_prefetch(&mut self, block: BlockAddr, now: u64) {
+        self.issue_prefetch_attributed(block, now, PrefetchSource::Unattributed, 0);
+    }
+
+    fn issue_prefetch_attributed(
+        &mut self,
+        block: BlockAddr,
+        now: u64,
+        source: PrefetchSource,
+        pc: u64,
+    ) {
         self.llc.stats.pf_requested += 1;
         if self.llc.probe(block) {
             self.llc.stats.pf_dropped_duplicate += 1;
+            self.ledger
+                .dropped(block.index(), pc, source, now, DropReason::Duplicate);
             return;
         }
         if !self
@@ -308,12 +369,19 @@ impl MemorySystem {
             .mshr_available_for_prefetch(self.cfg.llc_mshrs_reserved_for_demand)
         {
             self.llc.stats.pf_dropped_mshr += 1;
+            self.ledger
+                .dropped(block.index(), pc, source, now, DropReason::MshrFull);
             return;
         }
         let ready = self.dram.read(block, now + self.cfg.llc.latency);
         self.llc.allocate_fill(block, ready, true);
         self.schedule_fill(FillLevel::Llc, block, ready);
         self.llc.stats.pf_issued += 1;
+        self.ledger.issued(block.index(), pc, source, now);
+        crate::audit_assert!(
+            self.llc.prefetch_pending(block),
+            "prefetch issue invariant: {block:?} not pending as a prefetch after issue"
+        );
         crate::audit_assert!(
             self.llc.mshr_occupancy() <= self.cfg.llc.mshrs,
             "MSHR occupancy invariant: LLC occupancy {} exceeds {} MSHRs after prefetch",
@@ -334,6 +402,10 @@ impl MemorySystem {
             self.tick(ready);
         }
         self.llc.stats.pf_useless += self.llc.count_unused_prefetched();
+        // The matching ledger settlement: filled-but-never-demanded records
+        // become unused; finalize consumes them, so a second drain cannot
+        // double-count.
+        self.ledger.finalize();
         last
     }
 }

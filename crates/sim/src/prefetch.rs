@@ -9,6 +9,7 @@
 //! per-page-history prefetchers train on.
 
 use crate::addr::{Addr, BlockAddr, CoreId, Pc, RegionId};
+use crate::telemetry::PrefetchSource;
 
 /// Everything a prefetcher may observe about one demand access.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -78,6 +79,16 @@ pub trait Prefetcher {
     /// paper's match-probability and redundancy studies. Default: none.
     fn metrics(&self) -> Vec<(&'static str, f64)> {
         Vec::new()
+    }
+
+    /// The prediction event that produced the candidates emitted by the
+    /// most recent [`on_access`](Prefetcher::on_access) call, for
+    /// lifecycle-telemetry attribution. Queried once per burst, right
+    /// after `on_access` returns with a non-empty buffer. Default:
+    /// [`PrefetchSource::Unattributed`] (baselines need not implement
+    /// attribution).
+    fn last_burst_source(&self) -> PrefetchSource {
+        PrefetchSource::Unattributed
     }
 }
 

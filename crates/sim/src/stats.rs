@@ -4,6 +4,8 @@
 
 use std::fmt;
 
+use crate::telemetry::TelemetryReport;
+
 /// Counters for one cache (the LLC counters drive every figure).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -126,6 +128,9 @@ pub struct SimResult {
     /// Per-core structured prefetcher metrics
     /// ([`crate::prefetch::Prefetcher::metrics`]).
     pub prefetcher_metrics: Vec<Vec<(&'static str, f64)>>,
+    /// Prefetch-lifecycle breakdown (timeliness, per-source and per-PC
+    /// attribution); `None` unless the run enabled telemetry.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl SimResult {
@@ -242,6 +247,9 @@ pub struct CoverageReport {
     pub overprediction: f64,
     /// Prefetch accuracy (useful / completed).
     pub accuracy: f64,
+    /// Fraction of *used* prefetches that completed before their demand
+    /// arrived: `useful / (useful + late)`. 0 when nothing was used.
+    pub timeliness: f64,
     /// Baseline demand misses `M0`.
     pub baseline_misses: u64,
     /// Demand misses with the prefetcher active.
@@ -264,10 +272,17 @@ impl CoverageReport {
         } else {
             with_pf.llc.pf_useless as f64 / m0 as f64
         };
+        let used = with_pf.llc.pf_useful + with_pf.llc.pf_late;
+        let timeliness = if used == 0 {
+            0.0
+        } else {
+            with_pf.llc.pf_useful as f64 / used as f64
+        };
         CoverageReport {
             coverage,
             overprediction,
             accuracy: with_pf.llc.accuracy(),
+            timeliness,
             baseline_misses: m0,
             misses_with_prefetch: m,
         }
@@ -278,10 +293,11 @@ impl fmt::Display for CoverageReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "coverage {:5.1}%  overpred {:5.1}%  accuracy {:5.1}%",
+            "coverage {:5.1}%  overpred {:5.1}%  accuracy {:5.1}%  timely {:5.1}%",
             self.coverage * 100.0,
             self.overprediction * 100.0,
-            self.accuracy * 100.0
+            self.accuracy * 100.0,
+            self.timeliness * 100.0
         )
     }
 }
@@ -352,6 +368,18 @@ mod tests {
         let r = CoverageReport::from_runs(&pf, &base);
         assert_eq!(r.coverage, 0.0);
         assert!((r.overprediction - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeliness_is_timely_fraction_of_used() {
+        let base = run_with(100, 0, 0);
+        let mut pf = run_with(40, 6, 25);
+        pf.llc.pf_late = 2;
+        let r = CoverageReport::from_runs(&pf, &base);
+        assert!((r.timeliness - 0.75).abs() < 1e-12);
+        // No used prefetches at all: timeliness defined as 0.
+        let idle = CoverageReport::from_runs(&run_with(100, 0, 0), &base);
+        assert_eq!(idle.timeliness, 0.0);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::core_model::{InstrSource, OooCore};
 use crate::memory::MemorySystem;
 use crate::prefetch::Prefetcher;
 use crate::stats::SimResult;
+use crate::telemetry::TelemetryLevel;
 
 /// Why a simulation stopped before reaching its instruction targets.
 ///
@@ -119,6 +120,17 @@ impl System {
         self
     }
 
+    /// Enables prefetch-lifecycle telemetry at the given level; the
+    /// resulting [`SimResult::telemetry`] carries the breakdown.
+    ///
+    /// Telemetry is purely observational: enabling it never changes the
+    /// simulated machine (miss streams and cycle counts are identical
+    /// either way — see the determinism tests in `tests/telemetry.rs`).
+    pub fn with_telemetry(mut self, level: TelemetryLevel) -> Self {
+        self.mem.set_telemetry(level);
+        self
+    }
+
     /// Convenience constructor: every core gets a prefetcher from `make_pf`.
     pub fn with_prefetchers<F>(
         cfg: SystemConfig,
@@ -214,6 +226,7 @@ impl System {
             total_cycles,
             prefetcher_debug: self.mem.prefetcher_debug(),
             prefetcher_metrics: self.mem.prefetcher_metrics(),
+            telemetry: self.mem.telemetry_report(),
         })
     }
 }

@@ -1,0 +1,197 @@
+//! Integration tests of the prefetch-lifecycle telemetry layer.
+//!
+//! Two guarantees are locked here:
+//!
+//! 1. **Telemetry is invisible.** Enabling it must not change the simulated
+//!    machine: miss streams, cycle counts, and every other statistic are
+//!    bit-for-bit identical between a telemetry-off and a telemetry-on run.
+//! 2. **The ledger agrees with the cache.** The lifecycle classification
+//!    (timely / late / unused / dropped) must equal the LLC's own `pf_*`
+//!    counters exactly, including across a warmup reset, because both are
+//!    driven by the same events.
+
+use bingo_sim::{
+    Addr, BlockAddr, CoreId, Instr, InstrSource, IssueResult, MemorySystem, NextLinePrefetcher,
+    NoPrefetcher, Pc, SimResult, System, SystemConfig, TelemetryLevel,
+};
+
+fn streaming_source(core: usize) -> Box<dyn InstrSource> {
+    let mut next = 0u64;
+    let base = (core as u64) << 40;
+    Box::new(move || {
+        next += 1;
+        if next.is_multiple_of(4) {
+            Instr::Load {
+                pc: Pc::new(0x400),
+                addr: Addr::new(base + (next / 4) * 64),
+                dep: None,
+            }
+        } else {
+            Instr::Op
+        }
+    })
+}
+
+fn run_streaming(level: TelemetryLevel, warmup: u64) -> SimResult {
+    let cfg = SystemConfig::tiny();
+    System::new(
+        cfg,
+        vec![streaming_source(0)],
+        vec![Box::new(NextLinePrefetcher::new(4))],
+        30_000,
+    )
+    .with_warmup(warmup)
+    .with_telemetry(level)
+    .run()
+}
+
+/// Strips the telemetry report so two runs can be compared on the
+/// simulated machine's behavior alone.
+fn machine_view(mut r: SimResult) -> SimResult {
+    r.telemetry = None;
+    r
+}
+
+#[test]
+fn telemetry_on_is_invisible() {
+    let off = run_streaming(TelemetryLevel::Off, 0);
+    let counts = run_streaming(TelemetryLevel::Counts, 0);
+    let trace = run_streaming(TelemetryLevel::Trace, 0);
+    assert!(off.telemetry.is_none());
+    assert!(counts.telemetry.is_some());
+    assert!(trace.telemetry.is_some());
+    // Identical IPC, miss counts, and every other counter, at every level.
+    assert_eq!(off, machine_view(counts), "counts level changed the run");
+    assert_eq!(off, machine_view(trace), "trace level changed the run");
+}
+
+#[test]
+fn telemetry_on_is_invisible_across_warmup_reset() {
+    let off = run_streaming(TelemetryLevel::Off, 5_000);
+    let on = run_streaming(TelemetryLevel::Counts, 5_000);
+    assert_eq!(off, machine_view(on));
+}
+
+#[test]
+fn ledger_agrees_with_cache_counters() {
+    for warmup in [0, 5_000] {
+        let r = run_streaming(TelemetryLevel::Counts, warmup);
+        let t = r.telemetry.as_ref().expect("telemetry enabled");
+        assert_eq!(t.issued, r.llc.pf_issued, "warmup={warmup}");
+        assert_eq!(t.timely, r.llc.pf_useful, "warmup={warmup}");
+        assert_eq!(t.late, r.llc.pf_late, "warmup={warmup}");
+        assert_eq!(t.unused, r.llc.pf_useless, "warmup={warmup}");
+        assert_eq!(t.dropped_duplicate, r.llc.pf_dropped_duplicate);
+        assert_eq!(t.dropped_mshr, r.llc.pf_dropped_mshr);
+        assert_eq!(t.orphans, 0, "normal runs never desync the ledger");
+        assert_eq!(t.in_flight_at_end, 0, "drain settles every record");
+        assert!(t.issued > 0, "streaming must prefetch");
+        assert!(
+            (t.accuracy() - r.llc.accuracy()).abs() < 1e-12,
+            "derived accuracy must match"
+        );
+    }
+}
+
+#[test]
+fn streaming_attributes_to_trigger_pc() {
+    let r = run_streaming(TelemetryLevel::Counts, 0);
+    let t = r.telemetry.as_ref().unwrap();
+    // The stream has a single load PC: the hot list is exactly that PC and
+    // carries the whole issue count.
+    assert_eq!(t.hot_pcs.len(), 1);
+    assert_eq!(t.hot_pcs[0].0, 0x400);
+    assert_eq!(t.hot_pcs[0].1.issued, t.issued);
+    // NextLine does not attribute events.
+    assert_eq!(t.by_source.len(), 1);
+    assert_eq!(t.by_source[0].0, "unattributed");
+    assert_eq!(t.by_source[0].1.issued, t.issued);
+}
+
+const CORE: CoreId = CoreId(0);
+const PC: Pc = Pc::new(0x400100);
+
+fn mem_with_telemetry() -> MemorySystem {
+    let mut mem = MemorySystem::new(SystemConfig::tiny(), vec![Box::new(NoPrefetcher)]);
+    mem.set_telemetry(TelemetryLevel::Counts);
+    mem
+}
+
+fn demand(mem: &mut MemorySystem, addr: u64, now: u64) -> u64 {
+    match mem.load(CORE, PC, Addr::new(addr), now) {
+        IssueResult::Done(t) => t,
+        IssueResult::Stall => panic!("unexpected stall at cycle {now}"),
+    }
+}
+
+/// Ticks the memory system through `[from, to]` so scheduled fills land.
+/// (Unlike `drain`, this is a mid-run settle: no end-of-run accounting.)
+fn run_to(mem: &mut MemorySystem, from: u64, to: u64) {
+    for t in from..=to {
+        mem.tick(t);
+    }
+}
+
+#[test]
+fn duplicate_issue_while_in_flight_is_a_dropped_record() {
+    let mut mem = mem_with_telemetry();
+    mem.issue_prefetch(BlockAddr::new(100), 0);
+    mem.issue_prefetch(BlockAddr::new(100), 1); // still in flight
+    mem.drain();
+    let t = mem.telemetry_report().unwrap();
+    assert_eq!(t.issued, 1);
+    assert_eq!(t.dropped_duplicate, 1);
+    assert_eq!(t.unused, 1, "the one real prefetch was never demanded");
+    assert_eq!(t.orphans, 0, "a filtered duplicate never opens a record");
+}
+
+#[test]
+fn prefetch_evicted_then_re_demanded_settles_once() {
+    let mut mem = mem_with_telemetry();
+    // Prefetch a block and let it fill.
+    let victim = 7u64; // block index
+    mem.issue_prefetch(BlockAddr::new(victim), 0);
+    run_to(&mut mem, 0, 400);
+    // Evict it with demand pressure on its LLC set: tiny LLC is 8-way with
+    // 512 sets, so blocks at stride 512 conflict.
+    let mut now = 401;
+    for i in 1..=9u64 {
+        let done = demand(&mut mem, (victim + i * 512) * 64, now);
+        run_to(&mut mem, now, done);
+        now = done + 1;
+    }
+    let evicted = mem.telemetry_report().unwrap();
+    assert_eq!(evicted.unused, 1, "conflict pressure evicted the prefetch");
+    // Re-demanding the same block is a plain miss: the ledger record is
+    // already settled and must not reopen, double-count, or orphan.
+    let done = demand(&mut mem, victim * 64, now);
+    run_to(&mut mem, now, done);
+    mem.drain();
+    let t = mem.telemetry_report().unwrap();
+    assert_eq!(t.unused, 1, "no double count after re-demand");
+    assert_eq!(t.timely, 0, "a re-demanded evicted prefetch is not a hit");
+    assert_eq!(t.orphans, 0);
+    assert_eq!(t.unused, mem.llc_stats().pf_useless);
+    assert_eq!(mem.llc_stats().pf_useful, 0);
+}
+
+#[test]
+fn timely_and_late_paths_settle_against_cache_counters() {
+    let mut mem = mem_with_telemetry();
+    // Timely: prefetch, let the fill land, then demand.
+    mem.issue_prefetch(BlockAddr::new(40), 0);
+    run_to(&mut mem, 0, 400);
+    let done = demand(&mut mem, 40 * 64, 401);
+    // Late: prefetch, demand while still in flight.
+    mem.issue_prefetch(BlockAddr::new(80), done + 1);
+    demand(&mut mem, 80 * 64, done + 2);
+    mem.drain();
+    let t = mem.telemetry_report().unwrap();
+    assert_eq!(t.timely, 1);
+    assert_eq!(t.late, 1);
+    assert_eq!(t.timely, mem.llc_stats().pf_useful);
+    assert_eq!(t.late, mem.llc_stats().pf_late);
+    assert_eq!(t.fills, 1, "late prefetch settled before its fill landed");
+    assert!(t.fill_latency_sum > 0);
+    assert_eq!(t.timeliness(), 0.5);
+}
