@@ -25,12 +25,17 @@
 
 pub mod area;
 pub mod checkpoint;
+pub mod differential;
 pub mod runner;
 pub mod stats_export;
 pub mod table;
 
 pub use area::AreaModel;
 pub use checkpoint::{Checkpoint, CHECKPOINT_ENV};
+pub use differential::{
+    bingo_config_variants, diff_bingo, diff_bingo_instances, diff_with_oracle, fuzz_baseline,
+    fuzz_bingo, shrink_bingo_mismatch, FuzzFailure, FuzzReport, Mismatch,
+};
 pub use runner::{
     cell_key, cell_key_with_telemetry, default_jobs, geometric_mean, mean, parallel_map, run_cell,
     run_cell_configured, run_one, run_one_configured, run_one_with_deadline, telemetry_from_env,

@@ -115,6 +115,26 @@ impl BingoStats {
     }
 }
 
+/// Everything observable about one access fed through a prefetcher's
+/// prediction path, as returned by [`Bingo::step`] and
+/// [`crate::MultiEventPrefetcher::step`].
+///
+/// This is the deterministic single-step API the differential-testing
+/// harness drives: a reference model replayed over the same access
+/// sequence must produce an identical `PredictionStep` at every step, so
+/// equivalence can be asserted without peeking at internal tables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PredictionStep {
+    /// Whether the access was a trigger (the first touch of a new region
+    /// residency) and therefore consulted the history.
+    pub trigger: bool,
+    /// Which event produced the prediction;
+    /// [`PrefetchSource::Unattributed`] when nothing was predicted.
+    pub source: PrefetchSource,
+    /// The prefetch candidates emitted, in emission order.
+    pub prefetches: Vec<BlockAddr>,
+}
+
 /// The Bingo prefetcher.
 #[derive(Debug)]
 pub struct Bingo {
@@ -128,6 +148,8 @@ pub struct Bingo {
     /// Which event produced the most recent prediction, for lifecycle
     /// telemetry ([`Prefetcher::last_burst_source`]).
     last_source: PrefetchSource,
+    /// Whether the most recent access was a trigger, for [`Bingo::step`].
+    last_trigger: bool,
     /// Lookup statistics.
     pub stats: BingoStats,
 }
@@ -146,6 +168,7 @@ impl Bingo {
             short_matches: Vec::with_capacity(cfg.history_ways),
             faults: None,
             last_source: PrefetchSource::Unattributed,
+            last_trigger: false,
             stats: BingoStats::default(),
             cfg,
         }
@@ -176,6 +199,24 @@ impl Bingo {
     /// The configuration in use.
     pub fn config(&self) -> &BingoConfig {
         &self.cfg
+    }
+
+    /// Feeds one access through the full observe/train/predict path and
+    /// returns everything an external checker can observe about it.
+    ///
+    /// Behaviorally identical to [`Prefetcher::on_access`] — this is the
+    /// same code path, not a parallel one — but it additionally reports
+    /// whether the access was a trigger and which event the prediction
+    /// came from, which is what the differential harness diffs against
+    /// the executable specification.
+    pub fn step(&mut self, info: &AccessInfo) -> PredictionStep {
+        let mut prefetches = Vec::new();
+        self.on_access(info, &mut prefetches);
+        PredictionStep {
+            trigger: self.last_trigger,
+            source: self.last_source,
+            prefetches,
+        }
     }
 
     fn train(&mut self, mut residency: Residency) {
@@ -256,6 +297,7 @@ impl Prefetcher for Bingo {
             }
         }
         let observation = self.accumulation.observe(info);
+        self.last_trigger = observation.trigger;
         if let Some(res) = observation.evicted {
             self.train(res);
         }
@@ -482,6 +524,89 @@ mod tests {
             b.stats.match_probability() <= before.match_probability(),
             "an issue-nothing lookup must not raise the match probability"
         );
+    }
+
+    #[test]
+    fn vote_exactly_at_threshold_prefetches_the_block() {
+        // 4 matching footprints at a 50% threshold: need = ceil(2.0) = 2
+        // votes. Offset 7 appears in exactly 2/4 — at the boundary — and
+        // must be prefetched; offsets 9 and 21 appear once and must not.
+        let mut b = Bingo::new(BingoConfig {
+            history_entries: 256,
+            history_ways: 4,
+            accumulation_entries: 8,
+            vote_threshold: 0.5,
+            ..BingoConfig::paper()
+        });
+        visit(&mut b, 0x400, 10, &[3, 7]);
+        visit(&mut b, 0x400, 11, &[3, 7]);
+        visit(&mut b, 0x400, 12, &[3, 9]);
+        visit(&mut b, 0x400, 13, &[3, 21]);
+        let p = visit(&mut b, 0x400, 99, &[3]);
+        let blocks: Vec<u64> = p.iter().map(|x| x.index()).collect();
+        assert_eq!(blocks, vec![99 * 32 + 7], "only the at-threshold block");
+    }
+
+    #[test]
+    fn single_way_short_match_fires_even_at_strict_threshold() {
+        // One matching footprint: need = ceil(threshold * 1) = 1 for every
+        // valid threshold, so a single-way match always replays its whole
+        // footprint — including under a 90% threshold.
+        let mut b = Bingo::new(BingoConfig {
+            history_entries: 256,
+            history_ways: 4,
+            accumulation_entries: 8,
+            vote_threshold: 0.9,
+            ..BingoConfig::paper()
+        });
+        visit(&mut b, 0x400, 10, &[3, 7, 9]);
+        let p = visit(&mut b, 0x400, 99, &[3]);
+        let blocks: Vec<u64> = p.iter().map(|x| x.index()).collect();
+        assert_eq!(blocks, vec![99 * 32 + 7, 99 * 32 + 9]);
+        assert_eq!(b.stats.short_hits, 1);
+    }
+
+    #[test]
+    fn step_reports_trigger_source_and_prefetches() {
+        let mut b = small();
+        // First touch of region 10: a trigger with nothing learned.
+        let s = b.step(&info(0x400, 10 * 32 + 3));
+        assert!(s.trigger);
+        assert_eq!(s.source, PrefetchSource::Unattributed);
+        assert!(s.prefetches.is_empty());
+        // Second touch of the same residency: not a trigger.
+        let s = b.step(&info(0x400, 10 * 32 + 7));
+        assert!(!s.trigger);
+        b.on_eviction(BlockAddr::new(10 * 32 + 3));
+        // Exact revisit: trigger + long-event prediction.
+        let s = b.step(&info(0x400, 10 * 32 + 3));
+        assert!(s.trigger);
+        assert_eq!(s.source, PrefetchSource::LongEvent);
+        assert_eq!(s.prefetches, vec![BlockAddr::new(10 * 32 + 7)]);
+    }
+
+    #[test]
+    fn step_matches_on_access_exactly() {
+        // step() must be the same code path as on_access, not a parallel
+        // one: two identically configured instances fed the same stream
+        // agree step-for-step.
+        let mut via_step = small();
+        let mut via_access = small();
+        let pattern: &[(u64, u64)] = &[
+            (0x400, 10 * 32 + 3),
+            (0x400, 10 * 32 + 7),
+            (0x404, 11 * 32 + 3),
+            (0x400, 12 * 32 + 3),
+            (0x400, 10 * 32 + 9),
+        ];
+        for &(pc, block) in pattern {
+            let s = via_step.step(&info(pc, block));
+            let mut out = Vec::new();
+            via_access.on_access(&info(pc, block), &mut out);
+            assert_eq!(s.prefetches, out);
+            assert_eq!(s.source, via_access.last_burst_source());
+        }
+        assert_eq!(via_step.stats, via_access.stats);
     }
 
     #[test]

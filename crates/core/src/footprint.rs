@@ -275,6 +275,53 @@ mod tests {
     }
 
     #[test]
+    fn vote_exactly_at_threshold_is_kept() {
+        // 20% of 10 footprints = exactly 2 votes needed; a block with
+        // exactly 2 votes survives and one with 1 vote does not. This is
+        // the >= boundary: "at least 20%", not "more than 20%".
+        let mut fs = vec![
+            Footprint::from_bits(0b011, 8),
+            Footprint::from_bits(0b001, 8),
+        ];
+        fs.extend(std::iter::repeat(Footprint::from_bits(0b100, 8)).take(8));
+        assert_eq!(fs.len(), 10);
+        let v = Footprint::vote(&fs, 0.2);
+        assert!(v.contains(0), "bit0 has exactly 2/10 votes: at threshold");
+        assert!(!v.contains(1), "bit1 has 1/10 votes: below threshold");
+        assert!(v.contains(2), "bit2 has 8/10 votes: above threshold");
+    }
+
+    #[test]
+    fn vote_need_rounds_up_between_integers() {
+        // 20% of 6 = 1.2 -> ceil to 2: a single vote is no longer enough
+        // the moment n crosses the 1/threshold boundary.
+        let fs = [
+            Footprint::from_bits(0b01, 8),
+            Footprint::from_bits(0b10, 8),
+            Footprint::from_bits(0b10, 8),
+            Footprint::from_bits(0b00, 8),
+            Footprint::from_bits(0b00, 8),
+            Footprint::from_bits(0b00, 8),
+        ];
+        let v = Footprint::vote(&fs, 0.2);
+        assert!(!v.contains(0), "1/6 votes < ceil(1.2) = 2");
+        assert!(v.contains(1), "2/6 votes == ceil(1.2) = 2");
+    }
+
+    #[test]
+    fn vote_over_all_empty_footprints_is_empty() {
+        let fs = [Footprint::empty(8); 5];
+        assert!(Footprint::vote(&fs, 0.2).is_empty());
+        assert!(Footprint::vote(&fs, 1.0).is_empty());
+    }
+
+    #[test]
+    fn vote_threshold_one_requires_unanimity() {
+        let fs = [Footprint::from_bits(0b11, 8), Footprint::from_bits(0b01, 8)];
+        assert_eq!(Footprint::vote(&fs, 1.0).bits(), 0b01);
+    }
+
+    #[test]
     fn vote_empty_slice_is_empty() {
         assert!(Footprint::vote(&[], 0.2).is_empty());
     }

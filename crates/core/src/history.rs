@@ -351,4 +351,81 @@ mod tests {
         t.insert(2, 2, fp(2));
         assert_eq!(t.valid_entries(), 2);
     }
+
+    #[test]
+    fn retraining_one_alias_leaves_other_aliases_intact() {
+        // Two long events aliasing on the same short key (the hash-index
+        // collision the unified table is designed around). Retraining one
+        // must not disturb the other's footprint or entry.
+        let mut t = table();
+        t.insert(100, 7, fp(0b0001));
+        t.insert(200, 7, fp(0b0010));
+        t.insert(100, 7, fp(0b1000)); // retrain the first alias
+        assert_eq!(t.valid_entries(), 2, "retraining must not duplicate");
+        assert_eq!(t.lookup_long(100, 7), Some(fp(0b1000)));
+        assert_eq!(t.lookup_long(200, 7), Some(fp(0b0010)));
+    }
+
+    #[test]
+    fn short_lookup_ignores_different_short_key_in_same_set() {
+        // Keys 3 and 3+4 land in the same set of a 4-set table but carry
+        // different short tags; a short lookup must separate them even
+        // though a naive index-only match would conflate them.
+        let mut t = UnifiedHistoryTable::new(8, 2, 32); // 4 sets x 2 ways
+        t.insert(100, 3, fp(0b01));
+        t.insert(200, 3 + 4, fp(0b10));
+        let mut out = Vec::new();
+        t.lookup_short(3, &mut out);
+        assert_eq!(out, vec![fp(0b01)]);
+        t.lookup_short(3 + 4, &mut out);
+        assert_eq!(out, vec![fp(0b10)]);
+    }
+
+    #[test]
+    fn full_set_of_aliases_evicts_least_recent_alias() {
+        // A 2-way set completely filled with short-key aliases: inserting a
+        // third alias must evict the LRU one, and the surviving pair must
+        // be exactly {most recently touched, newcomer}.
+        let mut t = UnifiedHistoryTable::new(8, 2, 32);
+        t.insert(100, 7, fp(0b001)); // older
+        t.insert(200, 7, fp(0b010)); // newer
+        let _ = t.lookup_long(100, 7); // now 100 is most recent
+        t.insert(300, 7, fp(0b100)); // must evict 200
+        assert_eq!(t.valid_entries(), 2);
+        assert_eq!(t.lookup_long(200, 7), None, "LRU alias evicted");
+        assert_eq!(t.lookup_long(100, 7), Some(fp(0b001)));
+        assert_eq!(t.lookup_long(300, 7), Some(fp(0b100)));
+    }
+
+    #[test]
+    fn short_touch_protects_all_aliases_from_eviction() {
+        // lookup_short touches every matching way, so a mixed set evicts
+        // the non-matching entry first even if it was inserted later.
+        let mut t = UnifiedHistoryTable::new(8, 2, 32);
+        t.insert(100, 3, fp(0b01)); // alias of short key 3
+        t.insert(900, 7, fp(0b10)); // same set (7 & 3 == 3), different short
+        let mut out = Vec::new();
+        t.lookup_short(3, &mut out); // touches only the alias of key 3
+        assert_eq!(out.len(), 1);
+        t.insert(300, 3, fp(0b11)); // set full: LRU is now the key-7 entry
+        assert_eq!(t.lookup_long(900, 7), None, "untouched entry evicted");
+        assert_eq!(t.lookup_long(100, 3), Some(fp(0b01)));
+        assert_eq!(t.lookup_long(300, 3), Some(fp(0b11)));
+    }
+
+    #[test]
+    fn eviction_order_cycles_through_insertion_order_when_untouched() {
+        // With no intervening lookups, successive inserts into a full set
+        // evict strictly in insertion order (stamps are the LRU order).
+        let mut t = UnifiedHistoryTable::new(8, 2, 32);
+        t.insert(1, 0, fp(0b001));
+        t.insert(2, 4, fp(0b010));
+        t.insert(3, 8, fp(0b100)); // evicts 1
+        assert_eq!(t.lookup_long(1, 0), None);
+        // That lookup_long miss did not touch anything; 2 is still LRU.
+        t.insert(4, 12, fp(0b110)); // evicts 2
+        assert_eq!(t.lookup_long(2, 4), None);
+        assert_eq!(t.lookup_long(3, 8), Some(fp(0b100)));
+        assert_eq!(t.lookup_long(4, 12), Some(fp(0b110)));
+    }
 }

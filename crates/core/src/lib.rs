@@ -58,7 +58,7 @@ pub mod footprint;
 pub mod history;
 pub mod multi_event;
 
-pub use crate::bingo::{Bingo, BingoConfig, BingoStats};
+pub use crate::bingo::{Bingo, BingoConfig, BingoStats, PredictionStep};
 pub use accumulation::{AccumulationTable, Observation, Residency};
 pub use analysis::{EventProfile, SpatialProfiler, SpatialReport};
 pub use event::{Event, EventKind};

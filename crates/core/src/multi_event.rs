@@ -14,6 +14,7 @@
 use bingo_sim::{AccessInfo, BlockAddr, PrefetchSource, Prefetcher, RegionGeometry};
 
 use crate::accumulation::{AccumulationTable, Residency};
+use crate::bingo::PredictionStep;
 use crate::event::EventKind;
 use crate::footprint::Footprint;
 
@@ -244,6 +245,9 @@ pub struct MultiEventPrefetcher {
     /// Which cascade level produced the most recent prediction, for
     /// lifecycle telemetry ([`Prefetcher::last_burst_source`]).
     last_source: PrefetchSource,
+    /// Whether the most recent access was a trigger, for
+    /// [`MultiEventPrefetcher::step`].
+    last_trigger: bool,
     /// Lookup statistics.
     pub stats: MultiEventStats,
 }
@@ -271,6 +275,7 @@ impl MultiEventPrefetcher {
             tables,
             name,
             last_source: PrefetchSource::Unattributed,
+            last_trigger: false,
             stats: MultiEventStats {
                 hits_by_event: vec![0; cfg.events.len()],
                 ..Default::default()
@@ -282,6 +287,19 @@ impl MultiEventPrefetcher {
     /// The configuration in use.
     pub fn config(&self) -> &MultiEventConfig {
         &self.cfg
+    }
+
+    /// Feeds one access through the observe/train/predict path and returns
+    /// the externally observable outcome — the cascade counterpart of
+    /// [`crate::Bingo::step`], driven by the same differential harness.
+    pub fn step(&mut self, info: &AccessInfo) -> PredictionStep {
+        let mut prefetches = Vec::new();
+        self.on_access(info, &mut prefetches);
+        PredictionStep {
+            trigger: self.last_trigger,
+            source: self.last_source,
+            prefetches,
+        }
     }
 
     fn train(&mut self, residency: Residency) {
@@ -339,6 +357,7 @@ impl Prefetcher for MultiEventPrefetcher {
     fn on_access(&mut self, info: &AccessInfo, out: &mut Vec<BlockAddr>) {
         self.last_source = PrefetchSource::Unattributed;
         let observation = self.accumulation.observe(info);
+        self.last_trigger = observation.trigger;
         if let Some(res) = observation.evicted {
             self.train(res);
         }
@@ -538,6 +557,36 @@ mod tests {
             "5-event match prob {five} must be >= 1-event {one}"
         );
         assert!(five > 0.5, "5-event cascade should match most lookups");
+    }
+
+    #[test]
+    fn cascade_takes_first_match_without_voting() {
+        // Contrast with Bingo's short-event voting: the cascade replays the
+        // first matching table's footprint verbatim, so two conflicting
+        // short-event footprints never intersect or union — the most
+        // recently trained one simply wins.
+        let mut p = small(vec![EventKind::PcOffset]);
+        visit(&mut p, 0x400, 10, &[3, 7]);
+        visit(&mut p, 0x400, 11, &[3, 9]); // retrains PC+Offset(0x400, 3)
+        let got = visit(&mut p, 0x400, 99, &[3]);
+        let blocks: Vec<u64> = got.iter().map(|x| x.index()).collect();
+        assert_eq!(blocks, vec![99 * 32 + 9], "last training wins outright");
+    }
+
+    #[test]
+    fn step_reports_trigger_and_cascade_source() {
+        let mut p = small(EventKind::LONGEST_FIRST.to_vec());
+        let s = p.step(&info(0x400, 10 * 32 + 3));
+        assert!(s.trigger);
+        assert_eq!(s.source, PrefetchSource::Unattributed);
+        assert!(s.prefetches.is_empty());
+        let s = p.step(&info(0x400, 10 * 32 + 7));
+        assert!(!s.trigger, "second touch of a live residency");
+        p.on_eviction(BlockAddr::new(10 * 32 + 3));
+        let s = p.step(&info(0x400, 10 * 32 + 3));
+        assert!(s.trigger);
+        assert_eq!(s.source, PrefetchSource::CascadeLevel(0));
+        assert_eq!(s.prefetches, vec![BlockAddr::new(10 * 32 + 7)]);
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! Seeded adversarial trace generation.
+//!
+//! The generator is deliberately not a realistic workload model — the
+//! workload crate already has those. It is a bug-hunting distribution:
+//! every action is chosen because it stresses a boundary the prefetchers
+//! must get right. Sequential walks straddle region boundaries mid-burst;
+//! a small PC pool forces history-table aliasing; exact `(pc, block)`
+//! revisits race a region's trigger against its own retrigger; evictions
+//! target both hot blocks (ending live residencies) and blocks that were
+//! never accessed (eviction-before-fill). Everything is driven by a
+//! [`bingo_rng::SmallRng`] seed, so a trace is reproducible from
+//! `(config, seed)` alone.
+
+use bingo_rng::{Rng, SeedableRng, SmallRng};
+use bingo_sim::{PrefetchTrace, BLOCK_BYTES};
+
+/// Shape parameters for [`generate`].
+#[derive(Clone, Debug)]
+pub struct GeneratorConfig {
+    /// Region size in bytes (power of two, ≥ one block).
+    pub region_bytes: u64,
+    /// Number of events (accesses + evictions) in the trace.
+    pub events: usize,
+    /// Size of the PC pool. Small pools maximize aliasing.
+    pub pcs: usize,
+    /// Number of distinct regions the trace touches.
+    pub regions: u64,
+}
+
+impl GeneratorConfig {
+    /// Small tables' worth of traffic: few PCs, few regions, heavy reuse.
+    /// The workhorse preset — collisions and evictions happen constantly.
+    pub fn small() -> Self {
+        GeneratorConfig {
+            region_bytes: 2048,
+            events: 400,
+            pcs: 4,
+            regions: 8,
+        }
+    }
+
+    /// Paper-scale regions with a wider footprint of PCs and regions.
+    pub fn paper() -> Self {
+        GeneratorConfig {
+            region_bytes: 2048,
+            events: 600,
+            pcs: 12,
+            regions: 32,
+        }
+    }
+
+    /// Degenerate 128-byte regions: two blocks per region, so nearly
+    /// every footprint is empty-or-singleton and sequential walks cross a
+    /// region boundary every other access.
+    pub fn tiny_regions() -> Self {
+        GeneratorConfig {
+            region_bytes: 128,
+            events: 300,
+            pcs: 3,
+            regions: 24,
+        }
+    }
+
+    /// Oversized 4-KiB regions: 64-bit footprints fill slowly and bursts
+    /// within one region get long.
+    pub fn huge_regions() -> Self {
+        GeneratorConfig {
+            region_bytes: 4096,
+            events: 600,
+            pcs: 6,
+            regions: 6,
+        }
+    }
+
+    /// All presets, in a fixed order suitable for round-robin fuzzing.
+    pub fn all() -> Vec<GeneratorConfig> {
+        vec![
+            GeneratorConfig::small(),
+            GeneratorConfig::paper(),
+            GeneratorConfig::tiny_regions(),
+            GeneratorConfig::huge_regions(),
+        ]
+    }
+
+    fn blocks_per_region(&self) -> u64 {
+        self.region_bytes / BLOCK_BYTES
+    }
+}
+
+/// Generates a reproducible adversarial trace from `(cfg, seed)`.
+///
+/// # Panics
+///
+/// Panics if `cfg.region_bytes` is not a power of two of at least one
+/// block, or if `cfg.pcs` or `cfg.regions` is zero.
+pub fn generate(cfg: &GeneratorConfig, seed: u64) -> PrefetchTrace {
+    assert!(cfg.pcs > 0 && cfg.regions > 0, "empty pc/region pool");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut trace = PrefetchTrace::new(cfg.region_bytes);
+    let bpr = cfg.blocks_per_region();
+    let pc_pool: Vec<u64> = (0..cfg.pcs as u64).map(|i| 0x400 + 4 * i).collect();
+    let max_block = cfg.regions * bpr;
+
+    // The walker streams sequentially and straddles region boundaries as a
+    // matter of course; everything else perturbs it.
+    let mut walker: u64 = rng.gen_range(0..max_block);
+    // Exact (pc, block) pairs seen so far, for revisit races.
+    let mut seen: Vec<(u64, u64)> = Vec::new();
+    // Blocks accessed so far, for plausible (post-fill) evictions.
+    let mut touched: Vec<u64> = Vec::new();
+
+    fn access(
+        trace: &mut PrefetchTrace,
+        seen: &mut Vec<(u64, u64)>,
+        touched: &mut Vec<u64>,
+        pc: u64,
+        block: u64,
+    ) {
+        trace.access(pc, block);
+        if seen.len() < 4096 {
+            seen.push((pc, block));
+        }
+        if touched.len() < 4096 {
+            touched.push(block);
+        }
+    }
+
+    while trace.len() < cfg.events {
+        match rng.gen_range(0u32..100) {
+            // Sequential walk: 1–6 consecutive blocks under one PC. Long
+            // enough runs cross a region boundary mid-burst.
+            0..=34 => {
+                let pc = pc_pool[rng.gen_range(0..pc_pool.len())];
+                for _ in 0..rng.gen_range(1usize..=6) {
+                    access(&mut trace, &mut seen, &mut touched, pc, walker);
+                    walker = (walker + 1) % max_block;
+                }
+            }
+            // Teleport the walker right up against a region boundary so
+            // the next walk is guaranteed to straddle it.
+            35..=39 => {
+                let region = rng.gen_range(0..cfg.regions);
+                walker = region * bpr + (bpr - 1);
+            }
+            // Random single access: fresh (pc, block) pairings, sparse
+            // footprints, new residencies.
+            40..=54 => {
+                let pc = pc_pool[rng.gen_range(0..pc_pool.len())];
+                let block = rng.gen_range(0..max_block);
+                access(&mut trace, &mut seen, &mut touched, pc, block);
+            }
+            // Trigger/retrigger race: replay an exact (pc, block) pair.
+            // If it was a region trigger, this re-arms the same residency.
+            55..=64 => {
+                if seen.is_empty() {
+                    continue;
+                }
+                let (pc, block) = seen[rng.gen_range(0..seen.len())];
+                access(&mut trace, &mut seen, &mut touched, pc, block);
+            }
+            // PC aliasing on a hot block: same block, different PC, so
+            // long-event keys diverge while short-event keys collide.
+            65..=71 => {
+                if seen.is_empty() {
+                    continue;
+                }
+                let (_, block) = seen[rng.gen_range(0..seen.len())];
+                let pc = pc_pool[rng.gen_range(0..pc_pool.len())];
+                access(&mut trace, &mut seen, &mut touched, pc, block);
+            }
+            // Dense in-region burst: ascending blocks under one PC, the
+            // pattern that actually trains useful footprints.
+            72..=81 => {
+                let pc = pc_pool[rng.gen_range(0..pc_pool.len())];
+                let region = rng.gen_range(0..cfg.regions);
+                let start = rng.gen_range(0..bpr);
+                let len = rng.gen_range(1..=bpr.min(8));
+                for k in 0..len {
+                    let off = start + k;
+                    if off >= bpr {
+                        break;
+                    }
+                    access(&mut trace, &mut seen, &mut touched, pc, region * bpr + off);
+                }
+            }
+            // Evict a block that was actually accessed: ends a residency
+            // and trains the history table.
+            82..=92 => {
+                if touched.is_empty() {
+                    continue;
+                }
+                let block = touched[rng.gen_range(0..touched.len())];
+                trace.evict(block);
+            }
+            // Evict a block that was never accessed (or a random one):
+            // eviction-before-fill must be a harmless no-op on both sides.
+            _ => {
+                let block = rng.gen_range(0..max_block.max(2) * 2);
+                trace.evict(block);
+            }
+        }
+    }
+    // A multi-access action may overshoot the budget; trim to exact size so
+    // the trace length is a pure function of the config.
+    let mut events = trace.events().to_vec();
+    events.truncate(cfg.events);
+    trace.with_events(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bingo_sim::PrefetchEvent;
+
+    #[test]
+    fn generation_is_deterministic_in_config_and_seed() {
+        let cfg = GeneratorConfig::small();
+        assert_eq!(generate(&cfg, 7), generate(&cfg, 7));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = GeneratorConfig::small();
+        assert_ne!(generate(&cfg, 1), generate(&cfg, 2));
+    }
+
+    #[test]
+    fn respects_requested_event_count() {
+        for cfg in GeneratorConfig::all() {
+            let t = generate(&cfg, 3);
+            assert_eq!(t.len(), cfg.events);
+        }
+    }
+
+    #[test]
+    fn traces_contain_both_accesses_and_evictions() {
+        let t = generate(&GeneratorConfig::small(), 11);
+        let accesses = t
+            .events()
+            .iter()
+            .filter(|e| matches!(e, PrefetchEvent::Access { .. }))
+            .count();
+        let evicts = t.len() - accesses;
+        assert!(
+            accesses > 0 && evicts > 0,
+            "{accesses} accesses, {evicts} evicts"
+        );
+    }
+
+    #[test]
+    fn access_blocks_stay_within_the_configured_region_pool() {
+        let cfg = GeneratorConfig::tiny_regions();
+        let bpr = cfg.region_bytes / BLOCK_BYTES;
+        let t = generate(&cfg, 5);
+        for e in t.events() {
+            if let PrefetchEvent::Access { block, .. } = e {
+                assert!(*block < cfg.regions * bpr);
+            }
+        }
+    }
+
+    #[test]
+    fn round_trips_through_the_text_format() {
+        let t = generate(&GeneratorConfig::huge_regions(), 9);
+        let parsed = PrefetchTrace::parse_text(&t.to_text()).unwrap();
+        assert_eq!(parsed, t);
+    }
+}

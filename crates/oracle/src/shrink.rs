@@ -1,0 +1,223 @@
+//! Hand-rolled delta-debugging shrinker for failing traces.
+//!
+//! A fuzzed counterexample is typically hundreds of events long, of which
+//! a handful matter. [`shrink`] reduces it with the classic ddmin recipe —
+//! remove exponentially shrinking chunks, then individual events, re-running
+//! the failure predicate after every cut — and finally *canonicalizes* the
+//! survivor: PCs are renumbered `0x400, 0x404, ...` and regions `0, 1, ...`
+//! in order of first appearance, so two shrunk traces for the same bug are
+//! byte-identical regardless of which raw addresses the fuzzer happened to
+//! draw. The result is small enough to read and stable enough to commit to
+//! `tests/corpus/`.
+//!
+//! The predicate must be re-runnable: it is handed a fresh candidate trace
+//! each time and must rebuild its prefetcher/oracle pair from scratch
+//! (replay is cheap — a few hundred table operations).
+
+use std::collections::HashMap;
+
+use bingo_sim::{PrefetchEvent, PrefetchTrace, BLOCK_BYTES};
+
+/// Shrinks `trace` to a locally minimal trace on which `still_fails`
+/// still returns `true`.
+///
+/// The returned trace always satisfies the predicate: every candidate cut
+/// is kept only after re-checking, and if canonicalization breaks the
+/// failure (possible when the bug is address-dependent, e.g. a hash
+/// collision) the un-canonicalized minimum is returned instead.
+///
+/// # Panics
+///
+/// Panics if `still_fails(trace)` is `false` — shrinking a passing trace
+/// is a harness bug, not a recoverable condition.
+pub fn shrink(
+    trace: &PrefetchTrace,
+    still_fails: &mut dyn FnMut(&PrefetchTrace) -> bool,
+) -> PrefetchTrace {
+    assert!(
+        still_fails(trace),
+        "shrink() called with a trace that does not fail"
+    );
+    let mut current = trace.clone();
+
+    // Pass 1: ddmin-style chunk removal with halving chunk sizes. After a
+    // successful cut the same index is retried (new events slid into it).
+    let mut chunk = (current.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i < current.len() {
+            let mut events = current.events().to_vec();
+            let end = (i + chunk).min(events.len());
+            events.drain(i..end);
+            let candidate = current.with_events(events);
+            if still_fails(&candidate) {
+                current = candidate;
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+
+    // Pass 2: single-event removal to a fixpoint. Chunk removal can strand
+    // newly removable events (a cut changes which later events matter).
+    loop {
+        let before = current.len();
+        let mut i = 0;
+        while i < current.len() {
+            let mut events = current.events().to_vec();
+            events.remove(i);
+            let candidate = current.with_events(events);
+            if still_fails(&candidate) {
+                current = candidate;
+            } else {
+                i += 1;
+            }
+        }
+        if current.len() == before {
+            break;
+        }
+    }
+
+    // Pass 3: canonical renaming, kept only if the failure survives it.
+    let renamed = canonicalize(&current);
+    if renamed != current && still_fails(&renamed) {
+        current = renamed;
+    }
+    current
+}
+
+/// Renumbers PCs (`0x400 + 4i`) and regions (`0, 1, ...`) by order of
+/// first appearance, preserving every block's offset within its region.
+fn canonicalize(trace: &PrefetchTrace) -> PrefetchTrace {
+    let bpr = trace.region_bytes() / BLOCK_BYTES;
+    let mut pc_map: HashMap<u64, u64> = HashMap::new();
+    let mut region_map: HashMap<u64, u64> = HashMap::new();
+    let rename_block = |block: u64, region_map: &mut HashMap<u64, u64>| {
+        let next = region_map.len() as u64;
+        let region = *region_map.entry(block / bpr).or_insert(next);
+        region * bpr + block % bpr
+    };
+    let events = trace
+        .events()
+        .iter()
+        .map(|event| match *event {
+            PrefetchEvent::Access { pc, block } => {
+                let next = 0x400 + 4 * pc_map.len() as u64;
+                let pc = *pc_map.entry(pc).or_insert(next);
+                PrefetchEvent::Access {
+                    pc,
+                    block: rename_block(block, &mut region_map),
+                }
+            }
+            PrefetchEvent::Evict { block } => PrefetchEvent::Evict {
+                block: rename_block(block, &mut region_map),
+            },
+        })
+        .collect();
+    trace.with_events(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_trace() -> PrefetchTrace {
+        let mut t = PrefetchTrace::new(2048);
+        for i in 0..40 {
+            t.access(0x9990 + 8 * (i % 5), 32 * 17 + i);
+        }
+        t.access(0xbeef, 32 * 90 + 7); // the one event the "bug" needs
+        for i in 0..40 {
+            t.evict(32 * 17 + i);
+        }
+        t
+    }
+
+    #[test]
+    fn shrinks_to_the_single_relevant_event() {
+        // Structural predicate (offset-within-region), so it survives the
+        // canonical renaming of PCs and regions.
+        let mut fails = |t: &PrefetchTrace| {
+            t.events()
+                .iter()
+                .any(|e| matches!(e, PrefetchEvent::Access { block, .. } if block % 32 == 7))
+        };
+        let small = shrink(&noisy_trace(), &mut fails);
+        assert_eq!(small.len(), 1);
+        assert_eq!(
+            small.events()[0],
+            PrefetchEvent::Access {
+                pc: 0x400,
+                block: 7
+            }
+        );
+    }
+
+    #[test]
+    fn preserves_event_order_across_cuts() {
+        // Fails iff some access of block B precedes an evict of B.
+        let mut fails = |t: &PrefetchTrace| {
+            t.events().iter().enumerate().any(|(i, e)| {
+                matches!(e, PrefetchEvent::Access { block, .. }
+                    if t.events()[i + 1..]
+                        .iter()
+                        .any(|l| *l == PrefetchEvent::Evict { block: *block }))
+            })
+        };
+        let small = shrink(&noisy_trace(), &mut fails);
+        assert_eq!(small.len(), 2);
+        assert!(matches!(small.events()[0], PrefetchEvent::Access { .. }));
+        assert!(matches!(small.events()[1], PrefetchEvent::Evict { .. }));
+    }
+
+    #[test]
+    fn result_always_satisfies_the_predicate() {
+        let mut calls = 0;
+        let mut fails = |t: &PrefetchTrace| {
+            calls += 1;
+            t.len() >= 7 // arbitrary size-based "failure"
+        };
+        let small = shrink(&noisy_trace(), &mut fails);
+        assert_eq!(small.len(), 7);
+        assert!(calls > 1);
+    }
+
+    #[test]
+    fn canonicalization_is_skipped_when_it_breaks_the_failure() {
+        // Address-dependent bug: only trips on the raw PC 0xbeef.
+        let mut fails = |t: &PrefetchTrace| {
+            t.events()
+                .iter()
+                .any(|e| matches!(e, PrefetchEvent::Access { pc: 0xbeef, .. }))
+        };
+        let small = shrink(&noisy_trace(), &mut fails);
+        assert_eq!(small.len(), 1);
+        assert!(matches!(
+            small.events()[0],
+            PrefetchEvent::Access { pc: 0xbeef, .. }
+        ));
+    }
+
+    #[test]
+    fn canonical_form_is_independent_of_raw_addresses() {
+        let mut a = PrefetchTrace::new(2048);
+        a.access(0x1111, 32 * 50 + 3);
+        a.access(0x2222, 32 * 51 + 9);
+        let mut b = PrefetchTrace::new(2048);
+        b.access(0x7777, 32 * 4 + 3);
+        b.access(0x8888, 32 * 2 + 9);
+        let mut fails = |t: &PrefetchTrace| t.len() >= 2;
+        assert_eq!(shrink(&a, &mut fails), shrink(&b, &mut fails));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fail")]
+    fn refuses_a_passing_trace() {
+        let t = PrefetchTrace::new(2048);
+        shrink(&t, &mut |_| false);
+    }
+}

@@ -56,6 +56,7 @@ pub mod dram;
 pub mod fault;
 pub mod memory;
 pub mod prefetch;
+pub mod replay;
 pub mod stats;
 pub mod system;
 pub mod telemetry;
@@ -69,6 +70,7 @@ pub use dram::{Dram, DramStats};
 pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use memory::{IssueResult, MemorySystem};
 pub use prefetch::{AccessInfo, FaultyPrefetcher, NextLinePrefetcher, NoPrefetcher, Prefetcher};
+pub use replay::{PrefetchEvent, PrefetchTrace, ReplayParseError, ReplayStep};
 pub use stats::{CacheStats, CoreStats, CoverageReport, SimResult};
 pub use system::{SimAbort, System};
 pub use telemetry::{

@@ -8,7 +8,7 @@
 //! whenever a block leaves the LLC — the end-of-residency signal
 //! per-page-history prefetchers train on.
 
-use crate::addr::{Addr, BlockAddr, CoreId, Pc, RegionId};
+use crate::addr::{Addr, BlockAddr, CoreId, Pc, RegionGeometry, RegionId};
 use crate::telemetry::PrefetchSource;
 
 /// Everything a prefetcher may observe about one demand access.
@@ -32,6 +32,28 @@ pub struct AccessInfo {
     pub hit: bool,
     /// Cycle of the access.
     pub cycle: u64,
+}
+
+impl AccessInfo {
+    /// Builds the canonical demand-miss view of a load at `pc` touching
+    /// `block`, with region/offset derived from `geometry`.
+    ///
+    /// This is how trace replay and the differential harness construct
+    /// accesses: a core-0 read miss, which is the trigger condition every
+    /// spatial prefetcher in this workspace trains on.
+    pub fn demand(geometry: RegionGeometry, pc: Pc, block: BlockAddr, cycle: u64) -> Self {
+        AccessInfo {
+            core: CoreId(0),
+            pc,
+            addr: block.base_addr(),
+            block,
+            region: geometry.region_of(block),
+            offset: geometry.offset_of(block),
+            is_write: false,
+            hit: false,
+            cycle,
+        }
+    }
 }
 
 /// A hardware data prefetcher observing the LLC access stream.
