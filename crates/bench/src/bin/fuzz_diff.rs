@@ -6,6 +6,12 @@
 //! fuzz_diff --fault [--out DIR]           demonstrate detection: find a
 //!                                         seeded-fault divergence, shrink
 //!                                         it, and write the minimal trace
+//! fuzz_diff --throttle [--traces N]       sweep throttled Bingo against
+//!                                         the unthrottled spec: the burst
+//!                                         must stay a subsequence of the
+//!                                         spec's at every step (exact at
+//!                                         Full), under a deterministic
+//!                                         level schedule
 //! ```
 //!
 //! The sweep replays every generated trace through clean Bingo under all
@@ -24,7 +30,8 @@ use std::process::ExitCode;
 use bingo::{Bingo, BingoConfig};
 use bingo_baselines::{Bop, BopConfig, Sms, SmsConfig, StrideConfig, StridePrefetcher};
 use bingo_bench::differential::{
-    bingo_config_variants, diff_bingo_instances, fuzz_baseline, fuzz_bingo, FuzzFailure,
+    bingo_config_variants, diff_bingo_instances, diff_bingo_throttled, fuzz_baseline, fuzz_bingo,
+    fuzz_bingo_throttled, FuzzFailure,
 };
 use bingo_oracle::{
     generate, shrink, BopOracle, GeneratorConfig, NextLineOracle, SmsOracle, SpecBingo,
@@ -43,6 +50,7 @@ struct Args {
     traces_per_preset: u64,
     out: PathBuf,
     fault: bool,
+    throttle: bool,
 }
 
 fn parse_args() -> Args {
@@ -50,6 +58,7 @@ fn parse_args() -> Args {
         traces_per_preset: 125,
         out: PathBuf::from("target/differential"),
         fault: false,
+        throttle: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -63,6 +72,7 @@ fn parse_args() -> Args {
             }
             "--out" => args.out = PathBuf::from(it.next().expect("--out needs a path")),
             "--fault" => args.fault = true,
+            "--throttle" => args.throttle = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -191,6 +201,48 @@ fn run_sweep(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Sweeps throttled Bingo against the unthrottled spec (see
+/// [`bingo_bench::differential::diff_bingo_throttled`]): with the level
+/// walked up and down a deterministic schedule, every burst must stay an
+/// ordered subsequence of the spec's, exactly equal whenever the schedule
+/// says `Full`. Seed ranges are offset from the main sweep's so the two
+/// modes cover disjoint traces.
+fn run_throttle_sweep(args: &Args) -> ExitCode {
+    const SEED_BASE: u64 = 31_000;
+    let mut total_traces = 0usize;
+    let mut total_events = 0usize;
+    for (pi, gen) in GeneratorConfig::all().iter().enumerate() {
+        let base = SEED_BASE + pi as u64 * args.traces_per_preset;
+        match fuzz_bingo_throttled(gen, base..base + args.traces_per_preset) {
+            Ok(r) => {
+                total_traces += r.traces;
+                total_events += r.events;
+            }
+            Err(f) => {
+                let cfg = bingo_config_variants(f.trace.geometry())
+                    .into_iter()
+                    .find(|(n, _)| *n == f.variant)
+                    .map(|(_, c)| c)
+                    .expect("variant came from the same table");
+                let shrunk = shrink(&f.trace, &mut |t| diff_bingo_throttled(&cfg, t).is_err());
+                let path = report_failure(&args.out, "bingo_throttled", &f, &shrunk);
+                eprintln!(
+                    "FAIL throttled bingo: {}\nshrunk trace: {}",
+                    f.mismatch,
+                    path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!(
+        "throttled differential sweep clean: {total_traces} trace replays, {total_events} \
+         events, {} Bingo config variants, subtractive contract held at every step",
+        bingo_config_variants(Default::default()).len()
+    );
+    ExitCode::SUCCESS
+}
+
 /// Finds a trace on which a fault-injected Bingo diverges from the clean
 /// spec, shrinks it under the same (deterministic) faulty predicate, and
 /// writes the minimal trace. This is the harness's self-test: if a 10%
@@ -238,6 +290,8 @@ fn main() -> ExitCode {
     let args = parse_args();
     if args.fault {
         run_fault_demo(&args)
+    } else if args.throttle {
+        run_throttle_sweep(&args)
     } else {
         run_sweep(&args)
     }

@@ -1,0 +1,187 @@
+//! Graceful-degradation stress test: adversarial workloads under memory
+//! resource pressure.
+//!
+//! Sweeps the [`Workload::STRESS`] family — traffic engineered so that an
+//! aggressive prefetcher *hurts* — across pressure levels that tighten
+//! DRAM bandwidth and bound the prefetch queue, comparing three
+//! configurations per cell:
+//!
+//! * **off** — no prefetcher (the safety baseline),
+//! * **unthrottled** — Bingo with `BINGO_THROTTLE=off`,
+//! * **feedback** — Bingo with the closed-loop throttle.
+//!
+//! The acceptance criterion, asserted at the end of the sweep:
+//!
+//! 1. feedback-throttled Bingo stays within 5% of the prefetcher-off IPC
+//!    on *every* (pressure, workload) cell, and
+//! 2. unthrottled Bingo loses more than 5% on at least one cell —
+//!    otherwise the stress family is not adversarial enough to prove
+//!    anything about graceful degradation.
+//!
+//! `BINGO_PF_QUEUE` overrides every pressure level's prefetch-queue depth;
+//! `BINGO_STATS` exports each cell's full `SimResult` as JSON lines.
+
+use bingo_bench::{
+    default_jobs, f2, parallel_map, pf_queue_from_env, PrefetcherKind, RunScale, StatsExport, Table,
+};
+use bingo_sim::{SimResult, System, SystemConfig, ThrottleMode};
+use bingo_workloads::Workload;
+
+/// One level of memory-system resource pressure.
+struct Pressure {
+    name: &'static str,
+    /// DRAM channels (the paper machine has 2).
+    channels: usize,
+    /// Channel occupancy per 64 B transfer (the paper machine: 14 cycles).
+    transfer_cycles: u64,
+    /// Prefetch-queue bound (the paper machine: unbounded).
+    queue: usize,
+}
+
+/// Half the paper's bandwidth, then roughly a quarter. The queue bound
+/// tightens alongside so both drop paths (bandwidth contention and
+/// queue-full) carry load.
+const PRESSURES: [Pressure; 2] = [
+    Pressure {
+        name: "constrained",
+        channels: 1,
+        transfer_cycles: 28,
+        queue: 16,
+    },
+    Pressure {
+        name: "scarce",
+        channels: 1,
+        transfer_cycles: 56,
+        queue: 8,
+    },
+];
+
+/// The three configurations compared in every cell.
+const CONFIGS: [(&str, PrefetcherKind, ThrottleMode); 3] = [
+    ("off", PrefetcherKind::None, ThrottleMode::Off),
+    ("unthrottled", PrefetcherKind::Bingo, ThrottleMode::Off),
+    ("feedback", PrefetcherKind::Bingo, ThrottleMode::Feedback),
+];
+
+/// Tolerated IPC loss versus the prefetcher-off baseline.
+const TOLERANCE: f64 = 0.05;
+
+fn run_cell(
+    pressure: &Pressure,
+    workload: Workload,
+    kind: PrefetcherKind,
+    throttle: ThrottleMode,
+    scale: RunScale,
+) -> SimResult {
+    let mut cfg = SystemConfig::paper();
+    // Two cores keep the sweep fast; with a single channel at reduced
+    // bandwidth they contend plenty.
+    cfg.cores = 2;
+    cfg.dram.channels = pressure.channels;
+    cfg.dram.transfer_cycles = pressure.transfer_cycles;
+    cfg.prefetch_queue_depth = Some(pf_queue_from_env().unwrap_or(pressure.queue));
+    let sources = workload.sources(cfg.cores, scale.seed);
+    System::with_prefetchers(cfg, sources, |_| kind.build(), scale.instructions_per_core)
+        .with_warmup(scale.warmup_per_core)
+        .with_throttle(throttle)
+        .run()
+}
+
+fn main() {
+    let scale = RunScale::from_args();
+    let stats = StatsExport::from_env();
+    let cells: Vec<(usize, Workload, usize)> = PRESSURES
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, _)| {
+            Workload::STRESS
+                .into_iter()
+                .flat_map(move |w| (0..CONFIGS.len()).map(move |ci| (pi, w, ci)))
+        })
+        .collect();
+    let results = parallel_map(default_jobs(), cells.len(), |i| {
+        let (pi, workload, ci) = cells[i];
+        let (_, kind, throttle) = CONFIGS[ci];
+        run_cell(&PRESSURES[pi], workload, kind, throttle, scale)
+    });
+    if let Some(export) = &stats {
+        for (i, r) in results.iter().enumerate() {
+            let (pi, workload, ci) = cells[i];
+            let key = format!(
+                "stress/{}/{}/{}",
+                PRESSURES[pi].name,
+                workload.name(),
+                CONFIGS[ci].0
+            );
+            export
+                .record(&key, r)
+                .unwrap_or_else(|e| panic!("stats export failed: {e}"));
+        }
+    }
+
+    let mut t = Table::new(vec![
+        "Pressure",
+        "Workload",
+        "Off IPC",
+        "Unthrottled",
+        "Feedback",
+    ]);
+    // Speedup of each Bingo configuration over the prefetcher-off run of
+    // the same cell; < 1.0 means the prefetcher made things worse.
+    let mut feedback_violations: Vec<String> = Vec::new();
+    let mut worst_unthrottled = (f64::INFINITY, String::new());
+    for (pi, p) in PRESSURES.iter().enumerate() {
+        for (wi, w) in Workload::STRESS.into_iter().enumerate() {
+            let base = (pi * Workload::STRESS.len() + wi) * CONFIGS.len();
+            let off = &results[base];
+            let unthrottled = results[base + 1].speedup_over(off);
+            let feedback = results[base + 2].speedup_over(off);
+            let cell = format!("{}/{}", p.name, w.name());
+            if unthrottled < worst_unthrottled.0 {
+                worst_unthrottled = (unthrottled, cell.clone());
+            }
+            if feedback < 1.0 - TOLERANCE {
+                feedback_violations.push(format!("{cell}: {feedback:.3}x"));
+            }
+            t.row(vec![
+                p.name.into(),
+                w.name().into(),
+                f2(off.aggregate_ipc()),
+                format!("{}x", f2(unthrottled)),
+                format!("{}x", f2(feedback)),
+            ]);
+        }
+    }
+    t.write_csv_if_requested("stress_degrade");
+    println!(
+        "Graceful degradation under resource pressure\n\
+         (speedup over the no-prefetcher baseline; 1.00x = harmless).\n\n{t}"
+    );
+    println!(
+        "Worst unthrottled cell: {} at {:.3}x",
+        worst_unthrottled.1, worst_unthrottled.0
+    );
+
+    assert!(
+        feedback_violations.is_empty(),
+        "feedback throttling failed to degrade gracefully — cells more than \
+         {:.0}% below the prefetcher-off baseline: {}",
+        TOLERANCE * 100.0,
+        feedback_violations.join(", ")
+    );
+    assert!(
+        worst_unthrottled.0 < 1.0 - TOLERANCE,
+        "no adversarial cell hurt the unthrottled prefetcher by more than \
+         {:.0}% (worst: {} at {:.3}x) — the stress family is not stressing",
+        TOLERANCE * 100.0,
+        worst_unthrottled.1,
+        worst_unthrottled.0
+    );
+    println!(
+        "\nPASS: feedback throttling stayed within {:.0}% of prefetcher-off \
+         everywhere; unthrottled lost {:.1}% on {}.",
+        TOLERANCE * 100.0,
+        (1.0 - worst_unthrottled.0) * 100.0,
+        worst_unthrottled.1
+    );
+}

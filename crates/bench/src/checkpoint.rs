@@ -194,8 +194,10 @@ pub(crate) fn serialize_entry(key: &str, r: &SimResult) -> String {
     // off, so files written before the field existed still parse.
     if let Some(t) = &r.telemetry {
         s.push_str(",\"telemetry\":{\"counts\":");
+        // `dropped_queue` rides at the end, mirroring `push_cache`: the
+        // first ten indices match pre-queue checkpoint files.
         s.push_str(&format!(
-            "[{},{},{},{},{},{},{},{},{},{}]",
+            "[{},{},{},{},{},{},{},{},{},{},{}]",
             t.issued,
             t.dropped_duplicate,
             t.dropped_mshr,
@@ -205,7 +207,8 @@ pub(crate) fn serialize_entry(key: &str, r: &SimResult) -> String {
             t.fills,
             t.fill_latency_sum,
             t.in_flight_at_end,
-            t.orphans
+            t.orphans,
+            t.dropped_queue
         ));
         s.push_str(",\"by_source\":[");
         for (i, (label, c)) in t.by_source.iter().enumerate() {
@@ -241,8 +244,11 @@ fn push_source_counters(s: &mut String, c: &SourceCounters) {
 }
 
 fn push_cache(s: &mut String, c: &CacheStats) {
+    // `pf_dropped_queue` rides at the *end* (not at its struct position)
+    // so every index written by pre-queue checkpoints stays valid; see
+    // `parse_cache` for the matching 14-or-15 acceptance.
     s.push_str(&format!(
-        "[{},{},{},{},{},{},{},{},{},{},{},{},{},{}]",
+        "[{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}]",
         c.demand_accesses,
         c.demand_hits,
         c.demand_hits_pending,
@@ -256,7 +262,8 @@ fn push_cache(s: &mut String, c: &CacheStats) {
         c.pf_issued,
         c.pf_useful,
         c.pf_late,
-        c.pf_useless
+        c.pf_useless,
+        c.pf_dropped_queue
     ));
 }
 
@@ -504,7 +511,8 @@ fn parse_entry(line: &str) -> Option<(String, SimResult)> {
 
 fn parse_telemetry(v: &Json) -> Option<TelemetryReport> {
     let counts = v.field("counts")?.arr()?;
-    if counts.len() != 10 {
+    // 10 = pre-queue format (queue drops definitionally zero); 11 = current.
+    if counts.len() != 10 && counts.len() != 11 {
         return None;
     }
     Some(TelemetryReport {
@@ -518,6 +526,10 @@ fn parse_telemetry(v: &Json) -> Option<TelemetryReport> {
         fill_latency_sum: counts[7].num()?,
         in_flight_at_end: counts[8].num()?,
         orphans: counts[9].num()?,
+        dropped_queue: match counts.get(10) {
+            Some(n) => n.num()?,
+            None => 0,
+        },
         by_source: v
             .field("by_source")?
             .arr()?
@@ -580,7 +592,9 @@ fn parse_core(v: &Json) -> Option<CoreStats> {
 
 fn parse_cache(v: &Json) -> Option<CacheStats> {
     let a = v.arr()?;
-    if a.len() != 14 {
+    // 14 = pre-queue format (no bounded prefetch queue existed, so its
+    // drop count is definitionally zero); 15 = current format.
+    if a.len() != 14 && a.len() != 15 {
         return None;
     }
     Some(CacheStats {
@@ -598,6 +612,10 @@ fn parse_cache(v: &Json) -> Option<CacheStats> {
         pf_useful: a[11].num()?,
         pf_late: a[12].num()?,
         pf_useless: a[13].num()?,
+        pf_dropped_queue: match a.get(14) {
+            Some(n) => n.num()?,
+            None => 0,
+        },
     })
 }
 
@@ -656,6 +674,7 @@ mod tests {
                 demand_misses: 4,
                 pf_issued: 3,
                 pf_useful: 2,
+                pf_dropped_queue: 1,
                 ..CacheStats::default()
             },
             dram_transfers: 9,
@@ -687,6 +706,7 @@ mod tests {
             issued: 100 + salt,
             dropped_duplicate: 3,
             dropped_mshr: 2,
+            dropped_queue: 1,
             timely: 60,
             late: 20,
             unused: 20,
@@ -747,6 +767,33 @@ mod tests {
         let plain = serialize_entry("k", &sample_result(2));
         let (_, parsed) = parse_entry(&plain).expect("parses");
         assert!(parsed.telemetry.is_none());
+    }
+
+    /// Checkpoint files written before the bounded prefetch queue existed
+    /// carry 14-element cache arrays and 10-element telemetry counts;
+    /// both must still parse, with the queue-drop counters reading zero
+    /// (no queue, no drops — the value is exact, not a guess).
+    #[test]
+    fn pre_queue_lines_still_parse_with_zero_queue_drops() {
+        let line = concat!(
+            "{\"key\":\"legacy\",\"cores\":[[1,2,3,4,5,6]],",
+            "\"l1d\":[1,2,3,4,5,6,7,8,9,10,11,12,13,14],",
+            "\"llc\":[1,2,3,4,5,6,7,8,9,10,11,12,13,14],",
+            "\"dram_transfers\":9,\"total_cycles\":10,",
+            "\"debug\":[\"d\"],\"metrics\":[[]],",
+            "\"telemetry\":{\"counts\":[1,2,3,4,5,6,7,8,9,10],",
+            "\"by_source\":[],\"hot_pcs\":[]}}"
+        );
+        let (key, r) = parse_entry(line).expect("legacy line parses");
+        assert_eq!(key, "legacy");
+        assert_eq!(r.llc.pf_dropped_queue, 0);
+        assert_eq!(r.llc.pf_useless, 14, "existing indices keep meaning");
+        let t = r.telemetry.expect("telemetry present");
+        assert_eq!(t.dropped_queue, 0);
+        assert_eq!(t.orphans, 10, "existing indices keep meaning");
+        // A wrong arity is still rejected outright.
+        let torn = line.replace(",13,14]", ",13]");
+        assert!(parse_entry(&torn).is_none(), "13-element cache is corrupt");
     }
 
     #[test]

@@ -25,6 +25,7 @@ use bingo_oracle::{generate, shrink, GeneratorConfig, SpecBingo, StepOracle};
 use bingo_sim::AccessInfo;
 use bingo_sim::{
     BlockAddr, Pc, PrefetchEvent, PrefetchTrace, Prefetcher, RegionGeometry, ReplayStep,
+    ThrottleLevel,
 };
 
 /// The first divergence found while replaying a trace against an oracle.
@@ -174,6 +175,134 @@ pub fn diff_with_oracle(
         Some(m) => Err(m),
         None => Ok(()),
     }
+}
+
+/// The deterministic throttle-level schedule the throttled differential
+/// drives: a fixed dwell per rung, walking the ladder down and back up so
+/// every level and both transition directions are exercised, keyed purely
+/// by the event index so replays are reproducible.
+pub fn throttle_schedule(step: usize) -> ThrottleLevel {
+    const LADDER: [ThrottleLevel; 6] = [
+        ThrottleLevel::Full,
+        ThrottleLevel::RaisedVote,
+        ThrottleLevel::TriggerOnly,
+        ThrottleLevel::Stopped,
+        ThrottleLevel::TriggerOnly,
+        ThrottleLevel::RaisedVote,
+    ];
+    // A dwell of 7 keeps level boundaries sliding relative to the
+    // generators' power-of-two burst structure.
+    LADDER[(step / 7) % LADDER.len()]
+}
+
+/// `sub` appears within `sup` in order (possibly with gaps).
+fn is_subsequence(sub: &[BlockAddr], sup: &[BlockAddr]) -> bool {
+    let mut it = sup.iter();
+    sub.iter().all(|b| it.any(|s| s == b))
+}
+
+/// Replays `trace` through a throttled real Bingo — its level driven by
+/// [`throttle_schedule`] — against an *unthrottled* [`SpecBingo`],
+/// checking the subtractive-throttling contract at every step:
+///
+/// * trigger classification matches exactly (throttling must not disturb
+///   observation or training),
+/// * the throttled burst is an ordered subsequence of the unthrottled
+///   spec burst (throttling only ever removes candidates),
+/// * at [`ThrottleLevel::Full`] the burst and prediction source match the
+///   spec exactly (no residue from earlier throttled steps).
+///
+/// # Errors
+///
+/// The first step where any of the three checks fails.
+///
+/// # Panics
+///
+/// Panics if `cfg.region` does not match the trace geometry.
+pub fn diff_bingo_throttled(cfg: &BingoConfig, trace: &PrefetchTrace) -> Result<(), Mismatch> {
+    let mut real = Bingo::new(*cfg);
+    let mut spec = SpecBingo::new(*cfg);
+    assert_eq!(
+        cfg.region,
+        trace.geometry(),
+        "config geometry must match the trace"
+    );
+    let g = trace.geometry();
+    for (i, &event) in trace.events().iter().enumerate() {
+        match event {
+            PrefetchEvent::Access { pc, block } => {
+                let level = throttle_schedule(i);
+                real.set_throttle_level(level);
+                let info = AccessInfo::demand(g, Pc::new(pc), BlockAddr::new(block), i as u64);
+                let got = real.step(&info);
+                let want = spec.step(&info);
+                let fail = if got.trigger != want.trigger {
+                    Some("trigger classification diverged under throttling")
+                } else if !is_subsequence(&got.prefetches, &want.prefetches) {
+                    Some("throttled burst is not a subsequence of the unthrottled spec burst")
+                } else if level == ThrottleLevel::Full
+                    && (got.source != want.source || got.prefetches != want.prefetches)
+                {
+                    Some("Full level must match the spec exactly")
+                } else {
+                    None
+                };
+                if let Some(why) = fail {
+                    return Err(Mismatch {
+                        oracle: "SpecBingo(throttled)".into(),
+                        index: i,
+                        event,
+                        detail: format!(
+                            "{why} at level {level}: real: trigger={} source={:?} burst={}; \
+                             spec: trigger={} source={:?} burst={}",
+                            got.trigger,
+                            got.source,
+                            blocks_hex(&got.prefetches),
+                            want.trigger,
+                            want.source,
+                            blocks_hex(&want.prefetches),
+                        ),
+                    });
+                }
+            }
+            PrefetchEvent::Evict { block } => {
+                let block = BlockAddr::new(block);
+                real.on_eviction(block);
+                spec.evict(block);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fuzzes throttled Bingo against the unthrottled [`SpecBingo`]: for every
+/// seed, generates a trace and checks [`diff_bingo_throttled`] under every
+/// [`bingo_config_variants`] geometry.
+///
+/// # Errors
+///
+/// The first (seed, variant) pair that violated the subtractive contract.
+pub fn fuzz_bingo_throttled(
+    gen: &GeneratorConfig,
+    seeds: Range<u64>,
+) -> Result<FuzzReport, Box<FuzzFailure>> {
+    let mut report = FuzzReport::default();
+    for seed in seeds {
+        let trace = generate(gen, seed);
+        for (name, cfg) in bingo_config_variants(trace.geometry()) {
+            if let Err(mismatch) = diff_bingo_throttled(&cfg, &trace) {
+                return Err(Box::new(FuzzFailure {
+                    seed,
+                    variant: name.to_string(),
+                    trace,
+                    mismatch,
+                }));
+            }
+        }
+        report.traces += 1;
+        report.events += trace.len();
+    }
+    Ok(report)
 }
 
 /// The matrix of Bingo table geometries the differential fuzzer sweeps:
@@ -337,6 +466,70 @@ mod tests {
             let res = diff_bingo(&cfg, &trace);
             assert!(res.is_ok(), "variant {name}: {}", res.unwrap_err());
         }
+    }
+
+    #[test]
+    fn throttle_schedule_covers_every_level_and_starts_full() {
+        assert_eq!(throttle_schedule(0), ThrottleLevel::Full);
+        let seen: std::collections::BTreeSet<_> = (0..100).map(throttle_schedule).collect();
+        assert_eq!(seen.len(), 4, "all four levels exercised: {seen:?}");
+    }
+
+    #[test]
+    fn throttled_bingo_stays_a_subset_of_the_spec_on_a_fuzzed_trace() {
+        let trace = small_trace();
+        for (name, cfg) in bingo_config_variants(trace.geometry()) {
+            let res = diff_bingo_throttled(&cfg, &trace);
+            assert!(res.is_ok(), "variant {name}: {}", res.unwrap_err());
+        }
+    }
+
+    #[test]
+    fn a_throttle_that_added_candidates_would_be_caught() {
+        // Drive the throttled diff with a spec built strictly *tighter*
+        // than the real side: the real bursts are then supersets, so the
+        // subsequence check must fire — proving the harness can fail.
+        let caught = GeneratorConfig::all().iter().any(|gen| {
+            (0..30).any(|seed| {
+                let trace = generate(gen, seed);
+                let loose = BingoConfig {
+                    region: trace.geometry(),
+                    vote_threshold: 0.2,
+                    ..BingoConfig::paper()
+                };
+                let tight = BingoConfig {
+                    vote_threshold: 1.0,
+                    ..loose
+                };
+                let mut real = Bingo::new(loose);
+                let mut spec = SpecBingo::new(tight);
+                let g = trace.geometry();
+                trace
+                    .events()
+                    .iter()
+                    .enumerate()
+                    .any(|(i, &event)| match event {
+                        PrefetchEvent::Access { pc, block } => {
+                            real.set_throttle_level(throttle_schedule(i));
+                            let info =
+                                AccessInfo::demand(g, Pc::new(pc), BlockAddr::new(block), i as u64);
+                            let got = real.step(&info);
+                            let want = spec.step(&info);
+                            !is_subsequence(&got.prefetches, &want.prefetches)
+                        }
+                        PrefetchEvent::Evict { block } => {
+                            let block = BlockAddr::new(block);
+                            real.on_eviction(block);
+                            spec.evict(block);
+                            false
+                        }
+                    })
+            })
+        });
+        assert!(
+            caught,
+            "no trace ever separated a loose real from a tight spec"
+        );
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! Shared parsing for `BINGO_*` environment knobs.
+//!
+//! Every harness knob — scale overrides, telemetry level, throttle mode,
+//! queue-depth overrides — funnels its failure path through [`parse`], so
+//! a typo'd value aborts the run with one uniform message shape
+//! (`<NAME> must be <expectation>, got <value>`) instead of each call
+//! site inventing its own, or worse, silently falling back to a default
+//! and producing numbers from the wrong configuration.
+
+/// Parses a knob value, aborting loudly on garbage.
+///
+/// The value is trimmed before parsing; the panic message quotes the
+/// original untrimmed value so the user sees exactly what the
+/// environment held.
+///
+/// # Panics
+///
+/// Panics with `"{name} must be {expectation}, got {value:?}"` if
+/// `parser` rejects the trimmed value.
+pub fn parse<T>(
+    name: &str,
+    value: &str,
+    expectation: &str,
+    parser: impl FnOnce(&str) -> Option<T>,
+) -> T {
+    parser(value.trim()).unwrap_or_else(|| panic!("{name} must be {expectation}, got {value:?}"))
+}
+
+/// Reads and parses an optional knob from the environment: `None` when
+/// the variable is unset.
+///
+/// # Panics
+///
+/// Panics (via [`parse`]) if the variable is set but malformed — a set
+/// knob is a statement of intent, and intent that cannot be honored must
+/// abort the run, not degrade it silently.
+pub fn from_env<T>(
+    name: &str,
+    expectation: &str,
+    parser: impl FnOnce(&str) -> Option<T>,
+) -> Option<T> {
+    std::env::var(name)
+        .ok()
+        .map(|v| parse(name, &v, expectation, parser))
+}
+
+/// Environment variable overriding the LLC prefetch-queue depth for
+/// pressure studies (consumed by the `stress_degrade` binary; the
+/// default harness keeps the paper configuration's unbounded queue so
+/// checkpoint keys stay stable).
+pub const PF_QUEUE_ENV: &str = "BINGO_PF_QUEUE";
+
+/// Reads [`PF_QUEUE_ENV`]: `None` when unset.
+///
+/// # Panics
+///
+/// Panics if the variable is set but not a positive integer.
+pub fn pf_queue_from_env() -> Option<usize> {
+    let depth = from_env(PF_QUEUE_ENV, "a positive integer", |v| {
+        v.parse::<usize>().ok()
+    })?;
+    assert!(
+        depth > 0,
+        "{PF_QUEUE_ENV} must be a positive integer, got 0"
+    );
+    Some(depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_trims_and_converts() {
+        let n: u64 = parse("BINGO_TEST", " 42 ", "an unsigned integer", |v| {
+            v.parse().ok()
+        });
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "BINGO_TEST must be an unsigned integer, got \"4x2\"")]
+    fn parse_panics_with_the_uniform_message() {
+        let _: u64 = parse("BINGO_TEST", "4x2", "an unsigned integer", |v| {
+            v.parse().ok()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "BINGO_PF_QUEUE must be a positive integer")]
+    fn pf_queue_rejects_zero() {
+        // Exercised through `parse` directly to stay hermetic (no process
+        // environment mutation in tests): zero passes the integer parse
+        // and must be caught by the positivity assert.
+        let depth: usize = parse(PF_QUEUE_ENV, "0", "a positive integer", |v| v.parse().ok());
+        assert!(
+            depth > 0,
+            "{PF_QUEUE_ENV} must be a positive integer, got 0"
+        );
+    }
+}

@@ -37,11 +37,12 @@ use bingo_baselines::{
 };
 use bingo_sim::{
     CoverageReport, FaultPlan, FaultyPrefetcher, NextLinePrefetcher, NoPrefetcher, Prefetcher,
-    SimAbort, SimResult, System, SystemConfig, TelemetryLevel,
+    SimAbort, SimResult, System, SystemConfig, TelemetryLevel, ThrottleMode,
 };
 use bingo_workloads::Workload;
 
 use crate::checkpoint::{Checkpoint, CHECKPOINT_ENV};
+use crate::knobs;
 use crate::stats_export::StatsExport;
 
 /// Which prefetcher to attach to every core.
@@ -283,10 +284,7 @@ impl RunScale {
 
 /// Parses a numeric environment override, aborting loudly on garbage.
 fn parse_override(name: &str, value: &str) -> u64 {
-    value
-        .trim()
-        .parse()
-        .unwrap_or_else(|_| panic!("{name} must be an unsigned integer, got {value:?}"))
+    knobs::parse(name, value, "an unsigned integer", |v| v.parse().ok())
 }
 
 /// Environment variable selecting the prefetch-lifecycle telemetry level
@@ -300,12 +298,33 @@ pub const TELEMETRY_ENV: &str = "BINGO_TELEMETRY";
 ///
 /// Panics if the variable is set but is not a recognized level.
 pub fn telemetry_from_env() -> TelemetryLevel {
-    match std::env::var(TELEMETRY_ENV) {
-        Ok(v) => TelemetryLevel::parse(&v).unwrap_or_else(|| {
-            panic!("{TELEMETRY_ENV} must be one of off/counts/trace, got {v:?}")
-        }),
-        Err(_) => TelemetryLevel::Off,
-    }
+    knobs::from_env(
+        TELEMETRY_ENV,
+        "one of off/counts/trace",
+        TelemetryLevel::parse,
+    )
+    .unwrap_or(TelemetryLevel::Off)
+}
+
+/// Environment variable selecting the prefetch-throttle mode for CLI
+/// sweeps: `off` (default, bit-for-bit identical to a build without the
+/// throttle subsystem), `static` (pinned conservative degree), or
+/// `feedback` (closed-loop accuracy/bandwidth control).
+pub const THROTTLE_ENV: &str = "BINGO_THROTTLE";
+
+/// Reads [`THROTTLE_ENV`], aborting loudly on garbage — a typo'd mode
+/// must not silently run unthrottled.
+///
+/// # Panics
+///
+/// Panics if the variable is set but is not a recognized mode.
+pub fn throttle_from_env() -> ThrottleMode {
+    knobs::from_env(
+        THROTTLE_ENV,
+        "one of off/static/feedback",
+        ThrottleMode::parse,
+    )
+    .unwrap_or(ThrottleMode::Off)
 }
 
 /// Runs one (workload, prefetcher) simulation on the paper's 4-core
@@ -323,13 +342,22 @@ pub fn run_one_with_deadline(
     scale: RunScale,
     deadline: Option<Duration>,
 ) -> Result<SimResult, SimAbort> {
-    run_one_configured(workload, kind, scale, deadline, TelemetryLevel::Off)
+    run_one_configured(
+        workload,
+        kind,
+        scale,
+        deadline,
+        TelemetryLevel::Off,
+        ThrottleMode::Off,
+    )
 }
 
 /// [`run_one_with_deadline`] with an explicit prefetch-lifecycle telemetry
-/// level. Telemetry never perturbs the simulated machine (test-locked by
-/// the sim crate's invisibility tests); it only populates
-/// [`SimResult::telemetry`].
+/// level and throttle mode. Telemetry never perturbs the simulated machine
+/// (test-locked by the sim crate's invisibility tests); it only populates
+/// [`SimResult::telemetry`]. Throttling *does* change the machine (it is
+/// the point), except [`ThrottleMode::Off`], which attaches no controller
+/// and is bit-for-bit invisible.
 ///
 /// # Errors
 ///
@@ -340,13 +368,15 @@ pub fn run_one_configured(
     scale: RunScale,
     deadline: Option<Duration>,
     telemetry: TelemetryLevel,
+    throttle: ThrottleMode,
 ) -> Result<SimResult, SimAbort> {
     let cfg = SystemConfig::paper();
     let sources = workload.sources(cfg.cores, scale.seed);
     let mut system =
         System::with_prefetchers(cfg, sources, |_| kind.build(), scale.instructions_per_core)
             .with_warmup(scale.warmup_per_core)
-            .with_telemetry(telemetry);
+            .with_telemetry(telemetry)
+            .with_throttle(throttle);
     if let Some(limit) = deadline {
         system = system.with_time_limit(limit);
     }
@@ -419,19 +449,27 @@ pub fn run_cell(
     scale: RunScale,
     deadline: Option<Duration>,
 ) -> CellOutcome {
-    run_cell_configured(workload, kind, scale, deadline, TelemetryLevel::Off)
+    run_cell_configured(
+        workload,
+        kind,
+        scale,
+        deadline,
+        TelemetryLevel::Off,
+        ThrottleMode::Off,
+    )
 }
 
-/// [`run_cell`] with an explicit telemetry level.
+/// [`run_cell`] with an explicit telemetry level and throttle mode.
 pub fn run_cell_configured(
     workload: Workload,
     kind: PrefetcherKind,
     scale: RunScale,
     deadline: Option<Duration>,
     telemetry: TelemetryLevel,
+    throttle: ThrottleMode,
 ) -> CellOutcome {
     let attempt = catch_unwind(AssertUnwindSafe(|| {
-        run_one_configured(workload, kind, scale, deadline, telemetry)
+        run_one_configured(workload, kind, scale, deadline, telemetry, throttle)
     }));
     match attempt {
         Ok(Ok(result)) => CellOutcome::Ok(Box::new(result)),
@@ -474,6 +512,26 @@ pub fn cell_key_with_telemetry(
     }
 }
 
+/// [`cell_key_with_telemetry`] further extended with the throttle mode,
+/// following the same namespacing rule: the default ([`ThrottleMode::Off`])
+/// keeps the historical key byte-for-byte, so every checkpoint written
+/// before the throttle subsystem existed stays valid, while throttled runs
+/// — whose results genuinely differ — live in their own namespace and can
+/// never be replayed into (or poisoned by) an unthrottled sweep.
+pub fn cell_key_with_options(
+    scale: RunScale,
+    workload: Workload,
+    kind: PrefetcherKind,
+    telemetry: TelemetryLevel,
+    throttle: ThrottleMode,
+) -> String {
+    let base = cell_key_with_telemetry(scale, workload, kind, telemetry);
+    match throttle {
+        ThrottleMode::Off => base,
+        ThrottleMode::Static | ThrottleMode::Feedback => format!("{base}/throttle={throttle}"),
+    }
+}
+
 /// Worker count for parallel sweeps: the `BINGO_JOBS` environment override
 /// when set, otherwise [`std::thread::available_parallelism`] (1 if that
 /// cannot be determined).
@@ -482,16 +540,14 @@ pub fn cell_key_with_telemetry(
 ///
 /// Panics if `BINGO_JOBS` is set but is not a positive integer.
 pub fn default_jobs() -> usize {
-    match std::env::var("BINGO_JOBS") {
-        Ok(v) => {
-            let jobs: usize = v
-                .trim()
-                .parse()
-                .unwrap_or_else(|_| panic!("BINGO_JOBS must be a positive integer, got {v:?}"));
+    match knobs::from_env("BINGO_JOBS", "a positive integer", |v| {
+        v.parse::<usize>().ok()
+    }) {
+        Some(jobs) => {
             assert!(jobs > 0, "BINGO_JOBS must be a positive integer, got 0");
             jobs
         }
-        Err(_) => std::thread::available_parallelism()
+        None => std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1),
     }
@@ -556,10 +612,11 @@ fn timed_cell(
     scale: RunScale,
     deadline: Option<Duration>,
     telemetry: TelemetryLevel,
+    throttle: ThrottleMode,
     progress: bool,
 ) -> CellOutcome {
     let start = Instant::now();
-    let outcome = run_cell_configured(workload, kind, scale, deadline, telemetry);
+    let outcome = run_cell_configured(workload, kind, scale, deadline, telemetry, throttle);
     if progress {
         let wall = start.elapsed().as_secs_f64();
         let status = match &outcome {
@@ -647,6 +704,7 @@ pub struct ParallelHarness {
     cell_timeout: Option<Duration>,
     checkpoint: Option<Checkpoint>,
     telemetry: TelemetryLevel,
+    throttle: ThrottleMode,
     stats: Option<StatsExport>,
     baselines: HashMap<Workload, SimResult>,
 }
@@ -655,8 +713,8 @@ pub struct ParallelHarness {
 /// aborting loudly on garbage — a typo'd deadline must not silently run
 /// unlimited.
 fn parse_cell_timeout(value: &str) -> Duration {
-    let secs: f64 = value.trim().parse().unwrap_or_else(|_| {
-        panic!("{CELL_TIMEOUT_ENV} must be a number of seconds, got {value:?}")
+    let secs: f64 = knobs::parse(CELL_TIMEOUT_ENV, value, "a number of seconds", |v| {
+        v.parse().ok()
     });
     assert!(
         secs.is_finite() && secs >= 0.0,
@@ -672,7 +730,8 @@ impl ParallelHarness {
     /// Creates a parallel harness at the given scale with
     /// [`default_jobs`] workers, honoring the `BINGO_CELL_TIMEOUT`
     /// (per-cell deadline, seconds), `BINGO_CHECKPOINT` (resume file),
-    /// `BINGO_TELEMETRY` (prefetch-lifecycle telemetry level), and
+    /// `BINGO_TELEMETRY` (prefetch-lifecycle telemetry level),
+    /// `BINGO_THROTTLE` (adaptive prefetch-throttle mode), and
     /// `BINGO_STATS` (machine-readable stats export) environment knobs.
     /// The explicit constructors ([`ParallelHarness::with_jobs`] +
     /// builders) ignore the environment so tests stay hermetic.
@@ -681,10 +740,12 @@ impl ParallelHarness {
     ///
     /// Panics if `BINGO_CELL_TIMEOUT` is set but not a non-negative number
     /// of seconds, if `BINGO_CHECKPOINT` or `BINGO_STATS` names an
-    /// unopenable file, or if `BINGO_TELEMETRY` is not a recognized level.
+    /// unopenable file, if `BINGO_TELEMETRY` is not a recognized level, or
+    /// if `BINGO_THROTTLE` is not a recognized mode.
     pub fn new(scale: RunScale) -> Self {
         let mut harness = Self::with_jobs(scale, default_jobs());
         harness.telemetry = telemetry_from_env();
+        harness.throttle = throttle_from_env();
         harness.stats = StatsExport::from_env();
         if let Ok(v) = std::env::var(CELL_TIMEOUT_ENV) {
             harness.cell_timeout = Some(parse_cell_timeout(&v));
@@ -720,6 +781,7 @@ impl ParallelHarness {
             cell_timeout: None,
             checkpoint: None,
             telemetry: TelemetryLevel::Off,
+            throttle: ThrottleMode::Off,
             stats: None,
             baselines: HashMap::new(),
         }
@@ -759,6 +821,22 @@ impl ParallelHarness {
     /// The telemetry level in use.
     pub fn telemetry(&self) -> TelemetryLevel {
         self.telemetry
+    }
+
+    /// Sets the prefetch-throttle mode for every cell. Baselines run with
+    /// [`PrefetcherKind::None`] and are unaffected by construction (there
+    /// is nothing to throttle), but their checkpoint keys are still
+    /// namespaced with the mode so a throttled sweep never replays into an
+    /// unthrottled one. [`ThrottleMode::Off`] (the default) attaches no
+    /// controller and keeps historical keys and results byte-for-byte.
+    pub fn with_throttle(mut self, mode: ThrottleMode) -> Self {
+        self.throttle = mode;
+        self
+    }
+
+    /// The throttle mode in use.
+    pub fn throttle(&self) -> ThrottleMode {
+        self.throttle
     }
 
     /// Attaches a machine-readable stats export: every completed cell and
@@ -807,14 +885,16 @@ impl ParallelHarness {
         }
         let scale = self.scale;
         let telemetry = self.telemetry;
+        let throttle = self.throttle;
         let mut hits = 0;
         if let Some(cp) = &self.checkpoint {
             missing.retain(|&w| {
-                match cp.get(&cell_key_with_telemetry(
+                match cp.get(&cell_key_with_options(
                     scale,
                     w,
                     PrefetcherKind::None,
                     telemetry,
+                    throttle,
                 )) {
                     Some(result) => {
                         self.baselines.insert(w, result);
@@ -837,6 +917,7 @@ impl ParallelHarness {
                 scale,
                 deadline,
                 telemetry,
+                throttle,
                 progress,
             )
         });
@@ -858,7 +939,8 @@ impl ParallelHarness {
     /// resume), never the sweep.
     fn record_checkpoint(&self, workload: Workload, kind: PrefetcherKind, result: &SimResult) {
         if let Some(cp) = &self.checkpoint {
-            let key = cell_key_with_telemetry(self.scale, workload, kind, self.telemetry);
+            let key =
+                cell_key_with_options(self.scale, workload, kind, self.telemetry, self.throttle);
             if let Err(e) = cp.record(&key, result) {
                 eprintln!("[checkpoint] write for {key} failed: {e}");
             }
@@ -869,7 +951,8 @@ impl ParallelHarness {
     /// Write errors degrade the export, never the sweep.
     fn record_stats(&self, workload: Workload, kind: PrefetcherKind, result: &SimResult) {
         if let Some(stats) = &self.stats {
-            let key = cell_key_with_telemetry(self.scale, workload, kind, self.telemetry);
+            let key =
+                cell_key_with_options(self.scale, workload, kind, self.telemetry, self.throttle);
             if let Err(e) = stats.record(&key, result) {
                 eprintln!("[stats] write for {key} failed: {e}");
             }
@@ -909,6 +992,7 @@ impl ParallelHarness {
         let progress = self.progress;
         let deadline = self.cell_timeout;
         let telemetry = self.telemetry;
+        let throttle = self.throttle;
         let started = Instant::now();
 
         // Resolve what we can without simulating: cells whose baseline is
@@ -923,7 +1007,9 @@ impl ParallelHarness {
                     });
                 }
                 if let Some(cp) = &self.checkpoint {
-                    if let Some(result) = cp.get(&cell_key_with_telemetry(scale, w, k, telemetry)) {
+                    if let Some(result) =
+                        cp.get(&cell_key_with_options(scale, w, k, telemetry, throttle))
+                    {
                         checkpoint_hits += 1;
                         return Some(CellOutcome::Ok(Box::new(result)));
                     }
@@ -937,7 +1023,7 @@ impl ParallelHarness {
             .collect();
         let outcomes = parallel_map(self.jobs, todo.len(), |j| {
             let (w, k) = cells[todo[j]];
-            timed_cell(w, k, scale, deadline, telemetry, progress)
+            timed_cell(w, k, scale, deadline, telemetry, throttle, progress)
         });
         for (&i, outcome) in todo.iter().zip(outcomes) {
             if let CellOutcome::Ok(result) = &outcome {
@@ -1588,13 +1674,24 @@ mod tests {
         on_baseline.telemetry = None;
         assert_eq!(off[0].baseline, on_baseline);
         assert_eq!(off[0].speedup.to_bits(), on[0].speedup.to_bits());
-        // The ledger agrees with the cache's own lifecycle counters.
+        // The ledger agrees with the cache's own lifecycle counters —
+        // including every per-reason drop class, so a prefetch that never
+        // issued is still accounted for exactly once.
         let llc = &on[0].result.llc;
         assert_eq!(t.issued, llc.pf_issued);
         assert_eq!(t.timely, llc.pf_useful);
         assert_eq!(t.late, llc.pf_late);
         assert_eq!(t.unused, llc.pf_useless);
+        assert_eq!(t.dropped_duplicate, llc.pf_dropped_duplicate);
+        assert_eq!(t.dropped_mshr, llc.pf_dropped_mshr);
+        assert_eq!(t.dropped_queue, llc.pf_dropped_queue);
         assert_eq!(t.orphans, 0);
+        // Requested = issued + every drop class: nothing leaks between
+        // the request and the issue decision.
+        assert_eq!(
+            llc.pf_requested,
+            llc.pf_issued + llc.pf_dropped_duplicate + llc.pf_dropped_mshr + llc.pf_dropped_queue
+        );
         // Bingo attributes its bursts to event kinds.
         let attributed: u64 = ["long", "short"]
             .iter()
@@ -1626,6 +1723,9 @@ mod tests {
         assert_eq!(t.timely, llc.pf_useful);
         assert_eq!(t.late, llc.pf_late);
         assert_eq!(t.unused, llc.pf_useless);
+        assert_eq!(t.dropped_duplicate, llc.pf_dropped_duplicate);
+        assert_eq!(t.dropped_mshr, llc.pf_dropped_mshr);
+        assert_eq!(t.dropped_queue, llc.pf_dropped_queue);
         assert_eq!(t.orphans, 0, "fault injection must not orphan records");
     }
 
@@ -1643,6 +1743,56 @@ mod tests {
         assert!(counts.ends_with("/telemetry=counts"));
         assert_ne!(counts, trace);
         assert_ne!(counts, cell_key(scale, w, k));
+    }
+
+    #[test]
+    fn throttle_cell_keys_extend_but_preserve_off_keys() {
+        let scale = tiny_scale(1);
+        let (w, k) = (Workload::Em3d, PrefetcherKind::Bingo);
+        for telemetry in [TelemetryLevel::Off, TelemetryLevel::Counts] {
+            assert_eq!(
+                cell_key_with_options(scale, w, k, telemetry, ThrottleMode::Off),
+                cell_key_with_telemetry(scale, w, k, telemetry),
+                "throttle-off keys must match pre-throttle checkpoints"
+            );
+        }
+        let fb = cell_key_with_options(scale, w, k, TelemetryLevel::Off, ThrottleMode::Feedback);
+        let st = cell_key_with_options(scale, w, k, TelemetryLevel::Off, ThrottleMode::Static);
+        assert!(fb.ends_with("/throttle=feedback"));
+        assert!(st.ends_with("/throttle=static"));
+        assert_ne!(fb, st);
+        // Both dimensions compose in a fixed order.
+        let both =
+            cell_key_with_options(scale, w, k, TelemetryLevel::Counts, ThrottleMode::Feedback);
+        assert!(both.ends_with("/telemetry=counts/throttle=feedback"));
+    }
+
+    /// The harness-level throttle contract: a feedback-throttled sweep
+    /// completes, and because throttling is strictly subtractive, the
+    /// throttled Bingo never issues more prefetches than the unthrottled
+    /// run of the same cell. The baseline (no prefetcher) is bit-for-bit
+    /// unaffected, so speedups stay comparable across modes.
+    #[test]
+    fn throttled_sweeps_only_subtract_prefetches() {
+        let scale = tiny_scale(22);
+        let cells = [(Workload::Em3d, PrefetcherKind::Bingo)];
+        let plain = ParallelHarness::with_jobs(scale, 1)
+            .quiet()
+            .evaluate_grid(&cells);
+        let throttled = ParallelHarness::with_jobs(scale, 1)
+            .quiet()
+            .with_throttle(ThrottleMode::Static)
+            .evaluate_grid(&cells);
+        assert_eq!(
+            plain[0].baseline, throttled[0].baseline,
+            "throttling must not touch the no-prefetcher baseline"
+        );
+        assert!(
+            throttled[0].result.llc.pf_issued <= plain[0].result.llc.pf_issued,
+            "static throttle issued more prefetches ({}) than unthrottled ({})",
+            throttled[0].result.llc.pf_issued,
+            plain[0].result.llc.pf_issued
+        );
     }
 
     /// A telemetry-on sweep resumed from its checkpoint replays the full

@@ -8,6 +8,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use bingo_bench::{Checkpoint, Evaluation, ParallelHarness, PrefetcherKind, RunScale};
+use bingo_sim::ThrottleMode;
 use bingo_workloads::Workload;
 
 fn scale() -> RunScale {
@@ -163,6 +164,71 @@ fn completed_checkpoint_resumes_without_any_simulation() {
     for (f, r) in fresh.iter().zip(&resumed) {
         assert_bit_identical(f, r, &format!("{} / {}", f.workload.name(), f.kind.name()));
     }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Checkpoint/resume with the feedback throttle enabled: the controller's
+/// level walk is part of the simulated machine, so a resumed throttled
+/// sweep must be bit-for-bit identical to an uninterrupted one — and its
+/// checkpoint keys are namespaced by mode, so an unthrottled harness can
+/// never replay throttled results (or vice versa).
+#[test]
+fn throttled_sweep_resumes_bit_for_bit_and_keys_stay_disjoint() {
+    let scale = RunScale {
+        instructions_per_core: 15_000,
+        warmup_per_core: 5_000,
+        seed: 33,
+    };
+    let cells = vec![
+        (Workload::Em3d, PrefetcherKind::Bingo),
+        (Workload::Streaming, PrefetcherKind::Bingo),
+    ];
+    let path = tmp_path("throttle");
+
+    // Reference: uninterrupted feedback-throttled sweep, no checkpoint.
+    let fresh = ParallelHarness::with_jobs(scale, 2)
+        .quiet()
+        .with_throttle(ThrottleMode::Feedback)
+        .evaluate_grid(&cells);
+
+    // Interrupted: only the first cell (and its baseline) completes.
+    {
+        let mut h = ParallelHarness::with_jobs(scale, 2)
+            .quiet()
+            .with_throttle(ThrottleMode::Feedback)
+            .with_checkpoint(Checkpoint::open(&path).expect("create checkpoint"));
+        let partial = h.evaluate_grid(&cells[..1]);
+        assert_eq!(partial.len(), 1);
+    }
+
+    // Resume under the same mode: the finished cell and baseline replay.
+    let mut h = ParallelHarness::with_jobs(scale, 2)
+        .quiet()
+        .with_throttle(ThrottleMode::Feedback)
+        .with_checkpoint(Checkpoint::open(&path).expect("reopen checkpoint"));
+    let report = h.try_evaluate_grid(&cells);
+    assert!(report.is_clean(), "{}", report.failure_report());
+    assert_eq!(
+        report.checkpoint_hits, 2,
+        "the finished cell and the Em3d baseline must replay"
+    );
+    let resumed = report.into_complete();
+    assert_eq!(fresh.len(), resumed.len());
+    for (f, r) in fresh.iter().zip(&resumed) {
+        assert_bit_identical(f, r, &format!("{} / {}", f.workload.name(), f.kind.name()));
+    }
+
+    // Mode mismatch: an *unthrottled* harness on the same file finds no
+    // usable entries — every key is namespaced by throttle mode.
+    let mut h = ParallelHarness::with_jobs(scale, 2)
+        .quiet()
+        .with_checkpoint(Checkpoint::open(&path).expect("reopen checkpoint"));
+    let report = h.try_evaluate_grid(&cells);
+    assert!(report.is_clean(), "{}", report.failure_report());
+    assert_eq!(
+        report.checkpoint_hits, 0,
+        "throttled checkpoint entries must be invisible to an unthrottled sweep"
+    );
     let _ = std::fs::remove_file(&path);
 }
 

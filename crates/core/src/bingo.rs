@@ -10,8 +10,8 @@
 //! multi-match heuristic).
 
 use bingo_sim::{
-    AccessInfo, BlockAddr, FaultInjector, FaultPlan, FaultStats, PrefetchSource, Prefetcher,
-    RegionGeometry,
+    throttle::RAISED_VOTE_THRESHOLD, AccessInfo, BlockAddr, FaultInjector, FaultPlan, FaultStats,
+    PrefetchSource, Prefetcher, RegionGeometry, ThrottleLevel,
 };
 
 use crate::accumulation::{AccumulationTable, Residency};
@@ -150,6 +150,9 @@ pub struct Bingo {
     last_source: PrefetchSource,
     /// Whether the most recent access was a trigger, for [`Bingo::step`].
     last_trigger: bool,
+    /// Effective aggressiveness pushed by the memory system's throttle
+    /// controller; [`ThrottleLevel::Full`] unless throttling is enabled.
+    throttle: ThrottleLevel,
     /// Lookup statistics.
     pub stats: BingoStats,
 }
@@ -169,6 +172,7 @@ impl Bingo {
             faults: None,
             last_source: PrefetchSource::Unattributed,
             last_trigger: false,
+            throttle: ThrottleLevel::Full,
             stats: BingoStats::default(),
             cfg,
         }
@@ -239,6 +243,18 @@ impl Bingo {
         );
     }
 
+    /// The short-event vote threshold in effect: the configured one,
+    /// raised to at least [`RAISED_VOTE_THRESHOLD`] while the throttle sits
+    /// at [`ThrottleLevel::RaisedVote`]. Raising the threshold only grows
+    /// the votes a block needs, so the voted set shrinks monotonically —
+    /// the throttled prediction set stays a subset of the unthrottled one.
+    fn effective_vote_threshold(&self) -> f64 {
+        match self.throttle {
+            ThrottleLevel::RaisedVote => self.cfg.vote_threshold.max(RAISED_VOTE_THRESHOLD),
+            _ => self.cfg.vote_threshold,
+        }
+    }
+
     fn predict(&mut self, info: &AccessInfo, out: &mut Vec<BlockAddr>) {
         self.stats.lookups += 1;
         let long = EventKind::PcAddress.key_of(info);
@@ -254,7 +270,7 @@ impl Bingo {
                 self.stats.no_match += 1;
                 None
             } else {
-                let fp = Footprint::vote(&matches, self.cfg.vote_threshold);
+                let fp = Footprint::vote(&matches, self.effective_vote_threshold());
                 // A strict threshold can veto every block (or leave only
                 // the trigger, which is never re-prefetched): that lookup
                 // issued nothing and must not count as a hit.
@@ -303,6 +319,17 @@ impl Prefetcher for Bingo {
         }
         if observation.trigger {
             self.predict(info, out);
+            // Throttle degrees beyond the raised vote cut the burst after
+            // prediction, so table state and lookup recency evolve exactly
+            // as unthrottled — throttling only ever subtracts candidates.
+            match self.throttle {
+                ThrottleLevel::Full | ThrottleLevel::RaisedVote => {}
+                ThrottleLevel::TriggerOnly => out.truncate(1),
+                ThrottleLevel::Stopped => {
+                    out.clear();
+                    self.last_source = PrefetchSource::Unattributed;
+                }
+            }
         }
         // Fault injection: individual prefetch requests silently dropped
         // on their way to the memory system.
@@ -319,6 +346,10 @@ impl Prefetcher for Bingo {
         if let Some(res) = self.accumulation.end_residency(region) {
             self.train(res);
         }
+    }
+
+    fn set_throttle_level(&mut self, level: ThrottleLevel) {
+        self.throttle = level;
     }
 
     fn storage_bits(&self) -> u64 {
@@ -341,6 +372,9 @@ impl Prefetcher for Bingo {
                 " faults: bits_flipped={} entries_dropped={} prefetches_dropped={}",
                 inj.stats.bits_flipped, inj.stats.entries_dropped, inj.stats.prefetches_dropped
             ));
+        }
+        if self.throttle != ThrottleLevel::Full {
+            out.push_str(&format!(" throttle={}", self.throttle));
         }
         out
     }
@@ -776,6 +810,84 @@ mod tests {
         b.on_access(&info(0x999, 55 * 32 + 1), &mut out);
         assert!(out.is_empty());
         assert_eq!(b.last_burst_source(), PrefetchSource::Unattributed);
+    }
+
+    #[test]
+    fn throttled_predictions_are_subsets_of_unthrottled() {
+        let train = |b: &mut Bingo| {
+            // Two residencies sharing PC+Offset 3 with different spatial
+            // patterns: the 20% vote unions them, the raised vote (0.75,
+            // needing 2/2 votes) intersects them away entirely.
+            visit(b, 0x400, 10, &[3, 7, 11]);
+            visit(b, 0x400, 11, &[3, 9, 11]);
+        };
+        let mut full = small();
+        train(&mut full);
+        let unthrottled = visit(&mut full, 0x400, 99, &[3]);
+        let full_set: Vec<u64> = unthrottled.iter().map(|x| x.index()).collect();
+        assert_eq!(full_set.len(), 3, "union {{7, 9, 11}}: {full_set:?}");
+        for level in [
+            ThrottleLevel::RaisedVote,
+            ThrottleLevel::TriggerOnly,
+            ThrottleLevel::Stopped,
+        ] {
+            let mut b = small();
+            train(&mut b);
+            b.set_throttle_level(level);
+            let got = visit(&mut b, 0x400, 99, &[3]);
+            assert!(
+                got.iter().all(|x| unthrottled.contains(x)),
+                "{level}: {got:?} not a subset of {unthrottled:?}"
+            );
+            assert!(got.len() < unthrottled.len(), "{level} must subtract");
+            assert!(b.debug_stats().contains("throttle="), "{level}");
+            match level {
+                // 0.75 * 2 matches -> both must agree: only offset 11.
+                ThrottleLevel::RaisedVote => assert_eq!(got.len(), 1),
+                ThrottleLevel::TriggerOnly => assert_eq!(got, unthrottled[..1]),
+                ThrottleLevel::Stopped => assert!(got.is_empty()),
+                ThrottleLevel::Full => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn raised_vote_leaves_long_event_bursts_intact() {
+        let mut throttled = small();
+        let mut clean = small();
+        for b in [&mut throttled, &mut clean] {
+            visit(b, 0x400, 10, &[3, 7, 9]);
+        }
+        throttled.set_throttle_level(ThrottleLevel::RaisedVote);
+        // Exact revisit: the long event replays the stored footprint
+        // verbatim — voting (and hence the raised threshold) never applies.
+        assert_eq!(
+            visit(&mut throttled, 0x400, 10, &[3]),
+            visit(&mut clean, 0x400, 10, &[3])
+        );
+        assert_eq!(throttled.stats.long_hits, 1);
+    }
+
+    #[test]
+    fn throttling_never_perturbs_table_state() {
+        // Drive one instance through Stopped and back to Full; its
+        // predictions afterwards must match an instance that was never
+        // throttled, because training and lookup recency are untouched.
+        let mut throttled = small();
+        let mut clean = small();
+        for b in [&mut throttled, &mut clean] {
+            visit(b, 0x400, 10, &[3, 7, 9]);
+        }
+        throttled.set_throttle_level(ThrottleLevel::Stopped);
+        let gagged = visit(&mut throttled, 0x400, 20, &[3, 5]);
+        assert!(gagged.is_empty(), "stopped emits nothing");
+        let _ = visit(&mut clean, 0x400, 20, &[3, 5]);
+        throttled.set_throttle_level(ThrottleLevel::Full);
+        assert_eq!(
+            visit(&mut throttled, 0x400, 30, &[3]),
+            visit(&mut clean, 0x400, 30, &[3]),
+            "state diverged while throttled"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! produces Fig. 3. Its built-in redundancy probe — does the short table
 //! predict the same footprint as the long table? — produces Fig. 4.
 
-use bingo_sim::{AccessInfo, BlockAddr, PrefetchSource, Prefetcher, RegionGeometry};
+use bingo_sim::{AccessInfo, BlockAddr, PrefetchSource, Prefetcher, RegionGeometry, ThrottleLevel};
 
 use crate::accumulation::{AccumulationTable, Residency};
 use crate::bingo::PredictionStep;
@@ -248,6 +248,9 @@ pub struct MultiEventPrefetcher {
     /// Whether the most recent access was a trigger, for
     /// [`MultiEventPrefetcher::step`].
     last_trigger: bool,
+    /// Effective aggressiveness pushed by the memory system's throttle
+    /// controller; [`ThrottleLevel::Full`] unless throttling is enabled.
+    throttle: ThrottleLevel,
     /// Lookup statistics.
     pub stats: MultiEventStats,
 }
@@ -276,6 +279,7 @@ impl MultiEventPrefetcher {
             name,
             last_source: PrefetchSource::Unattributed,
             last_trigger: false,
+            throttle: ThrottleLevel::Full,
             stats: MultiEventStats {
                 hits_by_event: vec![0; cfg.events.len()],
                 ..Default::default()
@@ -363,6 +367,18 @@ impl Prefetcher for MultiEventPrefetcher {
         }
         if observation.trigger {
             self.predict(info, out);
+            // The throttled burst is a strict prefix of the unthrottled
+            // one, applied after prediction so table state and recency
+            // evolve identically at every level.
+            match self.throttle {
+                ThrottleLevel::Full => {}
+                ThrottleLevel::RaisedVote => out.truncate(out.len().div_ceil(2)),
+                ThrottleLevel::TriggerOnly => out.truncate(1),
+                ThrottleLevel::Stopped => {
+                    out.clear();
+                    self.last_source = PrefetchSource::Unattributed;
+                }
+            }
         }
     }
 
@@ -371,6 +387,10 @@ impl Prefetcher for MultiEventPrefetcher {
         if let Some(res) = self.accumulation.end_residency(region) {
             self.train(res);
         }
+    }
+
+    fn set_throttle_level(&mut self, level: ThrottleLevel) {
+        self.throttle = level;
     }
 
     fn storage_bits(&self) -> u64 {
@@ -617,6 +637,48 @@ mod tests {
     #[should_panic(expected = "at least one event")]
     fn empty_event_list_rejected() {
         let _ = MultiEventConfig::with_events(vec![]);
+    }
+
+    #[test]
+    fn throttled_bursts_are_prefixes_of_unthrottled() {
+        let train = |p: &mut MultiEventPrefetcher| {
+            visit(p, 0x400, 10, &[3, 7, 9, 11, 13]);
+        };
+        let mut full = small(EventKind::LONGEST_FIRST.to_vec());
+        train(&mut full);
+        let unthrottled = visit(&mut full, 0x400, 99, &[3]);
+        assert_eq!(unthrottled.len(), 4, "footprint minus trigger");
+        for (level, want) in [
+            (ThrottleLevel::RaisedVote, 2),
+            (ThrottleLevel::TriggerOnly, 1),
+            (ThrottleLevel::Stopped, 0),
+        ] {
+            let mut p = small(EventKind::LONGEST_FIRST.to_vec());
+            train(&mut p);
+            p.set_throttle_level(level);
+            let got = visit(&mut p, 0x400, 99, &[3]);
+            assert_eq!(got.len(), want, "{level}");
+            assert_eq!(got[..], unthrottled[..want], "must be a prefix");
+        }
+    }
+
+    #[test]
+    fn throttling_never_perturbs_cascade_state() {
+        let mut throttled = small(EventKind::LONGEST_FIRST.to_vec());
+        let mut clean = small(EventKind::LONGEST_FIRST.to_vec());
+        for p in [&mut throttled, &mut clean] {
+            visit(p, 0x400, 10, &[3, 7]);
+        }
+        throttled.set_throttle_level(ThrottleLevel::Stopped);
+        assert!(visit(&mut throttled, 0x400, 20, &[3, 5]).is_empty());
+        let _ = visit(&mut clean, 0x400, 20, &[3, 5]);
+        throttled.set_throttle_level(ThrottleLevel::Full);
+        assert_eq!(
+            visit(&mut throttled, 0x400, 30, &[3]),
+            visit(&mut clean, 0x400, 30, &[3]),
+            "tables diverged while throttled"
+        );
+        assert_eq!(throttled.stats, clean.stats);
     }
 
     #[test]

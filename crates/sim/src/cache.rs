@@ -109,6 +109,10 @@ pub struct Cache {
     sets: Vec<Vec<Line>>,
     set_mask: u64,
     pending: HashMap<u64, PendingFill>,
+    /// In-flight fills allocated by prefetches (the prefetch-queue
+    /// occupancy); maintained incrementally so the bounded-queue check is
+    /// O(1) per candidate.
+    pending_prefetches: usize,
     bank_free: Vec<u64>,
     stamp: u64,
     rng_state: u64,
@@ -139,6 +143,7 @@ impl Cache {
             sets: vec![vec![Line::INVALID; cfg.ways]; sets],
             set_mask: sets as u64 - 1,
             pending: HashMap::new(),
+            pending_prefetches: 0,
             bank_free: vec![0; cfg.banks],
             stamp: 0,
             rng_state: 0x9e37_79b9_7f4a_7c15,
@@ -232,6 +237,14 @@ impl Cache {
         self.pending.len()
     }
 
+    /// Number of in-flight fills allocated by prefetches — the occupancy a
+    /// bounded prefetch queue is checked against. Includes prefetches a
+    /// demand has since merged with (the slot is held until the fill
+    /// lands).
+    pub fn prefetches_in_flight(&self) -> usize {
+        self.pending_prefetches
+    }
+
     /// Whether a demand miss can allocate an MSHR.
     pub fn mshr_available_for_demand(&self) -> bool {
         self.pending.len() < self.cfg.mshrs
@@ -270,6 +283,9 @@ impl Cache {
                 dirty: false,
             },
         );
+        if prefetch {
+            self.pending_prefetches += 1;
+        }
     }
 
     /// Marks an in-flight fill dirty (a store is merging into it); returns
@@ -291,6 +307,9 @@ impl Cache {
     /// in flight) or if an invalid way absorbed the fill.
     pub fn complete_fill(&mut self, block: BlockAddr, dirty: bool) -> Option<Evicted> {
         let entry = self.pending.remove(&block.index())?;
+        if entry.prefetch {
+            self.pending_prefetches -= 1;
+        }
         let stamp = self.next_stamp();
         let set = self.set_index(block);
 
@@ -564,6 +583,29 @@ mod tests {
         c2.allocate_fill(BlockAddr::new(2), 100, false);
         assert!(!c2.mshr_available_for_prefetch(2));
         assert!(c2.mshr_available_for_prefetch(1));
+    }
+
+    #[test]
+    fn prefetches_in_flight_tracks_allocations_and_fills() {
+        let mut c = small_cache();
+        assert_eq!(c.prefetches_in_flight(), 0);
+        c.allocate_fill(BlockAddr::new(1), 100, true);
+        c.allocate_fill(BlockAddr::new(2), 100, false);
+        c.allocate_fill(BlockAddr::new(3), 100, true);
+        assert_eq!(c.prefetches_in_flight(), 2, "demand fills do not count");
+        // A demand merging with an in-flight prefetch keeps the slot held.
+        c.demand_access(BlockAddr::new(1), 50, false);
+        assert_eq!(c.prefetches_in_flight(), 2);
+        c.complete_fill(BlockAddr::new(1), false);
+        assert_eq!(c.prefetches_in_flight(), 1);
+        c.complete_fill(BlockAddr::new(2), false);
+        assert_eq!(
+            c.prefetches_in_flight(),
+            1,
+            "demand fill release is a no-op"
+        );
+        c.complete_fill(BlockAddr::new(3), false);
+        assert_eq!(c.prefetches_in_flight(), 0);
     }
 
     #[test]

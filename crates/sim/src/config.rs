@@ -106,6 +106,13 @@ pub struct SystemConfig {
     /// LLC MSHR slots reserved for demand requests; prefetches may only use
     /// the remainder so they can never starve demands.
     pub llc_mshrs_reserved_for_demand: usize,
+    /// Bound on concurrently in-flight prefetch fills (the prefetch queue).
+    /// `None` models an unbounded queue — the paper configuration — and is
+    /// bit-for-bit identical to the pre-pressure-model simulator. `Some(n)`
+    /// drops candidates beyond `n` outstanding prefetches with an explicit
+    /// queue-full classification instead of issuing them; demand misses are
+    /// never gated by this bound.
+    pub prefetch_queue_depth: Option<usize>,
 }
 
 impl SystemConfig {
@@ -153,6 +160,7 @@ impl SystemConfig {
             },
             region: RegionGeometry::default(),
             llc_mshrs_reserved_for_demand: 32,
+            prefetch_queue_depth: None,
         }
     }
 
@@ -202,6 +210,7 @@ impl SystemConfig {
             },
             region: RegionGeometry::default(),
             llc_mshrs_reserved_for_demand: 8,
+            prefetch_queue_depth: None,
         }
     }
 
@@ -248,6 +257,11 @@ impl SystemConfig {
         }
         if self.llc_mshrs_reserved_for_demand >= self.llc.mshrs {
             return Err("llc demand MSHR reservation must leave room for prefetches".into());
+        }
+        if self.prefetch_queue_depth == Some(0) {
+            return Err("prefetch queue depth of 0 disables prefetching entirely; \
+                        use a no-op prefetcher instead"
+                .into());
         }
         Ok(())
     }
@@ -323,6 +337,12 @@ mod tests {
         let mut cfg = SystemConfig::paper();
         cfg.dram.row_bytes = 100;
         assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::paper();
+        cfg.prefetch_queue_depth = Some(0);
+        assert!(cfg.validate().is_err());
+        cfg.prefetch_queue_depth = Some(16);
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

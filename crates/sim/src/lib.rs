@@ -60,6 +60,7 @@ pub mod replay;
 pub mod stats;
 pub mod system;
 pub mod telemetry;
+pub mod throttle;
 pub mod trace;
 
 pub use addr::{Addr, BlockAddr, CoreId, Pc, RegionGeometry, RegionId, BLOCK_BYTES, BLOCK_SHIFT};
@@ -77,6 +78,7 @@ pub use telemetry::{
     DropReason, LifecycleEvent, LifecycleEventKind, PrefetchLedger, PrefetchSource, SourceCounters,
     TelemetryLevel, TelemetryReport,
 };
+pub use throttle::{ThrottleController, ThrottleLevel, ThrottleMode, ThrottleStats};
 pub use trace::{record, Trace, TraceError, TraceSource};
 
 /// Asserts an internal invariant, compiled in only under the `audit`

@@ -26,6 +26,7 @@ use crate::stats::CacheStats;
 use crate::telemetry::{
     DropReason, PrefetchLedger, PrefetchSource, TelemetryLevel, TelemetryReport,
 };
+use crate::throttle::{ThrottleController, ThrottleLevel, ThrottleMode, ThrottleStats};
 
 /// Result of issuing a memory operation.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -53,6 +54,9 @@ pub struct MemorySystem {
     fill_seq: u64,
     pf_buf: Vec<BlockAddr>,
     ledger: PrefetchLedger,
+    /// `None` when `BINGO_THROTTLE=off`: the hot path then pays a single
+    /// branch per access, and behavior is bit-for-bit the unthrottled one.
+    throttle: Option<ThrottleController>,
 }
 
 impl MemorySystem {
@@ -80,6 +84,7 @@ impl MemorySystem {
             fill_seq: 0,
             pf_buf: Vec::with_capacity(64),
             ledger: PrefetchLedger::new(TelemetryLevel::Off),
+            throttle: None,
             cfg,
         }
     }
@@ -88,6 +93,37 @@ impl MemorySystem {
     /// switching levels mid-run discards any records collected so far.
     pub fn set_telemetry(&mut self, level: TelemetryLevel) {
         self.ledger = PrefetchLedger::new(level);
+    }
+
+    /// Sets the prefetch-throttling mode. Call before running; switching
+    /// modes mid-run restarts the controller from scratch. With
+    /// [`ThrottleMode::Off`] no controller exists at all, so disabled
+    /// throttling cannot perturb a run.
+    pub fn set_throttle(&mut self, mode: ThrottleMode) {
+        self.throttle = mode.enabled().then(|| {
+            ThrottleController::new(mode).with_dram_service_cycles(self.cfg.dram.transfer_cycles)
+        });
+        let level = self
+            .throttle
+            .as_ref()
+            .map_or(ThrottleLevel::Full, ThrottleController::level);
+        for pf in &mut self.prefetchers {
+            pf.set_throttle_level(level);
+        }
+    }
+
+    /// The throttle controller's activity counters; `None` when throttling
+    /// is off.
+    pub fn throttle_stats(&self) -> Option<&ThrottleStats> {
+        self.throttle.as_ref().map(|t| &t.stats)
+    }
+
+    /// The current effective throttle level ([`ThrottleLevel::Full`] when
+    /// throttling is off).
+    pub fn throttle_level(&self) -> ThrottleLevel {
+        self.throttle
+            .as_ref()
+            .map_or(ThrottleLevel::Full, ThrottleController::level)
     }
 
     /// The prefetch-lifecycle ledger (off by default).
@@ -160,6 +196,9 @@ impl MemorySystem {
         self.llc.reset_stats();
         self.dram.reset_stats();
         self.ledger.on_stats_reset();
+        if let Some(ctrl) = self.throttle.as_mut() {
+            ctrl.on_stats_reset();
+        }
     }
 
     /// Processes all fills that are due at or before `now`. Must be called
@@ -235,6 +274,7 @@ impl MemorySystem {
         let l1 = &mut self.l1s[core.0];
         match l1.demand_access(block, now, is_write) {
             Lookup::Hit { ready_at } | Lookup::PendingHit { ready_at } => {
+                self.tick_throttle();
                 return IssueResult::Done(ready_at);
             }
             Lookup::Miss => {}
@@ -296,7 +336,24 @@ impl MemorySystem {
         // Train + trigger the core's prefetcher on this LLC access.
         self.run_prefetcher(core, pc, addr, is_write, llc_hit, t_llc);
 
+        self.tick_throttle();
         IssueResult::Done(data_ready + 1)
+    }
+
+    /// Advances the throttle controller's epoch clock by one demand
+    /// access. Called only from the two paths where an access *resolves*
+    /// (L1 hit or committed miss), never on a `Stall` return: a stalled
+    /// access is retried every cycle, and counting retries would tie the
+    /// epoch length to contention — the very thing the controller
+    /// modulates — instead of program progress.
+    fn tick_throttle(&mut self) {
+        if let Some(ctrl) = self.throttle.as_mut() {
+            if let Some(level) = ctrl.on_access(&self.llc.stats, &self.dram.stats) {
+                for pf in &mut self.prefetchers {
+                    pf.set_throttle_level(level);
+                }
+            }
+        }
     }
 
     fn run_prefetcher(
@@ -364,6 +421,18 @@ impl MemorySystem {
                 .dropped(block.index(), pc, source, now, DropReason::Duplicate);
             return;
         }
+        // The bounded prefetch queue sits in front of the MSHR file: a
+        // candidate needs a queue slot before it may compete for an MSHR.
+        // Demand misses never consult this bound, so prefetch pressure can
+        // only ever shed prefetches, not delay demand issue.
+        if let Some(depth) = self.cfg.prefetch_queue_depth {
+            if self.llc.prefetches_in_flight() >= depth {
+                self.llc.stats.pf_dropped_queue += 1;
+                self.ledger
+                    .dropped(block.index(), pc, source, now, DropReason::QueueFull);
+                return;
+            }
+        }
         if !self
             .llc
             .mshr_available_for_prefetch(self.cfg.llc_mshrs_reserved_for_demand)
@@ -373,7 +442,9 @@ impl MemorySystem {
                 .dropped(block.index(), pc, source, now, DropReason::MshrFull);
             return;
         }
-        let ready = self.dram.read(block, now + self.cfg.llc.latency);
+        let ready = self
+            .dram
+            .read_tagged(block, now + self.cfg.llc.latency, true);
         self.llc.allocate_fill(block, ready, true);
         self.schedule_fill(FillLevel::Llc, block, ready);
         self.llc.stats.pf_issued += 1;
@@ -591,6 +662,129 @@ mod tests {
         }
         assert_eq!(mem.llc_stats().pf_issued, 24);
         assert_eq!(mem.llc_stats().pf_dropped_mshr, 6);
+    }
+
+    #[test]
+    fn bounded_queue_drops_excess_prefetches_with_reason() {
+        let mut cfg = SystemConfig::tiny();
+        cfg.prefetch_queue_depth = Some(4);
+        let mut mem = MemorySystem::new(cfg, vec![Box::new(NoPrefetcher)]);
+        mem.set_telemetry(TelemetryLevel::Counts);
+        for i in 0..10u64 {
+            mem.issue_prefetch(BlockAddr::new(1000 + i), 0);
+        }
+        assert_eq!(mem.llc_stats().pf_issued, 4);
+        assert_eq!(mem.llc_stats().pf_dropped_queue, 6);
+        assert_eq!(mem.llc_stats().pf_dropped_mshr, 0);
+        // Once fills land the queue frees up again.
+        mem.drain();
+        mem.issue_prefetch(BlockAddr::new(2000), 0);
+        assert_eq!(mem.llc_stats().pf_issued, 5);
+        // The ledger classifies the same drops by the same reason.
+        let t = mem.telemetry_report().expect("telemetry on");
+        assert_eq!(t.dropped_queue, mem.llc_stats().pf_dropped_queue);
+        assert_eq!(t.issued, mem.llc_stats().pf_issued);
+    }
+
+    #[test]
+    fn unbounded_queue_is_bit_for_bit_identical_to_default() {
+        // The pressure knob disabled must not perturb anything: same tiny
+        // config with and without an explicit `None` produces equal stats.
+        let run = |cfg: SystemConfig| {
+            let mut mem = MemorySystem::new(cfg, vec![Box::new(NextLinePrefetcher::new(4))]);
+            let mut now = 0;
+            for i in 0..40u64 {
+                match mem.load(CORE, PC, Addr::new(i * 64), now) {
+                    IssueResult::Done(t) => now = t,
+                    IssueResult::Stall => now += 1,
+                }
+                mem.tick(now);
+            }
+            mem.drain();
+            mem.llc_stats().clone()
+        };
+        let default_cfg = SystemConfig::tiny();
+        let mut explicit = SystemConfig::tiny();
+        explicit.prefetch_queue_depth = None;
+        assert_eq!(run(default_cfg), run(explicit));
+        assert_eq!(default_cfg.prefetch_queue_depth, None);
+    }
+
+    #[test]
+    fn off_throttle_mode_is_bit_for_bit_invisible() {
+        let run = |set_off: bool| {
+            let cfg = SystemConfig::tiny();
+            let mut mem = MemorySystem::new(cfg, vec![Box::new(NextLinePrefetcher::new(4))]);
+            if set_off {
+                mem.set_throttle(crate::throttle::ThrottleMode::Off);
+            }
+            let mut now = 0;
+            for i in 0..2000u64 {
+                match mem.load(CORE, PC, Addr::new(i * 64), now) {
+                    IssueResult::Done(t) => now = t,
+                    IssueResult::Stall => now += 1,
+                }
+                mem.tick(now);
+            }
+            mem.drain();
+            mem.llc_stats().clone()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn feedback_throttle_strangles_useless_prefetching() {
+        use crate::throttle::{ThrottleLevel, ThrottleMode, EPOCH_ACCESSES};
+        // Stride of 5 blocks: every next-line prefetch (degree 4) lands on
+        // a block the demand stream never touches, so settled accuracy is
+        // zero once LLC evictions begin.
+        let run = |mode: ThrottleMode| {
+            let cfg = SystemConfig::tiny();
+            let mut mem = MemorySystem::new(cfg, vec![Box::new(NextLinePrefetcher::new(4))]);
+            mem.set_throttle(mode);
+            let mut now = 0;
+            for i in 0..8 * EPOCH_ACCESSES {
+                match mem.load(CORE, PC, Addr::new(i * 5 * 64), now) {
+                    IssueResult::Done(t) => now = t,
+                    IssueResult::Stall => now += 1,
+                }
+                mem.tick(now);
+            }
+            mem
+        };
+        let throttled = run(ThrottleMode::Feedback);
+        let unthrottled = run(ThrottleMode::Off);
+        assert_eq!(unthrottled.throttle_stats(), None);
+        assert_eq!(unthrottled.throttle_level(), ThrottleLevel::Full);
+        let stats = throttled.throttle_stats().expect("controller attached");
+        assert!(stats.degrades >= 1, "zero accuracy must degrade: {stats:?}");
+        assert!(
+            throttled.throttle_level() > ThrottleLevel::Full,
+            "still at full after {stats:?}"
+        );
+        assert!(
+            throttled.llc_stats().pf_issued < unthrottled.llc_stats().pf_issued / 2,
+            "throttling must shed most useless prefetches ({} vs {})",
+            throttled.llc_stats().pf_issued,
+            unthrottled.llc_stats().pf_issued
+        );
+    }
+
+    #[test]
+    fn demand_misses_are_never_gated_by_the_prefetch_queue() {
+        let mut cfg = SystemConfig::tiny();
+        cfg.prefetch_queue_depth = Some(1);
+        let mut mem = MemorySystem::new(cfg, vec![Box::new(NoPrefetcher)]);
+        // Saturate the one-slot queue.
+        mem.issue_prefetch(BlockAddr::new(5000), 0);
+        mem.issue_prefetch(BlockAddr::new(5001), 0);
+        assert_eq!(mem.llc_stats().pf_dropped_queue, 1);
+        // A demand miss still issues normally.
+        match mem.load(CORE, PC, Addr::new(0x9000), 1) {
+            IssueResult::Done(_) => {}
+            IssueResult::Stall => panic!("demand gated by prefetch queue"),
+        }
+        assert_eq!(mem.llc_stats().demand_misses, 1);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::addr::{Addr, BlockAddr, CoreId, Pc, RegionGeometry, RegionId};
 use crate::telemetry::PrefetchSource;
+use crate::throttle::ThrottleLevel;
 
 /// Everything a prefetcher may observe about one demand access.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -103,6 +104,19 @@ pub trait Prefetcher {
         Vec::new()
     }
 
+    /// Applies a throttle level pushed by the memory system's
+    /// [`ThrottleController`](crate::throttle::ThrottleController).
+    ///
+    /// Implementations must be *strictly subtractive*: at any level the
+    /// emitted burst must be a subset (in fact a prefix, or a vote-raised
+    /// narrowing) of what the unthrottled prefetcher would emit, and
+    /// training/table state must evolve identically. Default: ignored
+    /// (baselines run unthrottled; the controller's level still gates
+    /// nothing for them).
+    fn set_throttle_level(&mut self, level: ThrottleLevel) {
+        let _ = level;
+    }
+
     /// The prediction event that produced the candidates emitted by the
     /// most recent [`on_access`](Prefetcher::on_access) call, for
     /// lifecycle-telemetry attribution. Queried once per burst, right
@@ -131,6 +145,7 @@ impl Prefetcher for NoPrefetcher {
 #[derive(Copy, Clone, Debug)]
 pub struct NextLinePrefetcher {
     degree: usize,
+    level: ThrottleLevel,
 }
 
 impl NextLinePrefetcher {
@@ -141,7 +156,21 @@ impl NextLinePrefetcher {
     /// Panics if `degree` is zero.
     pub fn new(degree: usize) -> Self {
         assert!(degree > 0, "degree must be nonzero");
-        NextLinePrefetcher { degree }
+        NextLinePrefetcher {
+            degree,
+            level: ThrottleLevel::Full,
+        }
+    }
+
+    /// The effective degree under the current throttle level — always a
+    /// prefix of the unthrottled burst, so throttling stays subtractive.
+    fn effective_degree(&self) -> usize {
+        match self.level {
+            ThrottleLevel::Full => self.degree,
+            ThrottleLevel::RaisedVote => self.degree.div_ceil(2),
+            ThrottleLevel::TriggerOnly => 1,
+            ThrottleLevel::Stopped => 0,
+        }
     }
 }
 
@@ -157,9 +186,13 @@ impl Prefetcher for NextLinePrefetcher {
     }
 
     fn on_access(&mut self, info: &AccessInfo, out: &mut Vec<BlockAddr>) {
-        for d in 1..=self.degree {
+        for d in 1..=self.effective_degree() {
             out.push(info.block.offset(d as i64));
         }
+    }
+
+    fn set_throttle_level(&mut self, level: ThrottleLevel) {
+        self.level = level;
     }
 }
 
@@ -247,6 +280,29 @@ mod tests {
     #[should_panic(expected = "degree")]
     fn next_line_rejects_zero_degree() {
         let _ = NextLinePrefetcher::new(0);
+    }
+
+    #[test]
+    fn next_line_throttle_truncates_its_burst_prefix() {
+        let full: Vec<BlockAddr> = {
+            let mut p = NextLinePrefetcher::new(4);
+            let mut out = Vec::new();
+            p.on_access(&info(10), &mut out);
+            out
+        };
+        for (level, want) in [
+            (ThrottleLevel::Full, 4),
+            (ThrottleLevel::RaisedVote, 2),
+            (ThrottleLevel::TriggerOnly, 1),
+            (ThrottleLevel::Stopped, 0),
+        ] {
+            let mut p = NextLinePrefetcher::new(4);
+            p.set_throttle_level(level);
+            let mut out = Vec::new();
+            p.on_access(&info(10), &mut out);
+            assert_eq!(out.len(), want, "{level}");
+            assert_eq!(out[..], full[..want], "throttled burst must be a prefix");
+        }
     }
 
     #[test]

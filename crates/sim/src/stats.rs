@@ -32,6 +32,11 @@ pub struct CacheStats {
     pub pf_dropped_duplicate: u64,
     /// Prefetches dropped because no prefetch-eligible MSHR was available.
     pub pf_dropped_mshr: u64,
+    /// Prefetches dropped because the bounded prefetch queue was full
+    /// (0 unless [`SystemConfig::prefetch_queue_depth`] bounds the queue).
+    ///
+    /// [`SystemConfig::prefetch_queue_depth`]: crate::SystemConfig
+    pub pf_dropped_queue: u64,
     /// Prefetches actually sent to the next level.
     pub pf_issued: u64,
     /// Prefetched fills that were demanded before eviction (counted once per

@@ -13,6 +13,7 @@ use crate::memory::MemorySystem;
 use crate::prefetch::Prefetcher;
 use crate::stats::SimResult;
 use crate::telemetry::TelemetryLevel;
+use crate::throttle::ThrottleMode;
 
 /// Why a simulation stopped before reaching its instruction targets.
 ///
@@ -128,6 +129,18 @@ impl System {
     /// either way — see the determinism tests in `tests/telemetry.rs`).
     pub fn with_telemetry(mut self, level: TelemetryLevel) -> Self {
         self.mem.set_telemetry(level);
+        self
+    }
+
+    /// Enables adaptive prefetch throttling in the given mode.
+    ///
+    /// With [`ThrottleMode::Off`] this is a no-op — the memory system then
+    /// carries no controller, so the run is bit-for-bit identical to one
+    /// that never called this. Throttling is active during warmup too, so
+    /// the controller's learned level (like predictor tables) is warm when
+    /// measurement starts.
+    pub fn with_throttle(mut self, mode: ThrottleMode) -> Self {
+        self.mem.set_throttle(mode);
         self
     }
 

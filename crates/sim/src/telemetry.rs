@@ -135,6 +135,9 @@ pub enum DropReason {
     Duplicate,
     /// No prefetch-eligible MSHR was available.
     MshrFull,
+    /// The bounded prefetch queue had no free slot
+    /// ([`SystemConfig::prefetch_queue_depth`](crate::SystemConfig)).
+    QueueFull,
 }
 
 /// Lifecycle counters attributed to one prediction source or trigger PC.
@@ -230,6 +233,7 @@ struct LedgerCounts {
     issued: u64,
     dropped_duplicate: u64,
     dropped_mshr: u64,
+    dropped_queue: u64,
     timely: u64,
     late: u64,
     unused: u64,
@@ -340,6 +344,7 @@ impl PrefetchLedger {
         match reason {
             DropReason::Duplicate => self.counts.dropped_duplicate += 1,
             DropReason::MshrFull => self.counts.dropped_mshr += 1,
+            DropReason::QueueFull => self.counts.dropped_queue += 1,
         }
         self.by_source[source.slot()].dropped += 1;
         self.by_pc.entry(pc).or_default().dropped += 1;
@@ -482,6 +487,7 @@ impl PrefetchLedger {
             issued: self.counts.issued,
             dropped_duplicate: self.counts.dropped_duplicate,
             dropped_mshr: self.counts.dropped_mshr,
+            dropped_queue: self.counts.dropped_queue,
             timely: self.counts.timely,
             late: self.counts.late,
             unused: self.counts.unused,
@@ -511,6 +517,8 @@ pub struct TelemetryReport {
     pub dropped_duplicate: u64,
     /// Candidates dropped for lack of a prefetch-eligible MSHR.
     pub dropped_mshr: u64,
+    /// Candidates dropped because the bounded prefetch queue was full.
+    pub dropped_queue: u64,
     /// Settled as used-timely (== LLC `pf_useful`).
     pub timely: u64,
     /// Settled as used-late (== LLC `pf_late`).
@@ -678,10 +686,12 @@ mod tests {
         let mut led = counting_ledger();
         led.dropped(1, 0x4, PrefetchSource::LongEvent, 0, DropReason::Duplicate);
         led.dropped(2, 0x4, PrefetchSource::LongEvent, 0, DropReason::MshrFull);
+        led.dropped(3, 0x4, PrefetchSource::LongEvent, 0, DropReason::QueueFull);
         let r = led.report().unwrap();
         assert_eq!(r.dropped_duplicate, 1);
         assert_eq!(r.dropped_mshr, 1);
-        assert_eq!(r.source("long").unwrap().dropped, 2);
+        assert_eq!(r.dropped_queue, 1);
+        assert_eq!(r.source("long").unwrap().dropped, 3);
     }
 
     #[test]

@@ -1,0 +1,734 @@
+//! Adaptive prefetch throttling driven by resource-pressure feedback.
+//!
+//! Aggressive spatial prefetching is only profitable while its predictions
+//! are accurate and memory bandwidth is plentiful; under pressure the same
+//! 31-block bursts evict useful lines and queue demand fills behind
+//! prefetch traffic. The [`ThrottleController`] watches per-epoch deltas
+//! of the prefetch counters in [`CacheStats`] — judging accuracy as
+//! used-vs-issued, which is timely, rather than waiting for evictions to
+//! settle `pf_useless` — together with the DRAM bandwidth split
+//! ([`DramStats::prefetch_reads`], [`DramStats::demand_wait_cycles`]) and
+//! degrades the effective prefetch degree one [`ThrottleLevel`] at a time —
+//! full burst → raised-vote burst → trigger-block-only → off — with
+//! hysteresis in both directions, in the spirit of DSPatch's
+//! bandwidth-aware aggressiveness control and Triangel's accuracy gating.
+//!
+//! Throttling is *strictly subtractive*: at every level the prefetcher's
+//! prediction set is a subset of what it would have emitted unthrottled,
+//! and training/table state evolves identically. The differential harness
+//! checks this against the executable specification.
+
+use crate::dram::DramStats;
+use crate::stats::CacheStats;
+
+/// How prefetch throttling is driven, selected by the `BINGO_THROTTLE`
+/// knob.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum ThrottleMode {
+    /// No throttling. The memory system carries no controller at all, so
+    /// disabled throttling is bit-for-bit invisible.
+    #[default]
+    Off,
+    /// A fixed conservative degree ([`ThrottleLevel::RaisedVote`]) with no
+    /// feedback — the classic "static degree" operating point.
+    Static,
+    /// Closed-loop control: per-epoch accuracy, lateness, and bandwidth
+    /// share move the level up and down the ladder with hysteresis.
+    Feedback,
+}
+
+impl ThrottleMode {
+    /// Whether a controller is active at all.
+    pub fn enabled(self) -> bool {
+        self != ThrottleMode::Off
+    }
+
+    /// Parses the spelling used by the `BINGO_THROTTLE` knob
+    /// (case-insensitive `off` / `static` / `feedback`); `None` on
+    /// anything else so callers can abort loudly.
+    pub fn parse(value: &str) -> Option<Self> {
+        match value.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "none" => Some(ThrottleMode::Off),
+            "static" | "1" => Some(ThrottleMode::Static),
+            "feedback" | "on" | "2" => Some(ThrottleMode::Feedback),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ThrottleMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThrottleMode::Off => write!(f, "off"),
+            ThrottleMode::Static => write!(f, "static"),
+            ThrottleMode::Feedback => write!(f, "feedback"),
+        }
+    }
+}
+
+/// Effective prefetcher aggressiveness, ordered from least to most
+/// throttled. Every step down the ladder only *removes* candidates from
+/// the burst a prefetcher would emit unthrottled — never adds or reorders
+/// — so a throttled run's prediction set is always a subset of the
+/// unthrottled one.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ThrottleLevel {
+    /// Unrestricted bursts (identical to no throttling).
+    #[default]
+    Full,
+    /// Bingo raises its short-event vote threshold to
+    /// [`RAISED_VOTE_THRESHOLD`](crate::throttle::RAISED_VOTE_THRESHOLD)
+    /// so only widely agreed-upon blocks survive; cascade prefetchers
+    /// halve their burst.
+    RaisedVote,
+    /// Only the first predicted block of each burst is issued.
+    TriggerOnly,
+    /// No prefetches are issued at all (training continues, so recovery
+    /// is instant when pressure lifts).
+    Stopped,
+}
+
+impl ThrottleLevel {
+    /// One step more throttled (saturates at [`ThrottleLevel::Stopped`]).
+    pub fn degraded(self) -> Self {
+        match self {
+            ThrottleLevel::Full => ThrottleLevel::RaisedVote,
+            ThrottleLevel::RaisedVote => ThrottleLevel::TriggerOnly,
+            ThrottleLevel::TriggerOnly | ThrottleLevel::Stopped => ThrottleLevel::Stopped,
+        }
+    }
+
+    /// One step less throttled (saturates at [`ThrottleLevel::Full`]).
+    pub fn upgraded(self) -> Self {
+        match self {
+            ThrottleLevel::Full | ThrottleLevel::RaisedVote => ThrottleLevel::Full,
+            ThrottleLevel::TriggerOnly => ThrottleLevel::RaisedVote,
+            ThrottleLevel::Stopped => ThrottleLevel::TriggerOnly,
+        }
+    }
+}
+
+impl std::fmt::Display for ThrottleLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThrottleLevel::Full => write!(f, "full"),
+            ThrottleLevel::RaisedVote => write!(f, "raised-vote"),
+            ThrottleLevel::TriggerOnly => write!(f, "trigger-only"),
+            ThrottleLevel::Stopped => write!(f, "stopped"),
+        }
+    }
+}
+
+/// Bingo's effective short-event vote threshold at
+/// [`ThrottleLevel::RaisedVote`] (the paper's default is 0.2; 0.75 keeps
+/// only blocks most matching footprints agree on).
+pub const RAISED_VOTE_THRESHOLD: f64 = 0.75;
+
+/// Demand accesses per evaluation epoch.
+pub const EPOCH_ACCESSES: u64 = 2048;
+
+/// An epoch whose used-to-issued prefetch ratio falls below this is bad.
+///
+/// Accuracy is judged *issued-based* — `(Δpf_useful + Δpf_late) /
+/// Δpf_issued` — not on eviction-settled counts: a useless prefetch into
+/// an 8 MB LLC is not evicted (hence not counted `pf_useless`) for
+/// millions of cycles, far too late to steer anything. Issued-vs-used is
+/// timely and converges to true accuracy in steady state; its only bias
+/// is the sub-epoch in-flight lag at ramp-up.
+pub const ACCURACY_FLOOR: f64 = 0.5;
+
+/// Used-to-issued ratio above which an epoch counts as good (between the
+/// floor and this the epoch is neutral: streaks reset, level holds).
+pub const ACCURACY_TARGET: f64 = 0.75;
+
+/// Minimum prefetches issued in an epoch for its accuracy to count as
+/// evidence; below this the epoch is neutral (sampling noise on a handful
+/// of prefetches must not walk the ladder).
+pub const MIN_EVIDENCE: u64 = 8;
+
+/// Prefetch share of DRAM reads above which an epoch is bad regardless of
+/// accuracy — even accurate prefetching must yield when it starves demand
+/// fills of bandwidth.
+pub const BANDWIDTH_CEILING: f64 = 0.6;
+
+/// Average DRAM queue wait per read, in multiples of the channel's
+/// per-transfer service time, above which the memory system counts as
+/// *congested*. Past this point every read is queued behind several others
+/// and the channel is the bottleneck, so a wasted prefetch transfer costs
+/// a full service slot that a demand fill wanted.
+pub const CONGESTION_WAIT_FACTOR: f64 = 2.0;
+
+/// [`ACCURACY_FLOOR`] while the DRAM channel is congested. Moderately
+/// accurate prefetching is profitable when bandwidth is spare — a 70%-hit
+/// burst still hides latency — but on a saturated channel a useful
+/// prefetch only *moves* a transfer earlier while a useless one *adds*
+/// a transfer, so the break-even accuracy climbs steeply.
+pub const CONGESTED_ACCURACY_FLOOR: f64 = 0.85;
+
+/// [`ACCURACY_TARGET`] while the DRAM channel is congested.
+pub const CONGESTED_ACCURACY_TARGET: f64 = 0.95;
+
+/// Consecutive bad epochs before degrading one level.
+pub const DEGRADE_AFTER: u32 = 2;
+
+/// Consecutive good epochs before upgrading one level (the starting
+/// upgrade patience; failed probes back it off, see
+/// [`MAX_UPGRADE_PATIENCE`]).
+pub const UPGRADE_AFTER: u32 = 4;
+
+/// Epochs an upgrade must survive without degrading back for the probe to
+/// count as successful.
+pub const PROBE_WINDOW: u32 = 4;
+
+/// Ceiling on the backed-off upgrade patience. Without backoff the
+/// controller limit-cycles on steadily hostile traffic: good epochs at
+/// the throttled level earn an upgrade, the restored aggressiveness is
+/// promptly judged bad, and the two full-blast epochs per cycle cost real
+/// bandwidth. Doubling the patience after every failed probe makes those
+/// probes geometrically rarer, while one survived probe resets patience
+/// to [`UPGRADE_AFTER`] so genuine pressure relief still recovers fast.
+pub const MAX_UPGRADE_PATIENCE: u32 = 64;
+
+/// Cumulative controller activity, for diagnostics.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ThrottleStats {
+    /// Completed evaluation epochs.
+    pub epochs: u64,
+    /// Epochs judged bad (inaccurate or bandwidth-starving).
+    pub bad_epochs: u64,
+    /// Epochs judged good (accurate and within the bandwidth budget).
+    pub good_epochs: u64,
+    /// Level degradations applied.
+    pub degrades: u64,
+    /// Level upgrades applied.
+    pub upgrades: u64,
+}
+
+/// Counter snapshot at the previous epoch boundary, so each epoch is
+/// judged on its own deltas.
+#[derive(Copy, Clone, Debug, Default)]
+struct Snapshot {
+    pf_issued: u64,
+    pf_useful: u64,
+    pf_late: u64,
+    prefetch_reads: u64,
+    reads: u64,
+    queue_wait_cycles: u64,
+}
+
+impl Snapshot {
+    fn of(llc: &CacheStats, dram: &DramStats) -> Self {
+        Snapshot {
+            pf_issued: llc.pf_issued,
+            pf_useful: llc.pf_useful,
+            pf_late: llc.pf_late,
+            prefetch_reads: dram.prefetch_reads,
+            reads: dram.reads,
+            queue_wait_cycles: dram.queue_wait_cycles,
+        }
+    }
+}
+
+/// The per-epoch verdict driving the hysteresis streaks.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Verdict {
+    Good,
+    Neutral,
+    Bad,
+}
+
+/// Closed-loop prefetch-aggressiveness controller.
+///
+/// Owned by the memory system when `BINGO_THROTTLE` is not `off`; fed one
+/// [`on_access`](ThrottleController::on_access) call per demand access.
+/// Every [`EPOCH_ACCESSES`] accesses it judges the elapsed epoch from the
+/// LLC and DRAM counter deltas and walks the [`ThrottleLevel`] ladder.
+#[derive(Debug)]
+pub struct ThrottleController {
+    mode: ThrottleMode,
+    level: ThrottleLevel,
+    accesses: u64,
+    snap: Snapshot,
+    bad_streak: u32,
+    good_streak: u32,
+    /// Good epochs currently required for an upgrade; starts at
+    /// [`UPGRADE_AFTER`], doubles on every failed probe (capped at
+    /// [`MAX_UPGRADE_PATIENCE`]), resets on a survived one.
+    upgrade_patience: u32,
+    /// An in-flight upgrade probe: the level upgraded to and the epochs
+    /// elapsed since. `None` when no probe is outstanding.
+    probe: Option<(ThrottleLevel, u32)>,
+    /// DRAM per-transfer service time, used to normalize queue-wait cycles
+    /// into a congestion signal. `None` disables congestion gating (the
+    /// memory system always supplies it; see
+    /// [`with_dram_service_cycles`](ThrottleController::with_dram_service_cycles)).
+    dram_service_cycles: Option<u64>,
+    /// Cumulative controller activity.
+    pub stats: ThrottleStats,
+}
+
+impl ThrottleController {
+    /// Creates a controller for an enabled mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`ThrottleMode::Off`]: disabled throttling must carry no
+    /// controller at all (that is what keeps it bit-for-bit invisible).
+    pub fn new(mode: ThrottleMode) -> Self {
+        assert!(mode.enabled(), "ThrottleMode::Off needs no controller");
+        ThrottleController {
+            mode,
+            level: match mode {
+                ThrottleMode::Static => ThrottleLevel::RaisedVote,
+                _ => ThrottleLevel::Full,
+            },
+            accesses: 0,
+            snap: Snapshot::default(),
+            bad_streak: 0,
+            good_streak: 0,
+            upgrade_patience: UPGRADE_AFTER,
+            probe: None,
+            dram_service_cycles: None,
+            stats: ThrottleStats::default(),
+        }
+    }
+
+    /// Supplies the DRAM per-transfer service time so the controller can
+    /// tell a congested channel (average queue wait of several service
+    /// slots per read) from a lightly loaded one, and demand
+    /// [`CONGESTED_ACCURACY_FLOOR`]/[`CONGESTED_ACCURACY_TARGET`] accuracy
+    /// while congested. Without it congestion gating is disabled.
+    pub fn with_dram_service_cycles(mut self, transfer_cycles: u64) -> Self {
+        self.dram_service_cycles = Some(transfer_cycles);
+        self
+    }
+
+    /// The mode the controller was built for.
+    pub fn mode(&self) -> ThrottleMode {
+        self.mode
+    }
+
+    /// The current effective level.
+    pub fn level(&self) -> ThrottleLevel {
+        self.level
+    }
+
+    /// Counts one demand access; at epoch boundaries judges the elapsed
+    /// epoch and returns `Some(new_level)` if the level changed (the
+    /// caller pushes it to the prefetchers).
+    pub fn on_access(&mut self, llc: &CacheStats, dram: &DramStats) -> Option<ThrottleLevel> {
+        self.accesses += 1;
+        if self.accesses < EPOCH_ACCESSES {
+            return None;
+        }
+        self.accesses = 0;
+        self.stats.epochs += 1;
+        let verdict = self.judge(llc, dram);
+        self.snap = Snapshot::of(llc, dram);
+        if self.mode == ThrottleMode::Static {
+            // Static mode keeps its fixed conservative level; epochs are
+            // still counted so diagnostics stay comparable.
+            return None;
+        }
+        let before = self.level;
+        // Age the outstanding probe; one that outlives its window at the
+        // probed (or better) level succeeded — pressure genuinely lifted.
+        if let Some((target, age)) = self.probe.as_mut() {
+            *age += 1;
+            if *age > PROBE_WINDOW && self.level <= *target {
+                self.upgrade_patience = UPGRADE_AFTER;
+                self.probe = None;
+            }
+        }
+        match verdict {
+            Verdict::Bad => {
+                self.stats.bad_epochs += 1;
+                self.good_streak = 0;
+                self.bad_streak += 1;
+                if self.bad_streak >= DEGRADE_AFTER {
+                    self.bad_streak = 0;
+                    self.level = self.level.degraded();
+                    if self.level != before {
+                        self.stats.degrades += 1;
+                        if self.probe.take().is_some() {
+                            // The upgrade was promptly punished: back off
+                            // before probing again.
+                            self.upgrade_patience =
+                                (self.upgrade_patience * 2).min(MAX_UPGRADE_PATIENCE);
+                        }
+                    }
+                }
+            }
+            Verdict::Good => {
+                self.stats.good_epochs += 1;
+                self.bad_streak = 0;
+                self.good_streak += 1;
+                if self.good_streak >= self.upgrade_patience {
+                    self.good_streak = 0;
+                    self.level = self.level.upgraded();
+                    if self.level != before {
+                        self.stats.upgrades += 1;
+                        self.probe = Some((self.level, 0));
+                    }
+                }
+            }
+            Verdict::Neutral => {
+                self.bad_streak = 0;
+                self.good_streak = 0;
+            }
+        }
+        (self.level != before).then_some(self.level)
+    }
+
+    /// Re-bases the counter snapshot after external statistics resets (the
+    /// end-of-warmup reset), keeping the learned level and streaks — like
+    /// predictor tables, controller state survives warmup.
+    pub fn on_stats_reset(&mut self) {
+        self.snap = Snapshot::default();
+        self.accesses = 0;
+    }
+
+    fn judge(&self, llc: &CacheStats, dram: &DramStats) -> Verdict {
+        // saturating_sub: an external reset between boundaries (warmup)
+        // re-bases via on_stats_reset, but stay safe against torn views.
+        let useful = llc.pf_useful.saturating_sub(self.snap.pf_useful);
+        let late = llc.pf_late.saturating_sub(self.snap.pf_late);
+        let issued = llc.pf_issued.saturating_sub(self.snap.pf_issued);
+        let pf_reads = dram.prefetch_reads.saturating_sub(self.snap.prefetch_reads);
+        let reads = dram.reads.saturating_sub(self.snap.reads);
+        let queue_wait = dram
+            .queue_wait_cycles
+            .saturating_sub(self.snap.queue_wait_cycles);
+        let used = useful + late;
+        if issued == 0 {
+            // Nothing issued: the prefetcher is quiet (Stopped, or nothing
+            // triggered) and any settlements are free wins from earlier
+            // epochs. Counts as good, so a stopped prefetcher probes its
+            // way back up once pressure could have lifted.
+            return Verdict::Good;
+        }
+        if issued < MIN_EVIDENCE {
+            return Verdict::Neutral;
+        }
+        // Issued-based accuracy (see ACCURACY_FLOOR): how much of what the
+        // prefetcher asked for this epoch did demand actually want? Can
+        // exceed 1.0 when prior epochs' prefetches settle late — that only
+        // strengthens a good verdict.
+        let accuracy = used as f64 / issued as f64;
+        let bw_share = if reads == 0 {
+            0.0
+        } else {
+            pf_reads as f64 / reads as f64
+        };
+        // Congestion raises the accuracy bar: when reads queue several
+        // service slots deep on average, the channel is the bottleneck and
+        // wasted transfers directly delay demand fills.
+        let congested = self.dram_service_cycles.is_some_and(|svc| {
+            reads > 0 && queue_wait as f64 / reads as f64 > CONGESTION_WAIT_FACTOR * svc as f64
+        });
+        let (floor, target) = if congested {
+            (CONGESTED_ACCURACY_FLOOR, CONGESTED_ACCURACY_TARGET)
+        } else {
+            (ACCURACY_FLOOR, ACCURACY_TARGET)
+        };
+        if accuracy < floor || bw_share > BANDWIDTH_CEILING {
+            Verdict::Bad
+        } else if accuracy >= target {
+            Verdict::Good
+        } else {
+            Verdict::Neutral
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tick_epoch(
+        c: &mut ThrottleController,
+        llc: &CacheStats,
+        dram: &DramStats,
+    ) -> Option<ThrottleLevel> {
+        let mut change = None;
+        for _ in 0..EPOCH_ACCESSES {
+            if let Some(l) = c.on_access(llc, dram) {
+                change = Some(l);
+            }
+        }
+        change
+    }
+
+    fn stats_with(useful: u64, useless: u64) -> (CacheStats, DramStats) {
+        let llc = CacheStats {
+            pf_issued: useful + useless,
+            pf_useful: useful,
+            pf_useless: useless,
+            ..CacheStats::default()
+        };
+        (llc, DramStats::default())
+    }
+
+    #[test]
+    fn parse_accepts_knob_spellings() {
+        assert_eq!(ThrottleMode::parse("off"), Some(ThrottleMode::Off));
+        assert_eq!(ThrottleMode::parse(" STATIC "), Some(ThrottleMode::Static));
+        assert_eq!(
+            ThrottleMode::parse("feedback"),
+            Some(ThrottleMode::Feedback)
+        );
+        assert_eq!(
+            ThrottleMode::parse("Feedback"),
+            Some(ThrottleMode::Feedback)
+        );
+        assert_eq!(ThrottleMode::parse("none"), Some(ThrottleMode::Off));
+        assert_eq!(ThrottleMode::parse("aggressive"), None);
+        assert_eq!(ThrottleMode::parse(""), None);
+    }
+
+    #[test]
+    fn ladder_is_monotone_and_saturating() {
+        let mut l = ThrottleLevel::Full;
+        let mut seen = vec![l];
+        for _ in 0..5 {
+            l = l.degraded();
+            seen.push(l);
+        }
+        assert_eq!(
+            &seen[..4],
+            &[
+                ThrottleLevel::Full,
+                ThrottleLevel::RaisedVote,
+                ThrottleLevel::TriggerOnly,
+                ThrottleLevel::Stopped
+            ]
+        );
+        assert_eq!(l, ThrottleLevel::Stopped, "degrade saturates");
+        assert_eq!(ThrottleLevel::Full.upgraded(), ThrottleLevel::Full);
+        assert!(ThrottleLevel::Full < ThrottleLevel::Stopped);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs no controller")]
+    fn off_mode_refuses_a_controller() {
+        let _ = ThrottleController::new(ThrottleMode::Off);
+    }
+
+    #[test]
+    fn static_mode_pins_raised_vote() {
+        let mut c = ThrottleController::new(ThrottleMode::Static);
+        assert_eq!(c.level(), ThrottleLevel::RaisedVote);
+        let (llc, dram) = stats_with(0, 1000); // terrible accuracy
+        for _ in 0..10 {
+            assert_eq!(tick_epoch(&mut c, &llc, &dram), None);
+        }
+        assert_eq!(c.level(), ThrottleLevel::RaisedVote);
+        assert_eq!(c.stats.epochs, 10);
+    }
+
+    #[test]
+    fn sustained_inaccuracy_degrades_to_stopped() {
+        let mut c = ThrottleController::new(ThrottleMode::Feedback);
+        let (mut llc, dram) = stats_with(0, 0);
+        let mut changes = Vec::new();
+        for epoch in 1..=8u64 {
+            // Fresh useless prefetches settle every epoch.
+            llc.pf_issued = epoch * 100;
+            llc.pf_useless = epoch * 100;
+            if let Some(l) = tick_epoch(&mut c, &llc, &dram) {
+                changes.push(l);
+            }
+        }
+        assert_eq!(
+            changes,
+            vec![
+                ThrottleLevel::RaisedVote,
+                ThrottleLevel::TriggerOnly,
+                ThrottleLevel::Stopped
+            ],
+            "one degrade per {DEGRADE_AFTER} bad epochs, saturating"
+        );
+        assert_eq!(c.stats.degrades, 3);
+    }
+
+    #[test]
+    fn quiet_epochs_let_a_stopped_prefetcher_recover() {
+        let mut c = ThrottleController::new(ThrottleMode::Feedback);
+        let (mut llc, dram) = stats_with(0, 0);
+        for epoch in 1..=6u64 {
+            llc.pf_issued = epoch * 100;
+            llc.pf_useless = epoch * 100;
+            tick_epoch(&mut c, &llc, &dram);
+        }
+        assert_eq!(c.level(), ThrottleLevel::Stopped);
+        // Stopped: no new prefetch activity at all -> quiet epochs are
+        // good, and every UPGRADE_AFTER of them climb one level.
+        let frozen = llc.clone();
+        for _ in 0..u64::from(UPGRADE_AFTER) * 3 {
+            tick_epoch(&mut c, &frozen, &dram);
+        }
+        assert_eq!(c.level(), ThrottleLevel::Full, "full recovery");
+        assert_eq!(c.stats.upgrades, 3);
+    }
+
+    #[test]
+    fn accurate_epochs_hold_full_aggressiveness() {
+        let mut c = ThrottleController::new(ThrottleMode::Feedback);
+        let (mut llc, dram) = stats_with(0, 0);
+        for epoch in 1..=10u64 {
+            llc.pf_issued = epoch * 100;
+            llc.pf_useful = epoch * 100;
+            tick_epoch(&mut c, &llc, &dram);
+        }
+        assert_eq!(c.level(), ThrottleLevel::Full);
+        assert_eq!(c.stats.degrades, 0);
+        assert_eq!(c.stats.good_epochs, 10);
+    }
+
+    #[test]
+    fn bandwidth_hogging_is_bad_even_when_accurate() {
+        let mut c = ThrottleController::new(ThrottleMode::Feedback);
+        let mut llc = CacheStats::default();
+        let mut dram = DramStats::default();
+        for epoch in 1..=4u64 {
+            llc.pf_issued = epoch * 100;
+            llc.pf_useful = epoch * 100; // perfectly accurate
+            dram.prefetch_reads = epoch * 90; // ...but 90% of all reads
+            dram.reads = epoch * 100;
+            tick_epoch(&mut c, &llc, &dram);
+        }
+        assert!(c.level() > ThrottleLevel::Full, "bandwidth ceiling fired");
+        assert!(c.stats.bad_epochs >= 2);
+    }
+
+    #[test]
+    fn sustained_issue_without_use_is_bad() {
+        // Issuing epoch after epoch with demand never touching a prefetched
+        // block is exactly what a useless storm looks like — the in-flight
+        // lag excuse only lasts a fraction of one epoch.
+        let mut c = ThrottleController::new(ThrottleMode::Feedback);
+        let mut llc = CacheStats::default();
+        let dram = DramStats::default();
+        for epoch in 1..=6u64 {
+            llc.pf_issued = epoch * 100;
+            tick_epoch(&mut c, &llc, &dram);
+        }
+        assert!(c.level() > ThrottleLevel::Full);
+        assert!(c.stats.bad_epochs >= 4);
+    }
+
+    #[test]
+    fn tiny_samples_are_neutral_evidence() {
+        let mut c = ThrottleController::new(ThrottleMode::Feedback);
+        let mut llc = CacheStats::default();
+        let dram = DramStats::default();
+        for epoch in 1..=6u64 {
+            // A trickle below MIN_EVIDENCE, all of it useless: too little
+            // to walk the ladder either way.
+            llc.pf_issued = epoch * (MIN_EVIDENCE - 1);
+            tick_epoch(&mut c, &llc, &dram);
+        }
+        assert_eq!(c.level(), ThrottleLevel::Full);
+        assert_eq!(c.stats.bad_epochs, 0);
+        assert_eq!(c.stats.good_epochs, 0);
+    }
+
+    #[test]
+    fn congestion_raises_the_accuracy_bar() {
+        // 80% accuracy: comfortably good on an idle channel, bad on one
+        // where reads queue several service slots deep.
+        let run = |queue_wait_per_read: u64| {
+            let mut c =
+                ThrottleController::new(ThrottleMode::Feedback).with_dram_service_cycles(14);
+            let mut llc = CacheStats::default();
+            let mut dram = DramStats::default();
+            for _ in 0..6 {
+                llc.pf_issued += 100;
+                llc.pf_useful += 80;
+                dram.reads += 100;
+                dram.queue_wait_cycles += 100 * queue_wait_per_read;
+                tick_epoch(&mut c, &llc, &dram);
+            }
+            c
+        };
+        let idle = run(0);
+        assert_eq!(idle.level(), ThrottleLevel::Full);
+        assert!(idle.stats.bad_epochs == 0 && idle.stats.good_epochs >= 4);
+        let congested = run(100); // far past CONGESTION_WAIT_FACTOR * 14
+        assert!(congested.level() > ThrottleLevel::Full);
+        assert!(congested.stats.bad_epochs >= 4);
+    }
+
+    #[test]
+    fn failed_probes_back_off_exponentially() {
+        // Steadily hostile traffic: every epoch spent at Full issues
+        // useless prefetches (Bad), every throttled epoch is accurate
+        // (Good). Without backoff the controller limit-cycles, spending a
+        // third of all epochs at full blast; with it the probes must get
+        // geometrically rarer.
+        let mut c = ThrottleController::new(ThrottleMode::Feedback);
+        let mut llc = CacheStats::default();
+        let dram = DramStats::default();
+        let mut full_epochs = 0u32;
+        for _ in 0..120 {
+            if c.level() == ThrottleLevel::Full {
+                full_epochs += 1;
+                llc.pf_issued += 100; // nothing used: Bad
+            } else {
+                llc.pf_issued += 100;
+                llc.pf_useful += 100; // accurate when throttled: Good
+            }
+            tick_epoch(&mut c, &llc, &dram);
+        }
+        // Limit-cycling would put ~40 of 120 epochs at Full; backoff caps
+        // the early oscillation plus ever-rarer probes well below that.
+        assert!(
+            full_epochs <= 16,
+            "{full_epochs} full-blast epochs despite hostile traffic"
+        );
+        assert!(c.stats.degrades > c.stats.upgrades);
+    }
+
+    #[test]
+    fn surviving_a_probe_restores_upgrade_patience() {
+        let mut c = ThrottleController::new(ThrottleMode::Feedback);
+        let mut llc = CacheStats::default();
+        let dram = DramStats::default();
+        // Drive to Stopped with a couple of failed probes to inflate the
+        // patience.
+        for _ in 0..40 {
+            llc.pf_issued += 100;
+            tick_epoch(&mut c, &llc, &dram);
+        }
+        assert_eq!(c.level(), ThrottleLevel::Stopped);
+        // Pressure lifts: quiet epochs from here on. Recovery to Full must
+        // complete despite the earlier failures — each survived probe
+        // resets the patience, so the climb accelerates back to the
+        // UPGRADE_AFTER cadence instead of paying the inflated patience at
+        // every rung.
+        let mut recovery = 0u32;
+        while c.level() != ThrottleLevel::Full {
+            tick_epoch(&mut c, &llc, &dram);
+            recovery += 1;
+            assert!(recovery < 300, "recovery stalled at {}", c.level());
+        }
+        assert!(
+            recovery <= MAX_UPGRADE_PATIENCE + 3 * (UPGRADE_AFTER + PROBE_WINDOW) + 8,
+            "recovery took {recovery} epochs"
+        );
+    }
+
+    #[test]
+    fn stats_reset_rebases_the_snapshot() {
+        let mut c = ThrottleController::new(ThrottleMode::Feedback);
+        let (llc, dram) = stats_with(1000, 0);
+        tick_epoch(&mut c, &llc, &dram);
+        // Warmup reset: counters go back to zero without controller resets
+        // looking like negative deltas.
+        c.on_stats_reset();
+        let (llc2, dram2) = stats_with(10, 0);
+        tick_epoch(&mut c, &llc2, &dram2);
+        assert_eq!(c.stats.epochs, 2);
+        assert_eq!(c.stats.good_epochs, 2);
+    }
+}

@@ -37,6 +37,23 @@ pub enum Workload {
     Mix4,
     /// SPEC mix: GemsFDTD, gromacs, omnetpp, soplex.
     Mix5,
+    /// Adversarial: random-access storm — a flood of independent misses
+    /// over a span far beyond the LLC, with a thin structured bait so
+    /// footprint prefetchers keep firing into traffic they cannot predict.
+    StressStorm,
+    /// Adversarial: cache-thrashing scans — concurrent strided streams over
+    /// working sets larger than the LLC, evicting prefetched lines before
+    /// their demand arrives.
+    StressThrash,
+    /// Adversarial: cold-page pointer chases plus page-keyed object visits
+    /// — spatially unpredictable, latency-bound traffic where PC-keyed
+    /// events systematically mispredict.
+    StressChase,
+    /// Adversarial: phase-flipping mixture — the same code paths alternate
+    /// between stable dense layouts (which train confident footprints) and
+    /// wildly deviating sparse ones (which the trained footprints then
+    /// mispredict).
+    StressFlip,
 }
 
 impl Workload {
@@ -54,6 +71,19 @@ impl Workload {
         Workload::Mix5,
     ];
 
+    /// The adversarial stress family — deliberately *outside* [`ALL`]
+    /// (which reproduces the paper's Table II and stays at ten entries):
+    /// these workloads exist to pressure-test throttling and resource
+    /// limits, not to reproduce published figures.
+    ///
+    /// [`ALL`]: Workload::ALL
+    pub const STRESS: [Workload; 4] = [
+        Workload::StressStorm,
+        Workload::StressThrash,
+        Workload::StressChase,
+        Workload::StressFlip,
+    ];
+
     /// Display name matching the paper's figures.
     pub fn name(self) -> &'static str {
         match self {
@@ -67,10 +97,16 @@ impl Workload {
             Workload::Mix3 => "Mix 3",
             Workload::Mix4 => "Mix 4",
             Workload::Mix5 => "Mix 5",
+            Workload::StressStorm => "Stress Storm",
+            Workload::StressThrash => "Stress Thrash",
+            Workload::StressChase => "Stress Chase",
+            Workload::StressFlip => "Stress Flip",
         }
     }
 
-    /// Baseline LLC MPKI reported in Table II.
+    /// Baseline LLC MPKI reported in Table II. The stress family is not in
+    /// the paper; its values are the nominal design targets of the
+    /// generators, kept here so every workload can be tabulated uniformly.
     pub fn paper_mpki(self) -> f64 {
         match self {
             Workload::DataServing => 6.7,
@@ -83,6 +119,10 @@ impl Workload {
             Workload::Mix3 => 12.7,
             Workload::Mix4 => 14.7,
             Workload::Mix5 => 12.6,
+            Workload::StressStorm => 60.0,
+            Workload::StressThrash => 45.0,
+            Workload::StressChase => 40.0,
+            Workload::StressFlip => 30.0,
         }
     }
 
@@ -99,6 +139,10 @@ impl Workload {
             Workload::Mix3 => "milc, omnetpp, perlbench, soplex",
             Workload::Mix4 => "astar, omnetpp, soplex, tonto",
             Workload::Mix5 => "GemsFDTD, gromacs, omnetpp, soplex",
+            Workload::StressStorm => "Adversarial: Random-Access Storm + Bait",
+            Workload::StressThrash => "Adversarial: Cache-Thrashing Strided Scans",
+            Workload::StressChase => "Adversarial: Cold-Page Chases, Page-Keyed Visits",
+            Workload::StressFlip => "Adversarial: Phase-Flipping Layout Mixture",
         }
     }
 
@@ -125,6 +169,10 @@ impl Workload {
                     Workload::Mix3 => spec(MIX3[core % 4]),
                     Workload::Mix4 => spec(MIX4[core % 4]),
                     Workload::Mix5 => spec(MIX5[core % 4]),
+                    Workload::StressStorm => stress_storm(),
+                    Workload::StressThrash => stress_thrash(),
+                    Workload::StressChase => stress_chase(),
+                    Workload::StressFlip => stress_flip(),
                 };
                 Box::new(WorkloadSource::new(kernels, core_seed, base_addr)) as Box<dyn InstrSource>
             })
@@ -418,6 +466,154 @@ fn em3d() -> Vec<WeightedKernel> {
     ]
 }
 
+// --- Adversarial stress profiles ------------------------------------------
+//
+// These do not model any real application; each is designed to put a
+// specific kind of pressure on the prefetcher and the memory system's
+// resource limits (prefetch queue, MSHRs, DRAM bandwidth). They are the
+// workload side of the throttling experiments: traffic on which an
+// unthrottled aggressive prefetcher actively *hurts*, so that graceful
+// degradation is measurable rather than hypothetical.
+
+fn stress_storm() -> Vec<WeightedKernel> {
+    vec![
+        // The storm: high-rate independent misses over a span far beyond
+        // the LLC. Untrainable (one-block footprints never reach the
+        // history), it exists purely to keep demand traffic saturating the
+        // DRAM channel so every wasted prefetch transfer delays a demand.
+        WeightedKernel {
+            weight: 5,
+            kernel: random(1 << 22, 8, 10, 0.10, 0x80_000),
+        },
+        // The bait: sparse footprints whose per-page shift (high variation)
+        // defeats the short event's cross-page generalization, with almost
+        // no exact revisits (low reuse) for the long event to rescue.
+        // History hits stay frequent — few PCs, recurring trigger offsets —
+        // so the prefetcher keeps firing bursts that are mostly wrong.
+        WeightedKernel {
+            weight: 4,
+            kernel: object(ObjectSpec {
+                pcs: 4,
+                density: 0.25,
+                key: PatternKey::PcDominant { variation: 0.90 },
+                reuse: 0.05,
+                reuse_pool: 256,
+                pages: 1 << 22,
+                noise: 0.25,
+                accesses_per_block: 1,
+                ops_per_access: 6,
+                store_fraction: 0.0,
+                concurrency: 8,
+                chained: false,
+                shuffled: true,
+                pc_base: 0x81_000,
+            }),
+        },
+    ]
+}
+
+fn stress_thrash() -> Vec<WeightedKernel> {
+    // Three concurrent strided scans whose combined working set is several
+    // times the LLC: lines (prefetched ones included) are evicted long
+    // before reuse, so prefetch "coverage" decays into pure bandwidth and
+    // queue pressure. Low op padding keeps the access rate high.
+    vec![
+        WeightedKernel {
+            weight: 1,
+            kernel: stream(1, 2, 1 << 18, 10, 0.25, false, 0x82_000),
+        },
+        WeightedKernel {
+            weight: 1,
+            kernel: stream(3, 2, 1 << 18, 10, 0.25, false, 0x83_000),
+        },
+        WeightedKernel {
+            weight: 1,
+            kernel: stream(7, 2, 1 << 18, 10, 0.25, false, 0x84_000),
+        },
+    ]
+}
+
+fn stress_chase() -> Vec<WeightedKernel> {
+    vec![
+        // Serialized chases over cold pages: latency-bound and spatially
+        // unpredictable — the traffic that cannot be helped, only harmed.
+        WeightedKernel {
+            weight: 3,
+            kernel: chase(1 << 22, 4, 20, 0x85_000),
+        },
+        // Page-keyed visits: the footprint is a property of the page, not
+        // the code path, so every PC-keyed short event generalizes wrongly
+        // (two random sparse patterns overlap ~density) and only exact
+        // revisits — rare at this reuse — predict anything.
+        WeightedKernel {
+            weight: 5,
+            kernel: object(ObjectSpec {
+                pcs: 64,
+                density: 0.25,
+                key: PatternKey::PageOnly,
+                reuse: 0.10,
+                reuse_pool: 512,
+                pages: 1 << 22,
+                noise: 0.05,
+                accesses_per_block: 1,
+                ops_per_access: 8,
+                store_fraction: 0.05,
+                concurrency: 6,
+                chained: false,
+                shuffled: true,
+                pc_base: 0x86_000,
+            }),
+        },
+    ]
+}
+
+fn stress_flip() -> Vec<WeightedKernel> {
+    // Both kernels deliberately share one PC base (same code paths, same
+    // address space): the stable kernel trains clean, confident footprints
+    // which the deviating kernel then violates, so the history table is
+    // perpetually poisoned by its own recent successes.
+    vec![
+        WeightedKernel {
+            weight: 2,
+            kernel: object(ObjectSpec {
+                pcs: 4,
+                density: 0.25,
+                key: PatternKey::PcDominant { variation: 0.02 },
+                reuse: 0.30,
+                reuse_pool: 512,
+                pages: 1 << 22,
+                noise: 0.02,
+                accesses_per_block: 1,
+                ops_per_access: 6,
+                store_fraction: 0.05,
+                concurrency: 6,
+                chained: false,
+                shuffled: false,
+                pc_base: 0x87_000,
+            }),
+        },
+        WeightedKernel {
+            weight: 6,
+            kernel: object(ObjectSpec {
+                pcs: 4,
+                density: 0.25,
+                key: PatternKey::PcDominant { variation: 0.95 },
+                reuse: 0.05,
+                reuse_pool: 256,
+                pages: 1 << 22,
+                noise: 0.30,
+                accesses_per_block: 1,
+                ops_per_access: 6,
+                store_fraction: 0.05,
+                concurrency: 6,
+                chained: false,
+                shuffled: true,
+                pc_base: 0x87_000,
+            }),
+        },
+    ]
+}
+
 // --- SPEC CPU2006 program profiles ----------------------------------------
 
 fn spec(prog: SpecProgram) -> Vec<WeightedKernel> {
@@ -682,6 +878,35 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn stress_family_is_disjoint_and_uniquely_named() {
+        assert_eq!(Workload::STRESS.len(), 4);
+        let stress: Vec<&str> = Workload::STRESS.iter().map(|w| w.name()).collect();
+        let mut unique = stress.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 4);
+        for w in Workload::ALL {
+            assert!(
+                !stress.contains(&w.name()),
+                "{w} appears in both ALL and STRESS"
+            );
+        }
+    }
+
+    #[test]
+    fn stress_sources_build_and_are_deterministic() {
+        for w in Workload::STRESS {
+            let s = w.sources(2, 9);
+            assert_eq!(s.len(), 2, "{w}");
+            let mut a = w.sources(1, 9);
+            let mut b = w.sources(1, 9);
+            for _ in 0..5000 {
+                assert_eq!(a[0].next_instr(), b[0].next_instr(), "{w}");
+            }
+        }
     }
 
     #[test]

@@ -22,8 +22,8 @@ use std::path::PathBuf;
 use bingo::{Bingo, BingoConfig};
 use bingo_baselines::{Bop, BopConfig, Sms, SmsConfig, StrideConfig, StridePrefetcher};
 use bingo_bench::differential::{
-    bingo_config_variants, diff_bingo, diff_bingo_instances, diff_with_oracle, fuzz_baseline,
-    fuzz_bingo, shrink_bingo_mismatch,
+    bingo_config_variants, diff_bingo, diff_bingo_instances, diff_bingo_throttled,
+    diff_with_oracle, fuzz_baseline, fuzz_bingo, fuzz_bingo_throttled, shrink_bingo_mismatch,
 };
 use bingo_oracle::{
     BopOracle, GeneratorConfig, NextLineOracle, SmsOracle, SpecBingo, StrideOracle,
@@ -69,6 +69,32 @@ fn corpus_bingo_matches_spec_under_every_config_variant() {
             if let Err(m) = diff_bingo(&cfg, &trace) {
                 panic!("{name} under {variant}: {m}");
             }
+        }
+    }
+}
+
+/// The subtractive-throttling contract on every committed corpus trace:
+/// with the throttle level walked up and down a deterministic schedule,
+/// the real Bingo's burst stays an ordered subsequence of the unthrottled
+/// spec's at every step, matches it exactly at Full, and trigger
+/// classification (hence training) is untouched.
+#[test]
+fn corpus_throttled_bingo_stays_a_subset_of_the_spec() {
+    for (name, trace) in corpus_traces() {
+        for (variant, cfg) in bingo_config_variants(trace.geometry()) {
+            if let Err(m) = diff_bingo_throttled(&cfg, &trace) {
+                panic!("{name} under {variant}: {m}");
+            }
+        }
+    }
+}
+
+#[test]
+fn fuzz_smoke_throttled_bingo_stays_a_subset_of_the_spec() {
+    for (pi, gen) in GeneratorConfig::all().iter().enumerate() {
+        let base = 31_000 + pi as u64 * SMOKE_SEEDS;
+        if let Err(f) = fuzz_bingo_throttled(gen, base..base + SMOKE_SEEDS) {
+            panic!("seed {} variant {}: {}", f.seed, f.variant, f.mismatch);
         }
     }
 }
