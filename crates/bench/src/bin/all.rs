@@ -7,7 +7,7 @@
 use std::process::Command;
 use std::time::Instant;
 
-const BINARIES: [&str; 15] = [
+const BINARIES: [&str; 16] = [
     "table1_config",
     "table2_workloads",
     "fig2_events",
@@ -19,6 +19,7 @@ const BINARIES: [&str; 15] = [
     "fig9_density",
     "fig10_isodegree",
     "fig_timeliness",
+    "fig_traces",
     "ablation_voting",
     "ablation_region",
     "ablation_training",
@@ -26,8 +27,12 @@ const BINARIES: [&str; 15] = [
 ];
 
 fn main() {
-    let exe = std::env::current_exe().expect("current exe path");
-    let dir = exe.parent().expect("exe directory").to_path_buf();
+    let exe = std::env::current_exe()
+        .unwrap_or_else(|e| panic!("cannot resolve the current executable path: {e}"));
+    let dir = exe
+        .parent()
+        .unwrap_or_else(|| panic!("executable {} has no parent directory", exe.display()))
+        .to_path_buf();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let total = Instant::now();
     let mut timings = Vec::new();

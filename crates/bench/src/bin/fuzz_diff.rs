@@ -83,14 +83,16 @@ fn parse_args() -> Args {
 }
 
 fn write_trace(dir: &Path, name: &str, header: &str, trace: &PrefetchTrace) -> PathBuf {
-    std::fs::create_dir_all(dir).expect("create output dir");
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| panic!("creating output dir {}: {e}", dir.display()));
     let path = dir.join(name);
     let mut text = String::new();
     for line in header.lines() {
         text.push_str(&format!("# {line}\n"));
     }
     text.push_str(&trace.to_text());
-    std::fs::write(&path, text).expect("write trace");
+    std::fs::write(&path, text)
+        .unwrap_or_else(|e| panic!("writing shrunk trace {}: {e}", path.display()));
     path
 }
 

@@ -32,7 +32,7 @@ use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::{Mutex, PoisonError};
 
-use bingo_sim::{CacheStats, CoreStats, SimResult, SourceCounters, TelemetryReport};
+use bingo_sim::{CacheStats, CoreStats, IngestReport, SimResult, SourceCounters, TelemetryReport};
 
 /// Environment variable naming the checkpoint file for CLI sweeps.
 pub const CHECKPOINT_ENV: &str = "BINGO_CHECKPOINT";
@@ -231,6 +231,14 @@ pub(crate) fn serialize_entry(key: &str, r: &SimResult) -> String {
             s.push(']');
         }
         s.push_str("]}");
+    }
+    // Also optional: only trace-replay cells carry ingestion accounting,
+    // and pre-ingest checkpoint files still parse (absent field → None).
+    if let Some(g) = &r.ingest {
+        s.push_str(&format!(
+            ",\"ingest\":[{},{},{},{}]",
+            g.delivered_records, g.quarantined_records, g.quarantined_bytes, g.skipped_chunks
+        ));
     }
     s.push('}');
     s
@@ -505,8 +513,28 @@ fn parse_entry(line: &str) -> Option<(String, SimResult)> {
             Some(v) => Some(parse_telemetry(v)?),
             None => None,
         },
+        // Optional for the same reason: pre-ingest lines have no field.
+        ingest: match root.field("ingest") {
+            Some(v) => Some(parse_ingest(v)?),
+            None => None,
+        },
     };
     Some((key, result))
+}
+
+fn parse_ingest(v: &Json) -> Option<IngestReport> {
+    let a = v.arr()?;
+    // Exactly 4 today; extra counters would ride at the end, so accept
+    // longer arrays for forward compatibility but never shorter.
+    if a.len() < 4 {
+        return None;
+    }
+    Some(IngestReport {
+        delivered_records: a[0].num()?,
+        quarantined_records: a[1].num()?,
+        quarantined_bytes: a[2].num()?,
+        skipped_chunks: a[3].num()?,
+    })
 }
 
 fn parse_telemetry(v: &Json) -> Option<TelemetryReport> {
@@ -691,6 +719,7 @@ mod tests {
                 vec![],
             ],
             telemetry: None,
+            ingest: None,
         }
     }
 
@@ -767,6 +796,35 @@ mod tests {
         let plain = serialize_entry("k", &sample_result(2));
         let (_, parsed) = parse_entry(&plain).expect("parses");
         assert!(parsed.telemetry.is_none());
+    }
+
+    #[test]
+    fn round_trip_preserves_ingest_report() {
+        let mut r = sample_result(9);
+        r.ingest = Some(bingo_sim::IngestReport {
+            delivered_records: 10_000,
+            quarantined_records: 37,
+            quarantined_bytes: 612,
+            skipped_chunks: 3,
+        });
+        let line = serialize_entry("trace:/tmp/t/10/5/Bingo", &r);
+        let (key, parsed) = parse_entry(&line).expect("parses");
+        assert_eq!(key, "trace:/tmp/t/10/5/Bingo");
+        assert_eq!(parsed.ingest, r.ingest);
+        // Pre-ingest lines (no field) parse to None.
+        let plain = serialize_entry("k", &sample_result(2));
+        let (_, parsed) = parse_entry(&plain).expect("parses");
+        assert!(parsed.ingest.is_none());
+        // Longer arrays (future counters ride at the end) still parse;
+        // shorter ones are rejected as corrupt.
+        let extended = line.replace(
+            "\"ingest\":[10000,37,612,3]",
+            "\"ingest\":[10000,37,612,3,8]",
+        );
+        assert_ne!(extended, line, "replacement must hit");
+        assert_eq!(parse_entry(&extended).expect("parses").1.ingest, r.ingest);
+        let torn = line.replace("\"ingest\":[10000,37,612,3]", "\"ingest\":[10000,37]");
+        assert!(parse_entry(&torn).is_none(), "2-element ingest is corrupt");
     }
 
     /// Checkpoint files written before the bounded prefetch queue existed

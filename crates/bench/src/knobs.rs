@@ -66,6 +66,30 @@ pub fn pf_queue_from_env() -> Option<usize> {
     Some(depth)
 }
 
+/// Environment variable overriding the records-per-chunk of captured
+/// traces (consumed by `trace_capture` and the trace fuzzer; replay
+/// reads the chunk size from the file header, so this only affects
+/// newly written captures).
+pub const TRACE_CHUNK_ENV: &str = "BINGO_TRACE_CHUNK";
+
+/// Reads [`TRACE_CHUNK_ENV`]: `None` when unset.
+///
+/// # Panics
+///
+/// Panics if the variable is set but not a positive integer within the
+/// format's per-chunk cap.
+pub fn trace_chunk_from_env() -> Option<u32> {
+    let records = from_env(TRACE_CHUNK_ENV, "a positive integer", |v| {
+        v.parse::<u32>().ok()
+    })?;
+    assert!(
+        records > 0 && records <= bingo_trace::MAX_CHUNK_RECORDS,
+        "{TRACE_CHUNK_ENV} must be a positive integer <= {}, got {records}",
+        bingo_trace::MAX_CHUNK_RECORDS
+    );
+    Some(records)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,6 +108,20 @@ mod tests {
         let _: u64 = parse("BINGO_TEST", "4x2", "an unsigned integer", |v| {
             v.parse().ok()
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "BINGO_TRACE_CHUNK must be a positive integer")]
+    fn trace_chunk_rejects_zero() {
+        // Hermetic mirror of `trace_chunk_from_env`'s bounds check.
+        let records: u32 = parse(TRACE_CHUNK_ENV, "0", "a positive integer", |v| {
+            v.parse().ok()
+        });
+        assert!(
+            records > 0 && records <= bingo_trace::MAX_CHUNK_RECORDS,
+            "{TRACE_CHUNK_ENV} must be a positive integer <= {}, got {records}",
+            bingo_trace::MAX_CHUNK_RECORDS
+        );
     }
 
     #[test]

@@ -37,13 +37,14 @@ pub use differential::{
     bingo_config_variants, diff_bingo, diff_bingo_instances, diff_with_oracle, fuzz_baseline,
     fuzz_bingo, shrink_bingo_mismatch, FuzzFailure, FuzzReport, Mismatch,
 };
-pub use knobs::{pf_queue_from_env, PF_QUEUE_ENV};
+pub use knobs::{pf_queue_from_env, trace_chunk_from_env, PF_QUEUE_ENV, TRACE_CHUNK_ENV};
 pub use runner::{
     cell_key, cell_key_with_options, cell_key_with_telemetry, default_jobs, geometric_mean, mean,
     parallel_map, run_cell, run_cell_configured, run_one, run_one_configured,
-    run_one_with_deadline, telemetry_from_env, throttle_from_env, CellFailure, CellOutcome,
-    Evaluation, GridReport, Harness, ParallelHarness, PrefetcherKind, RunScale, CELL_TIMEOUT_ENV,
-    TELEMETRY_ENV, THROTTLE_ENV,
+    run_one_with_deadline, run_trace_cell, run_trace_one_configured, telemetry_from_env,
+    throttle_from_env, trace_cell_key, CellFailure, CellOutcome, Evaluation, GridReport, Harness,
+    ParallelHarness, PrefetcherKind, RunScale, TraceCellFailure, TraceEvaluation, TraceGridReport,
+    CELL_TIMEOUT_ENV, TELEMETRY_ENV, THROTTLE_ENV,
 };
 pub use stats_export::{StatsExport, STATS_ENV};
 pub use table::{f2, pct, Table};

@@ -39,7 +39,7 @@ use bingo_sim::{
     CoverageReport, FaultPlan, FaultyPrefetcher, NextLinePrefetcher, NoPrefetcher, Prefetcher,
     SimAbort, SimResult, System, SystemConfig, TelemetryLevel, ThrottleMode,
 };
-use bingo_workloads::Workload;
+use bingo_workloads::{TraceWorkload, Workload};
 
 use crate::checkpoint::{Checkpoint, CHECKPOINT_ENV};
 use crate::knobs;
@@ -532,6 +532,105 @@ pub fn cell_key_with_options(
     }
 }
 
+/// Runs one (captured trace, prefetcher) simulation on the paper's 4-core
+/// system, replaying the trace's recorded instruction streams instead of
+/// the synthetic generators.
+///
+/// The trace's per-core `.btrc` files are opened under the workload's
+/// ingestion [`bingo_trace::Policy`]; a strict trace aborts the cell on the
+/// first corrupt byte (the typed [`bingo_trace::ReadError`], byte offset
+/// included, becomes the cell's panic message), while a lenient trace
+/// quarantines damage and reports it in [`SimResult::ingest`].
+///
+/// # Errors
+///
+/// Same as [`run_one_configured`].
+///
+/// # Panics
+///
+/// Panics if the trace directory cannot be opened or a stream is corrupt
+/// under the strict policy. Inside a sweep the panic is confined to the
+/// cell by [`run_trace_cell`]'s isolation.
+pub fn run_trace_one_configured(
+    trace: &TraceWorkload,
+    kind: PrefetcherKind,
+    scale: RunScale,
+    deadline: Option<Duration>,
+    telemetry: TelemetryLevel,
+    throttle: ThrottleMode,
+) -> Result<SimResult, SimAbort> {
+    let cfg = SystemConfig::paper();
+    let sources = trace
+        .sources(cfg.cores)
+        .unwrap_or_else(|e| panic!("trace workload {}: {e}", trace.name()));
+    let mut system =
+        System::with_prefetchers(cfg, sources, |_| kind.build(), scale.instructions_per_core)
+            .with_warmup(scale.warmup_per_core)
+            .with_telemetry(telemetry)
+            .with_throttle(throttle);
+    if let Some(limit) = deadline {
+        system = system.with_time_limit(limit);
+    }
+    system.try_run()
+}
+
+/// [`run_cell_configured`] for a captured trace: panic isolation plus the
+/// optional soft deadline. A corrupt strict trace therefore resolves to
+/// [`CellOutcome::Panicked`] carrying the typed decode error (with its
+/// byte offset) instead of taking down the sweep.
+pub fn run_trace_cell(
+    trace: &TraceWorkload,
+    kind: PrefetcherKind,
+    scale: RunScale,
+    deadline: Option<Duration>,
+    telemetry: TelemetryLevel,
+    throttle: ThrottleMode,
+) -> CellOutcome {
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        run_trace_one_configured(trace, kind, scale, deadline, telemetry, throttle)
+    }));
+    match attempt {
+        Ok(Ok(result)) => CellOutcome::Ok(Box::new(result)),
+        Ok(Err(SimAbort::DeadlineExceeded { limit })) => CellOutcome::TimedOut { limit },
+        Ok(Err(abort @ SimAbort::CycleLimit { .. })) => CellOutcome::Panicked {
+            message: abort.to_string(),
+        },
+        Err(payload) => CellOutcome::Panicked {
+            message: panic_message(payload.as_ref()),
+        },
+    }
+}
+
+/// The checkpoint key of a trace-replay cell, namespaced apart from every
+/// synthetic cell by the `trace:` prefix. The trace's own key
+/// ([`TraceWorkload::key`]: path plus non-default policy) stands in for
+/// the (workload, seed) pair — replay ignores [`RunScale::seed`] because
+/// the instruction stream is fully determined by the recorded bytes, so
+/// including the seed would only split identical results across checkpoint
+/// entries. Telemetry and throttle extend the key under the same rules as
+/// [`cell_key_with_options`].
+pub fn trace_cell_key(
+    scale: RunScale,
+    trace_key: &str,
+    kind: PrefetcherKind,
+    telemetry: TelemetryLevel,
+    throttle: ThrottleMode,
+) -> String {
+    let base = format!(
+        "trace:{}/{}/{}/{:?}",
+        trace_key, scale.instructions_per_core, scale.warmup_per_core, kind
+    );
+    let base = match telemetry {
+        TelemetryLevel::Off => base,
+        TelemetryLevel::Counts => format!("{base}/telemetry=counts"),
+        TelemetryLevel::Trace => format!("{base}/telemetry=trace"),
+    };
+    match throttle {
+        ThrottleMode::Off => base,
+        ThrottleMode::Static | ThrottleMode::Feedback => format!("{base}/throttle={throttle}"),
+    }
+}
+
 /// Worker count for parallel sweeps: the `BINGO_JOBS` environment override
 /// when set, otherwise [`std::thread::available_parallelism`] (1 if that
 /// cannot be determined).
@@ -637,6 +736,39 @@ fn timed_cell(
     outcome
 }
 
+/// [`timed_cell`] for a captured trace: same progress-line format, with
+/// the trace's directory name in the workload column.
+fn timed_trace_cell(
+    trace: &TraceWorkload,
+    kind: PrefetcherKind,
+    scale: RunScale,
+    deadline: Option<Duration>,
+    telemetry: TelemetryLevel,
+    throttle: ThrottleMode,
+    progress: bool,
+) -> CellOutcome {
+    let start = Instant::now();
+    let outcome = run_trace_cell(trace, kind, scale, deadline, telemetry, throttle);
+    if progress {
+        let wall = start.elapsed().as_secs_f64();
+        let status = match &outcome {
+            CellOutcome::Ok(result) => format!(
+                "{:>6.2} Minstr/s",
+                result.instructions() as f64 / wall.max(1e-9) / 1e6
+            ),
+            CellOutcome::Panicked { .. } => "PANICKED".to_string(),
+            CellOutcome::TimedOut { .. } => "TIMED OUT".to_string(),
+        };
+        eprintln!(
+            "[cell] {:<14} {:<14} {:>7.2}s  {status}",
+            trace.name(),
+            kind.name(),
+            wall,
+        );
+    }
+    outcome
+}
+
 /// Serial runner with per-workload baseline caching.
 #[derive(Debug, Default)]
 pub struct Harness {
@@ -707,6 +839,7 @@ pub struct ParallelHarness {
     throttle: ThrottleMode,
     stats: Option<StatsExport>,
     baselines: HashMap<Workload, SimResult>,
+    trace_baselines: HashMap<String, SimResult>,
 }
 
 /// Parses the `BINGO_CELL_TIMEOUT` value (seconds, fractional allowed),
@@ -784,6 +917,7 @@ impl ParallelHarness {
             throttle: ThrottleMode::Off,
             stats: None,
             baselines: HashMap::new(),
+            trace_baselines: HashMap::new(),
         }
     }
 
@@ -1124,6 +1258,255 @@ impl ParallelHarness {
             .pop()
             .expect("one cell in, one evaluation out")
     }
+
+    /// Appends a completed trace cell to the checkpoint, if one is
+    /// attached; write errors degrade the checkpoint, never the sweep.
+    fn record_trace_checkpoint(
+        &self,
+        trace: &TraceWorkload,
+        kind: PrefetcherKind,
+        result: &SimResult,
+    ) {
+        if let Some(cp) = &self.checkpoint {
+            let key = trace_cell_key(
+                self.scale,
+                &trace.key(),
+                kind,
+                self.telemetry,
+                self.throttle,
+            );
+            if let Err(e) = cp.record(&key, result) {
+                eprintln!("[checkpoint] write for {key} failed: {e}");
+            }
+        }
+    }
+
+    /// Appends a completed trace cell to the stats export, if one is
+    /// attached; write errors degrade the export, never the sweep.
+    fn record_trace_stats(&self, trace: &TraceWorkload, kind: PrefetcherKind, result: &SimResult) {
+        if let Some(stats) = &self.stats {
+            let key = trace_cell_key(
+                self.scale,
+                &trace.key(),
+                kind,
+                self.telemetry,
+                self.throttle,
+            );
+            if let Err(e) = stats.record(&key, result) {
+                eprintln!("[stats] write for {key} failed: {e}");
+            }
+        }
+    }
+
+    /// The cached no-prefetcher baseline for a captured trace, keyed by
+    /// [`TraceWorkload::key`] (two handles to the same capture under the
+    /// same policy share one baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline replay fails (corrupt strict trace, panic,
+    /// or exceeded cell deadline); [`ParallelHarness::try_evaluate_trace_grid`]
+    /// reports such failures as values instead.
+    pub fn trace_baseline(&mut self, trace: &TraceWorkload) -> &SimResult {
+        let report = self.try_evaluate_trace_grid(std::slice::from_ref(trace), &[]);
+        if let Some(f) = report.failures.first() {
+            panic!("baseline for trace {} failed: {}", f.trace, f.reason);
+        }
+        &self.trace_baselines[&trace.key()]
+    }
+
+    /// Row-major (trace × kind) sweep over captured traces, mirroring
+    /// [`ParallelHarness::evaluate_all`]: every kind replayed on every
+    /// trace, each trace's no-prefetcher baseline computed exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics — after completing every healthy cell and printing the full
+    /// failure report to stderr — if any cell failed. Callers that want
+    /// the failures as data use
+    /// [`ParallelHarness::try_evaluate_trace_grid`].
+    pub fn evaluate_trace_grid(
+        &mut self,
+        traces: &[TraceWorkload],
+        kinds: &[PrefetcherKind],
+    ) -> Vec<TraceEvaluation> {
+        self.try_evaluate_trace_grid(traces, kinds).into_complete()
+    }
+
+    /// Fault-tolerant trace sweep: every replay cell runs panic-isolated
+    /// and deadline-bounded, so one corrupt or slow trace cannot abort the
+    /// sweep. Strict-policy decode errors surface as [`TraceCellFailure`]s
+    /// carrying the typed error message (byte offset included); lenient
+    /// traces complete with their quarantine tallies in
+    /// [`SimResult::ingest`]. Checkpointing and stats export work exactly
+    /// as in [`ParallelHarness::try_evaluate_grid`], under
+    /// [`trace_cell_key`]'s `trace:`-prefixed namespace.
+    pub fn try_evaluate_trace_grid(
+        &mut self,
+        traces: &[TraceWorkload],
+        kinds: &[PrefetcherKind],
+    ) -> TraceGridReport {
+        let scale = self.scale;
+        let telemetry = self.telemetry;
+        let throttle = self.throttle;
+        let deadline = self.cell_timeout;
+        let progress = self.progress;
+        let started = Instant::now();
+        let mut failures: Vec<TraceCellFailure> = Vec::new();
+        let mut checkpoint_hits = 0;
+
+        // Prime the per-trace baselines: checkpoint replay first, then one
+        // simulation per distinct trace key.
+        let mut missing: Vec<usize> = Vec::new();
+        for (i, t) in traces.iter().enumerate() {
+            let key = t.key();
+            if self.trace_baselines.contains_key(&key)
+                || missing.iter().any(|&j| traces[j].key() == key)
+            {
+                continue;
+            }
+            if let Some(cp) = &self.checkpoint {
+                if let Some(result) = cp.get(&trace_cell_key(
+                    scale,
+                    &key,
+                    PrefetcherKind::None,
+                    telemetry,
+                    throttle,
+                )) {
+                    self.trace_baselines.insert(key, result);
+                    checkpoint_hits += 1;
+                    continue;
+                }
+            }
+            missing.push(i);
+        }
+        let outcomes = parallel_map(self.jobs, missing.len(), |j| {
+            timed_trace_cell(
+                &traces[missing[j]],
+                PrefetcherKind::None,
+                scale,
+                deadline,
+                telemetry,
+                throttle,
+                progress,
+            )
+        });
+        let mut failed_baselines: Vec<String> = Vec::new();
+        for (&i, outcome) in missing.iter().zip(outcomes) {
+            let t = &traces[i];
+            match outcome {
+                CellOutcome::Ok(result) => {
+                    self.record_trace_checkpoint(t, PrefetcherKind::None, &result);
+                    self.trace_baselines.insert(t.key(), *result);
+                }
+                failed => {
+                    failures.push(TraceCellFailure::new(t, PrefetcherKind::None, &failed));
+                    failed_baselines.push(t.key());
+                }
+            }
+        }
+
+        // The grid itself, row-major: traces[i] × kinds[j] at
+        // i * kinds.len() + j.
+        let cells: Vec<(usize, PrefetcherKind)> = (0..traces.len())
+            .flat_map(|i| kinds.iter().map(move |&k| (i, k)))
+            .collect();
+        let mut resolved: Vec<Option<CellOutcome>> = cells
+            .iter()
+            .map(|&(i, k)| {
+                let t = &traces[i];
+                if failed_baselines.contains(&t.key()) {
+                    return Some(CellOutcome::Panicked {
+                        message: format!("not run: the {} no-prefetcher baseline failed", t.name()),
+                    });
+                }
+                if let Some(cp) = &self.checkpoint {
+                    if let Some(result) =
+                        cp.get(&trace_cell_key(scale, &t.key(), k, telemetry, throttle))
+                    {
+                        checkpoint_hits += 1;
+                        return Some(CellOutcome::Ok(Box::new(result)));
+                    }
+                }
+                None
+            })
+            .collect();
+        let todo: Vec<usize> = (0..cells.len())
+            .filter(|&i| resolved[i].is_none())
+            .collect();
+        let outcomes = parallel_map(self.jobs, todo.len(), |j| {
+            let (i, k) = cells[todo[j]];
+            timed_trace_cell(
+                &traces[i], k, scale, deadline, telemetry, throttle, progress,
+            )
+        });
+        for (&ci, outcome) in todo.iter().zip(outcomes) {
+            if let CellOutcome::Ok(result) = &outcome {
+                let (i, k) = cells[ci];
+                self.record_trace_checkpoint(&traces[i], k, result);
+            }
+            resolved[ci] = Some(outcome);
+        }
+        if progress && cells.len() > 1 {
+            eprintln!(
+                "[grid] {} trace cells in {:.1}s on {} worker(s)",
+                cells.len(),
+                started.elapsed().as_secs_f64(),
+                self.jobs.min(cells.len()),
+            );
+        }
+
+        let evaluations: Vec<Option<TraceEvaluation>> = cells
+            .iter()
+            .zip(resolved)
+            .map(|(&(i, kind), outcome)| {
+                let t = &traces[i];
+                let outcome = outcome.expect("every trace cell was resolved or run");
+                match outcome {
+                    CellOutcome::Ok(result) => {
+                        let baseline = self.trace_baselines[&t.key()].clone();
+                        let coverage = CoverageReport::from_runs(&result, &baseline);
+                        let speedup = result.speedup_over(&baseline);
+                        Some(TraceEvaluation {
+                            trace: t.name().to_string(),
+                            kind,
+                            coverage,
+                            speedup,
+                            result: *result,
+                            baseline,
+                        })
+                    }
+                    failed => {
+                        failures.push(TraceCellFailure::new(t, kind, &failed));
+                        None
+                    }
+                }
+            })
+            .collect();
+
+        if self.stats.is_some() {
+            let mut seen: Vec<String> = Vec::new();
+            for t in traces {
+                let key = t.key();
+                if !seen.contains(&key) && !failed_baselines.contains(&key) {
+                    if let Some(baseline) = self.trace_baselines.get(&key) {
+                        self.record_trace_stats(t, PrefetcherKind::None, baseline);
+                    }
+                    seen.push(key);
+                }
+            }
+            for (e, &(i, _)) in evaluations.iter().zip(&cells) {
+                if let Some(e) = e {
+                    self.record_trace_stats(&traces[i], e.kind, &e.result);
+                }
+            }
+        }
+        TraceGridReport {
+            evaluations,
+            failures,
+            checkpoint_hits,
+        }
+    }
 }
 
 /// The outcome of one prefetcher-on-workload evaluation.
@@ -1262,6 +1645,133 @@ impl GridReport {
             eprint!("{}", self.failure_report());
             panic!(
                 "{} sweep cell(s) failed; see the failure report above",
+                self.failures.len()
+            );
+        }
+        self.evaluations
+            .into_iter()
+            .map(|e| e.expect("clean reports have every evaluation"))
+            .collect()
+    }
+}
+
+/// The outcome of one prefetcher-on-captured-trace evaluation. The
+/// workload column is the trace's directory name (a string, not a
+/// [`Workload`] — a replayed capture needs no generator).
+#[derive(Clone, Debug)]
+pub struct TraceEvaluation {
+    /// Name of the replayed trace (its capture directory name).
+    pub trace: String,
+    /// Prefetcher evaluated.
+    pub kind: PrefetcherKind,
+    /// Coverage / overprediction / accuracy vs the trace's baseline.
+    pub coverage: CoverageReport,
+    /// Geometric-mean per-core speedup over the trace's baseline.
+    pub speedup: f64,
+    /// The prefetching replay (carries [`SimResult::ingest`]).
+    pub result: SimResult,
+    /// The no-prefetcher replay of the same trace.
+    pub baseline: SimResult,
+}
+
+impl TraceEvaluation {
+    /// Performance improvement as a fraction (paper's Fig. 8 metric).
+    pub fn improvement(&self) -> f64 {
+        self.speedup - 1.0
+    }
+}
+
+/// One failed trace-replay cell: which trace, which prefetcher, and why
+/// (for a corrupt strict trace the reason carries the typed decode error,
+/// byte offset included).
+#[derive(Clone, Debug)]
+pub struct TraceCellFailure {
+    /// Name of the trace of the failed cell.
+    pub trace: String,
+    /// Prefetcher of the failed cell ([`PrefetcherKind::None`] for a
+    /// failed baseline replay).
+    pub kind: PrefetcherKind,
+    /// Human-readable failure reason.
+    pub reason: String,
+}
+
+impl TraceCellFailure {
+    fn new(trace: &TraceWorkload, kind: PrefetcherKind, outcome: &CellOutcome) -> TraceCellFailure {
+        let reason = match outcome {
+            CellOutcome::Ok(_) => unreachable!("successful cells are not failures"),
+            CellOutcome::Panicked { message } => format!("panicked: {message}"),
+            CellOutcome::TimedOut { limit } => {
+                format!("timed out after {:.3}s", limit.as_secs_f64())
+            }
+        };
+        TraceCellFailure {
+            trace: trace.name().to_string(),
+            kind,
+            reason,
+        }
+    }
+}
+
+/// The result of a fault-tolerant trace sweep, mirroring [`GridReport`]:
+/// per-cell evaluations in row-major input order (`None` where the cell
+/// failed) plus the collected failures.
+#[derive(Debug)]
+pub struct TraceGridReport {
+    /// One slot per (trace × kind) cell, row-major; `None` for failures.
+    pub evaluations: Vec<Option<TraceEvaluation>>,
+    /// Every failed cell and failed baseline, in discovery order.
+    pub failures: Vec<TraceCellFailure>,
+    /// Cells and baselines replayed from the checkpoint instead of
+    /// simulated.
+    pub checkpoint_hits: usize,
+}
+
+impl TraceGridReport {
+    /// Whether every cell (and every baseline) completed.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Number of cells that produced an evaluation.
+    pub fn completed(&self) -> usize {
+        self.evaluations.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// The multi-line failure report: one line per failed cell with its
+    /// trace, prefetcher, and reason. Empty string when clean.
+    pub fn failure_report(&self) -> String {
+        if self.failures.is_empty() {
+            return String::new();
+        }
+        let mut out = format!(
+            "FAILURE REPORT: {} of {} trace cell(s) completed, {} failure(s)\n",
+            self.completed(),
+            self.evaluations.len(),
+            self.failures.len()
+        );
+        for f in &self.failures {
+            out.push_str(&format!(
+                "  {} / {}: {}\n",
+                f.trace,
+                f.kind.name(),
+                f.reason
+            ));
+        }
+        out
+    }
+
+    /// Unwraps a clean report into its evaluations.
+    ///
+    /// # Panics
+    ///
+    /// Panics — after printing the failure report to stderr — if any cell
+    /// failed, after every healthy cell has completed and been
+    /// checkpointed.
+    pub fn into_complete(self) -> Vec<TraceEvaluation> {
+        if !self.failures.is_empty() {
+            eprint!("{}", self.failure_report());
+            panic!(
+                "{} trace sweep cell(s) failed; see the failure report above",
                 self.failures.len()
             );
         }
@@ -1626,6 +2136,195 @@ mod tests {
         ] {
             assert_ne!(base, other);
         }
+    }
+
+    #[test]
+    fn trace_cell_keys_namespace_every_dimension() {
+        let scale = tiny_scale(1);
+        let base = trace_cell_key(
+            scale,
+            "/tmp/t/streaming",
+            PrefetcherKind::Bingo,
+            TelemetryLevel::Off,
+            ThrottleMode::Off,
+        );
+        assert!(
+            base.starts_with("trace:"),
+            "trace cells live in their own checkpoint namespace: {base}"
+        );
+        // The seed is deliberately absent: a replayed stream is fully
+        // determined by the recorded bytes.
+        let reseeded = trace_cell_key(
+            tiny_scale(2),
+            "/tmp/t/streaming",
+            PrefetcherKind::Bingo,
+            TelemetryLevel::Off,
+            ThrottleMode::Off,
+        );
+        assert_eq!(base, reseeded, "seed must not split trace checkpoints");
+        for other in [
+            trace_cell_key(
+                scale,
+                "/tmp/t/em3d",
+                PrefetcherKind::Bingo,
+                TelemetryLevel::Off,
+                ThrottleMode::Off,
+            ),
+            trace_cell_key(
+                scale,
+                "/tmp/t/streaming?policy=lenient",
+                PrefetcherKind::Bingo,
+                TelemetryLevel::Off,
+                ThrottleMode::Off,
+            ),
+            trace_cell_key(
+                scale,
+                "/tmp/t/streaming",
+                PrefetcherKind::Bop,
+                TelemetryLevel::Off,
+                ThrottleMode::Off,
+            ),
+            trace_cell_key(
+                RunScale {
+                    instructions_per_core: 1,
+                    ..scale
+                },
+                "/tmp/t/streaming",
+                PrefetcherKind::Bingo,
+                TelemetryLevel::Off,
+                ThrottleMode::Off,
+            ),
+            trace_cell_key(
+                scale,
+                "/tmp/t/streaming",
+                PrefetcherKind::Bingo,
+                TelemetryLevel::Counts,
+                ThrottleMode::Off,
+            ),
+            trace_cell_key(
+                scale,
+                "/tmp/t/streaming",
+                PrefetcherKind::Bingo,
+                TelemetryLevel::Off,
+                ThrottleMode::Feedback,
+            ),
+        ] {
+            assert_ne!(base, other);
+        }
+    }
+
+    /// The replay acceptance test: a captured trace swept through the
+    /// parallel harness reproduces the live generator sweep bit-for-bit
+    /// (modulo the attached ingest report, which only replay carries).
+    #[test]
+    fn trace_grid_matches_live_generators_bit_for_bit() {
+        let scale = tiny_scale(21);
+        let workload = Workload::Streaming;
+        let dir = std::env::temp_dir()
+            .join("bingo-bench-trace-grid")
+            .join(format!("{}-{}", workload.slug(), std::process::id()));
+        let cores = SystemConfig::paper().cores;
+        // Slack past warmup + instructions: cores fetch slightly ahead of
+        // retirement, so the capture must outrun the replay's appetite.
+        let records = scale.warmup_per_core + scale.instructions_per_core + 256;
+        bingo_workloads::capture_workload(workload, cores, scale.seed, records, 1024, &dir)
+            .expect("capture");
+        let trace = TraceWorkload::open(&dir).expect("open capture");
+
+        let kinds = [PrefetcherKind::None, PrefetcherKind::NextLine(1)];
+        let mut h = ParallelHarness::with_jobs(scale, 2).quiet();
+        let report = h.try_evaluate_trace_grid(std::slice::from_ref(&trace), &kinds);
+        assert!(report.is_clean(), "{}", report.failure_report());
+        assert_eq!(report.completed(), 2);
+        let evals = report.into_complete();
+
+        for (e, &kind) in evals.iter().zip(&kinds) {
+            assert_eq!(e.trace, trace.name());
+            let live = run_one(workload, kind, scale);
+            let mut replayed = e.result.clone();
+            let ingest = replayed.ingest.take().expect("replay attaches a report");
+            assert!(ingest.is_clean(), "pristine capture quarantined: {ingest}");
+            // The sim stops pulling once every core retires its budget, so
+            // it consumes at most the capture (never wrapping to a second
+            // pass) and at least the simulated instruction count.
+            assert!(
+                ingest.delivered_records <= records * cores as u64
+                    && ingest.delivered_records
+                        >= (scale.warmup_per_core + scale.instructions_per_core) * cores as u64,
+                "replay consumed {} of {} captured records",
+                ingest.delivered_records,
+                records * cores as u64
+            );
+            assert_eq!(
+                live,
+                replayed,
+                "{} replay diverged from the live generators",
+                kind.name()
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A corrupt strict trace fails its cell with the typed decode error
+    /// (byte offset included) while the rest of the sweep completes; the
+    /// same bytes under the lenient policy complete with the damage
+    /// quarantined and reported.
+    #[test]
+    fn corrupt_trace_cell_fails_typed_while_lenient_completes() {
+        let scale = RunScale {
+            instructions_per_core: 4_000,
+            warmup_per_core: 1_000,
+            seed: 22,
+        };
+        let workload = Workload::Em3d;
+        let dir = std::env::temp_dir()
+            .join("bingo-bench-trace-corrupt")
+            .join(format!("{}", std::process::id()));
+        let cores = SystemConfig::paper().cores;
+        let records = scale.warmup_per_core + scale.instructions_per_core + 256;
+        bingo_workloads::capture_workload(workload, cores, scale.seed, records, 512, &dir)
+            .expect("capture");
+        // Stomp a payload byte mid-file in core 0's stream.
+        let path = dir.join("core0.btrc");
+        let mut bytes = std::fs::read(&path).expect("read capture");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("rewrite capture");
+
+        let strict = TraceWorkload::open(&dir).expect("open capture");
+        let lenient = TraceWorkload::with_policy(&dir, bingo_trace::Policy::Lenient)
+            .expect("open capture leniently");
+        let mut h = ParallelHarness::with_jobs(scale, 2).quiet();
+        let report = h.try_evaluate_trace_grid(&[strict, lenient], &[PrefetcherKind::NextLine(1)]);
+
+        // Strict: baseline and cell fail, reason carries a byte offset.
+        assert_eq!(report.failures.len(), 2, "{}", report.failure_report());
+        let baseline_failure = report
+            .failures
+            .iter()
+            .find(|f| f.kind == PrefetcherKind::None)
+            .expect("strict baseline fails");
+        assert!(
+            baseline_failure.reason.contains("byte"),
+            "typed error with offset expected, got: {}",
+            baseline_failure.reason
+        );
+        assert!(report.evaluations[0].is_none(), "strict cell has no result");
+
+        // Lenient: completes, and the quarantine is visible in the result.
+        let lenient_eval = report.evaluations[1]
+            .as_ref()
+            .expect("lenient replay completes");
+        let ingest = lenient_eval
+            .result
+            .ingest
+            .as_ref()
+            .expect("lenient replay attaches a report");
+        assert!(
+            ingest.quarantined_records > 0,
+            "the stomped chunk must be quarantined: {ingest}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -150,6 +150,7 @@ mod tests {
             prefetcher_debug: vec![],
             prefetcher_metrics: vec![vec![]],
             telemetry: None,
+            ingest: None,
         }
     }
 

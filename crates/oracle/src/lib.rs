@@ -41,7 +41,7 @@ pub mod spec;
 
 pub use generate::{generate, GeneratorConfig};
 pub use invariants::{BopOracle, NextLineOracle, SmsOracle, StrideOracle};
-pub use shrink::shrink;
+pub use shrink::{shrink, shrink_items};
 pub use spec::{SpecBingo, SpecStep};
 
 use bingo_sim::{AccessInfo, BlockAddr};

@@ -34,22 +34,43 @@ pub fn shrink(
     trace: &PrefetchTrace,
     still_fails: &mut dyn FnMut(&PrefetchTrace) -> bool,
 ) -> PrefetchTrace {
+    let events = shrink_items(trace.events(), &mut |candidate| {
+        still_fails(&trace.with_events(candidate.to_vec()))
+    });
+    let mut current = trace.with_events(events);
+
+    // Pass 3: canonical renaming, kept only if the failure survives it.
+    let renamed = canonicalize(&current);
+    if renamed != current && still_fails(&renamed) {
+        current = renamed;
+    }
+    current
+}
+
+/// Shrinks any item sequence to a locally minimal subsequence on which
+/// `still_fails` still returns `true` — the domain-agnostic core of
+/// [`shrink`], also used to minimize corruption plans in the trace
+/// decoder fuzzer.
+///
+/// # Panics
+///
+/// Panics if `still_fails(items)` is `false`.
+pub fn shrink_items<T: Clone>(items: &[T], still_fails: &mut dyn FnMut(&[T]) -> bool) -> Vec<T> {
     assert!(
-        still_fails(trace),
+        still_fails(items),
         "shrink() called with a trace that does not fail"
     );
-    let mut current = trace.clone();
+    let mut current = items.to_vec();
 
     // Pass 1: ddmin-style chunk removal with halving chunk sizes. After a
-    // successful cut the same index is retried (new events slid into it).
+    // successful cut the same index is retried (new items slid into it).
     let mut chunk = (current.len() / 2).max(1);
     loop {
         let mut i = 0;
         while i < current.len() {
-            let mut events = current.events().to_vec();
-            let end = (i + chunk).min(events.len());
-            events.drain(i..end);
-            let candidate = current.with_events(events);
+            let mut candidate = current.clone();
+            let end = (i + chunk).min(candidate.len());
+            candidate.drain(i..end);
             if still_fails(&candidate) {
                 current = candidate;
             } else {
@@ -62,15 +83,14 @@ pub fn shrink(
         chunk = (chunk / 2).max(1);
     }
 
-    // Pass 2: single-event removal to a fixpoint. Chunk removal can strand
-    // newly removable events (a cut changes which later events matter).
+    // Pass 2: single-item removal to a fixpoint. Chunk removal can strand
+    // newly removable items (a cut changes which later items matter).
     loop {
         let before = current.len();
         let mut i = 0;
         while i < current.len() {
-            let mut events = current.events().to_vec();
-            events.remove(i);
-            let candidate = current.with_events(events);
+            let mut candidate = current.clone();
+            candidate.remove(i);
             if still_fails(&candidate) {
                 current = candidate;
             } else {
@@ -80,12 +100,6 @@ pub fn shrink(
         if current.len() == before {
             break;
         }
-    }
-
-    // Pass 3: canonical renaming, kept only if the failure survives it.
-    let renamed = canonicalize(&current);
-    if renamed != current && still_fails(&renamed) {
-        current = renamed;
     }
     current
 }
@@ -219,5 +233,24 @@ mod tests {
     fn refuses_a_passing_trace() {
         let t = PrefetchTrace::new(2048);
         shrink(&t, &mut |_| false);
+    }
+
+    #[test]
+    fn shrink_items_works_on_arbitrary_item_types() {
+        // "Failure" needs a 7 somewhere after a 3; everything else is noise.
+        let items: Vec<u32> = (0..100).collect();
+        let small = shrink_items(&items, &mut |c| {
+            c.iter()
+                .position(|&x| x == 3)
+                .is_some_and(|at| c[at..].contains(&7))
+        });
+        assert_eq!(small, vec![3, 7]);
+    }
+
+    #[test]
+    fn shrink_items_result_always_satisfies_the_predicate() {
+        let items = vec!["a"; 31];
+        let small = shrink_items(&items, &mut |c| c.len() >= 5);
+        assert_eq!(small.len(), 5);
     }
 }

@@ -49,6 +49,15 @@ pub trait InstrSource {
     /// Produces the next instruction. Sources never end; the simulator
     /// stops after a configured retired-instruction count.
     fn next_instr(&mut self) -> Instr;
+
+    /// Trace-ingestion accounting, for sources that replay recorded
+    /// traces: how many records were delivered and how much corrupt
+    /// input was quarantined so far. Synthetic generators keep the
+    /// default `None`; [`crate::System::try_run`] sums the `Some`
+    /// reports into [`crate::SimResult::ingest`].
+    fn ingest_report(&self) -> Option<crate::stats::IngestReport> {
+        None
+    }
 }
 
 impl<F: FnMut() -> Instr> InstrSource for F {

@@ -72,7 +72,7 @@ pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use memory::{IssueResult, MemorySystem};
 pub use prefetch::{AccessInfo, FaultyPrefetcher, NextLinePrefetcher, NoPrefetcher, Prefetcher};
 pub use replay::{PrefetchEvent, PrefetchTrace, ReplayParseError, ReplayStep};
-pub use stats::{CacheStats, CoreStats, CoverageReport, SimResult};
+pub use stats::{CacheStats, CoreStats, CoverageReport, IngestReport, SimResult};
 pub use system::{SimAbort, System};
 pub use telemetry::{
     DropReason, LifecycleEvent, LifecycleEventKind, PrefetchLedger, PrefetchSource, SourceCounters,

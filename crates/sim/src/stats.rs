@@ -109,6 +109,60 @@ impl CoreStats {
     }
 }
 
+/// Accounting of a trace-ingestion pass: how many records a streaming
+/// loader delivered to the simulator and how much corrupt input it had to
+/// quarantine along the way.
+///
+/// Produced by lenient-mode trace readers (see the `bingo-trace` crate)
+/// through [`crate::InstrSource::ingest_report`]; [`System::try_run`]
+/// sums the per-core reports into [`SimResult::ingest`] so quarantined
+/// input is visible in every stats export and checkpoint. A run whose
+/// sources are all synthetic generators carries `None` — the field then
+/// serializes to nothing and historical checkpoint files stay valid.
+///
+/// [`System::try_run`]: crate::System::try_run
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Records successfully decoded and handed to the core.
+    pub delivered_records: u64,
+    /// Records declared by the trace but lost to corruption (skipped
+    /// chunks, undecodable payload bytes, truncated tails).
+    pub quarantined_records: u64,
+    /// Raw bytes discarded while scanning for the next valid chunk.
+    pub quarantined_bytes: u64,
+    /// Chunks abandoned because their framing or checksum was invalid.
+    pub skipped_chunks: u64,
+}
+
+impl IngestReport {
+    /// Accumulates another report into this one (used to sum per-core
+    /// readers, and to total successive replay loops of one reader).
+    pub fn absorb(&mut self, other: &IngestReport) {
+        self.delivered_records += other.delivered_records;
+        self.quarantined_records += other.quarantined_records;
+        self.quarantined_bytes += other.quarantined_bytes;
+        self.skipped_chunks += other.skipped_chunks;
+    }
+
+    /// Whether any input was quarantined.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined_records == 0 && self.quarantined_bytes == 0 && self.skipped_chunks == 0
+    }
+}
+
+impl fmt::Display for IngestReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} record(s) delivered, {} quarantined ({} byte(s) skipped, {} chunk(s) dropped)",
+            self.delivered_records,
+            self.quarantined_records,
+            self.quarantined_bytes,
+            self.skipped_chunks
+        )
+    }
+}
+
 /// The complete outcome of one simulation run.
 ///
 /// `PartialEq` compares every counter and debug string — used by the
@@ -136,6 +190,9 @@ pub struct SimResult {
     /// Prefetch-lifecycle breakdown (timeliness, per-source and per-PC
     /// attribution); `None` unless the run enabled telemetry.
     pub telemetry: Option<TelemetryReport>,
+    /// Trace-ingestion accounting summed over every instruction source;
+    /// `None` when no source replays a trace (synthetic generators).
+    pub ingest: Option<IngestReport>,
 }
 
 impl SimResult {

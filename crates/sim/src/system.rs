@@ -231,6 +231,15 @@ impl System {
         }
         let total_cycles = self.now - self.measure_start;
         self.mem.drain();
+        // Sum trace-ingestion accounting over the sources that report it;
+        // stays `None` for all-synthetic runs so historical checkpoint
+        // lines (no `ingest` field) remain byte-identical.
+        let mut ingest: Option<crate::stats::IngestReport> = None;
+        for source in &self.sources {
+            if let Some(report) = source.ingest_report() {
+                ingest.get_or_insert_with(Default::default).absorb(&report);
+            }
+        }
         Ok(SimResult {
             cores: self.cores.iter().map(|c| c.stats.clone()).collect(),
             l1d: self.mem.l1d_stats_sum(),
@@ -240,6 +249,7 @@ impl System {
             prefetcher_debug: self.mem.prefetcher_debug(),
             prefetcher_metrics: self.mem.prefetcher_metrics(),
             telemetry: self.mem.telemetry_report(),
+            ingest,
         })
     }
 }

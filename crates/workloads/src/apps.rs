@@ -126,6 +126,27 @@ impl Workload {
         }
     }
 
+    /// Filesystem-safe identifier (`data-serving`, `mix-1`, ...), used to
+    /// name captured-trace directories.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Workload::DataServing => "data-serving",
+            Workload::SatSolver => "sat-solver",
+            Workload::Streaming => "streaming",
+            Workload::Zeus => "zeus",
+            Workload::Em3d => "em3d",
+            Workload::Mix1 => "mix-1",
+            Workload::Mix2 => "mix-2",
+            Workload::Mix3 => "mix-3",
+            Workload::Mix4 => "mix-4",
+            Workload::Mix5 => "mix-5",
+            Workload::StressStorm => "stress-storm",
+            Workload::StressThrash => "stress-thrash",
+            Workload::StressChase => "stress-chase",
+            Workload::StressFlip => "stress-flip",
+        }
+    }
+
     /// Short description from Table II.
     pub fn description(self) -> &'static str {
         match self {

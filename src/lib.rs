@@ -11,6 +11,7 @@
 //! | [`prefetcher`] | the Bingo prefetcher and the multi-event TAGE-like predictors |
 //! | [`baselines`] | BOP, SPP, VLDP, AMPM, SMS, stride |
 //! | [`workloads`] | synthetic generators for the Table II workload suite |
+//! | [`trace`] | hardened trace capture/replay: framed format, CRC32, quarantine |
 //! | [`bench`] | experiment harness: parallel (workload × prefetcher) runner |
 //!
 //! ## Quickstart
@@ -45,4 +46,5 @@ pub use bingo as prefetcher;
 pub use bingo_baselines as baselines;
 pub use bingo_bench as bench;
 pub use bingo_sim as sim;
+pub use bingo_trace as trace;
 pub use bingo_workloads as workloads;
