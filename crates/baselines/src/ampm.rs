@@ -12,6 +12,8 @@ use std::fmt;
 
 use bingo_sim::{AccessInfo, BlockAddr, Prefetcher};
 
+use crate::lru::{LruIndex, SlotRef};
+
 /// Configuration of an [`Ampm`] prefetcher.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct AmpmConfig {
@@ -52,19 +54,15 @@ impl Default for AmpmConfig {
     }
 }
 
-#[derive(Clone)]
+#[derive(Copy, Clone, Default)]
 struct Zone {
-    id: u64,
-    valid: bool,
     accessed: u64,
     prefetched: u64,
-    last_touch: u64,
 }
 
 impl fmt::Debug for Zone {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Zone")
-            .field("id", &self.id)
             .field("accessed", &format_args!("{:#x}", self.accessed))
             .finish()
     }
@@ -75,7 +73,7 @@ impl fmt::Debug for Zone {
 pub struct Ampm {
     cfg: AmpmConfig,
     zones: Vec<Zone>,
-    stamp: u64,
+    lru: LruIndex,
     zone_shift: u32,
     /// Feedback-directed degree throttling (the original's adaptive
     /// aggressiveness): accesses that land on previously-prefetched map
@@ -99,17 +97,8 @@ impl Ampm {
         );
         assert!(cfg.zones > 0 && cfg.degree > 0 && cfg.max_stride > 0);
         Ampm {
-            zones: vec![
-                Zone {
-                    id: 0,
-                    valid: false,
-                    accessed: 0,
-                    prefetched: 0,
-                    last_touch: 0,
-                };
-                cfg.zones
-            ],
-            stamp: 0,
+            zones: vec![Zone::default(); cfg.zones],
+            lru: LruIndex::new(cfg.zones),
             zone_shift: cfg.zone_blocks.trailing_zeros(),
             fb_issued: 0,
             fb_good: 0,
@@ -135,28 +124,13 @@ impl Ampm {
     }
 
     fn zone_slot(&mut self, zone_id: u64) -> usize {
-        self.stamp += 1;
-        let stamp = self.stamp;
-        if let Some(i) = self.zones.iter().position(|z| z.valid && z.id == zone_id) {
-            self.zones[i].last_touch = stamp;
-            return i;
+        match self.lru.touch(zone_id) {
+            SlotRef::Hit(i) => i,
+            SlotRef::Miss(i) => {
+                self.zones[i] = Zone::default();
+                i
+            }
         }
-        let victim = self.zones.iter().position(|z| !z.valid).unwrap_or_else(|| {
-            self.zones
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, z)| z.last_touch)
-                .map(|(i, _)| i)
-                .expect("zones nonempty")
-        });
-        self.zones[victim] = Zone {
-            id: zone_id,
-            valid: true,
-            accessed: 0,
-            prefetched: 0,
-            last_touch: stamp,
-        };
-        victim
     }
 }
 

@@ -38,6 +38,7 @@
 
 pub mod ampm;
 pub mod bop;
+mod lru;
 pub mod sms;
 pub mod spp;
 pub mod stride;

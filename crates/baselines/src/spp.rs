@@ -12,6 +12,8 @@
 
 use bingo_sim::{AccessInfo, BlockAddr, Prefetcher};
 
+use crate::lru::{LruIndex, SlotRef};
+
 /// Configuration of an [`Spp`] prefetcher.
 #[derive(Copy, Clone, Debug, PartialEq)]
 pub struct SppConfig {
@@ -75,13 +77,11 @@ impl Default for SppConfig {
     }
 }
 
-#[derive(Copy, Clone, Debug)]
+#[derive(Copy, Clone, Debug, Default)]
 struct SigEntry {
-    page: u64,
     valid: bool,
     last_offset: i32,
     signature: u16,
-    last_touch: u64,
 }
 
 #[derive(Copy, Clone, Debug, Default)]
@@ -110,9 +110,9 @@ fn update_signature(sig: u16, delta: i32) -> u16 {
 pub struct Spp {
     cfg: SppConfig,
     signatures: Vec<SigEntry>,
+    lru: LruIndex,
     patterns: Vec<PatternEntry>,
     filter: Vec<u64>,
-    stamp: u64,
     page_shift: u32,
 }
 
@@ -134,55 +134,25 @@ impl Spp {
             "confidence threshold must be in (0, 1]"
         );
         Spp {
-            signatures: vec![
-                SigEntry {
-                    page: 0,
-                    valid: false,
-                    last_offset: 0,
-                    signature: 0,
-                    last_touch: 0,
-                };
-                cfg.signature_entries
-            ],
+            signatures: vec![SigEntry::default(); cfg.signature_entries],
+            lru: LruIndex::new(cfg.signature_entries),
             patterns: vec![PatternEntry::default(); cfg.pattern_entries],
             filter: vec![u64::MAX; cfg.filter_entries],
-            stamp: 0,
             page_shift: cfg.page_blocks.trailing_zeros(),
             cfg,
         }
     }
 
     fn sig_slot(&mut self, page: u64) -> usize {
-        self.stamp += 1;
-        let stamp = self.stamp;
-        if let Some(i) = self
-            .signatures
-            .iter()
-            .position(|e| e.valid && e.page == page)
-        {
-            self.signatures[i].last_touch = stamp;
-            return i;
+        match self.lru.touch(page) {
+            SlotRef::Hit(i) => i,
+            SlotRef::Miss(i) => {
+                // `valid: false` marks a fresh page; `on_access` flips it
+                // after recording the first offset.
+                self.signatures[i] = SigEntry::default();
+                i
+            }
         }
-        let victim = self
-            .signatures
-            .iter()
-            .position(|e| !e.valid)
-            .unwrap_or_else(|| {
-                self.signatures
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, e)| e.last_touch)
-                    .map(|(i, _)| i)
-                    .expect("signature table nonempty")
-            });
-        self.signatures[victim] = SigEntry {
-            page,
-            valid: false,
-            last_offset: 0,
-            signature: 0,
-            last_touch: stamp,
-        };
-        victim
     }
 
     fn pattern_train(&mut self, sig: u16, delta: i32) {

@@ -18,6 +18,8 @@
 
 use bingo_sim::{AccessInfo, BlockAddr, Prefetcher};
 
+use crate::lru::{LruIndex, SlotRef};
+
 /// Configuration of a [`Vldp`] prefetcher.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct VldpConfig {
@@ -72,15 +74,13 @@ impl Default for VldpConfig {
     }
 }
 
-#[derive(Copy, Clone, Debug)]
+#[derive(Copy, Clone, Debug, Default)]
 struct DhbEntry {
-    page: u64,
     valid: bool,
     last_offset: i32,
     /// Most recent delta first; 0 slots unused.
     deltas: [i32; 3],
     num_deltas: usize,
-    last_touch: u64,
 }
 
 #[derive(Copy, Clone, Debug, Default)]
@@ -103,9 +103,9 @@ struct DptEntry {
 pub struct Vldp {
     cfg: VldpConfig,
     dhb: Vec<DhbEntry>,
+    lru: LruIndex,
     opt: Vec<OptEntry>,
     dpts: [Vec<DptEntry>; 3],
-    stamp: u64,
     page_shift: u32,
 }
 
@@ -124,24 +124,14 @@ impl Vldp {
         assert!(cfg.dhb_entries > 0 && cfg.opt_entries > 0 && cfg.dpt_entries > 0);
         assert!(cfg.degree > 0);
         Vldp {
-            dhb: vec![
-                DhbEntry {
-                    page: 0,
-                    valid: false,
-                    last_offset: 0,
-                    deltas: [0; 3],
-                    num_deltas: 0,
-                    last_touch: 0,
-                };
-                cfg.dhb_entries
-            ],
+            dhb: vec![DhbEntry::default(); cfg.dhb_entries],
+            lru: LruIndex::new(cfg.dhb_entries),
             opt: vec![OptEntry::default(); cfg.opt_entries],
             dpts: [
                 vec![DptEntry::default(); cfg.dpt_entries],
                 vec![DptEntry::default(); cfg.dpt_entries],
                 vec![DptEntry::default(); cfg.dpt_entries],
             ],
-            stamp: 0,
             page_shift: cfg.page_blocks.trailing_zeros(),
             cfg,
         }
@@ -196,29 +186,15 @@ impl Vldp {
     }
 
     fn dhb_slot(&mut self, page: u64) -> usize {
-        self.stamp += 1;
-        let stamp = self.stamp;
-        if let Some(i) = self.dhb.iter().position(|e| e.valid && e.page == page) {
-            self.dhb[i].last_touch = stamp;
-            return i;
+        match self.lru.touch(page) {
+            SlotRef::Hit(i) => i,
+            // `valid: false` marks a fresh page; the caller flips it
+            // after initializing the entry.
+            SlotRef::Miss(i) => {
+                self.dhb[i] = DhbEntry::default();
+                i
+            }
         }
-        let victim = self.dhb.iter().position(|e| !e.valid).unwrap_or_else(|| {
-            self.dhb
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.last_touch)
-                .map(|(i, _)| i)
-                .expect("dhb nonempty")
-        });
-        self.dhb[victim] = DhbEntry {
-            page,
-            valid: false, // marked valid by caller after init
-            last_offset: 0,
-            deltas: [0; 3],
-            num_deltas: 0,
-            last_touch: stamp,
-        };
-        victim
     }
 }
 

@@ -1,15 +1,18 @@
-//! End-to-end benches: one small-scale simulation per paper figure family,
-//! so `cargo bench` exercises every experiment path and tracks
-//! simulator-throughput regressions.
+//! End-to-end benches: one small-scale simulation per paper figure family
+//! plus the full fig8 workload × prefetcher grid, so `cargo bench`
+//! exercises every experiment path and tracks simulator-throughput
+//! regressions.
 //!
 //! The hermetic build has no criterion, so this is a plain `harness = false`
-//! binary printing wall-clock seconds per simulation case.
+//! binary printing median-of-N wall-clock per case with the observed
+//! spread. Set `BINGO_BENCH_JSON=<file>` to also emit machine-readable
+//! records (see `bingo_bench::perf_record`) for the CI regression gate.
 
 use std::hint::black_box;
-use std::time::Instant;
 
 use bingo::EventKind;
-use bingo_bench::{run_one, PrefetcherKind, RunScale};
+use bingo_bench::{run_one, time_median, BenchWriter, PrefetcherKind, RunScale};
+use bingo_sim::SystemConfig;
 use bingo_workloads::Workload;
 
 fn tiny_scale() -> RunScale {
@@ -20,27 +23,32 @@ fn tiny_scale() -> RunScale {
     }
 }
 
-fn report(group: &str, name: &str, samples: u32, f: impl Fn()) {
-    f(); // warmup
-    let start = Instant::now();
-    for _ in 0..samples {
-        f();
-    }
-    let per_run = start.elapsed().as_secs_f64() / f64::from(samples);
-    println!(
-        "{group}/{name}: {:.1} ms/run ({samples} samples)",
-        per_run * 1e3
-    );
+/// Simulated instructions one `run_one` pass executes (warmup included).
+fn instrs_per_pass(scale: RunScale) -> f64 {
+    let cores = SystemConfig::paper().cores as u64;
+    (cores * (scale.instructions_per_core + scale.warmup_per_core)) as f64
 }
 
-fn bench_simulation_throughput() {
-    report("simulation", "baseline_em3d", 3, || {
+/// Times `f` (median of `samples` passes) and reports wall-clock cost.
+fn report(writer: &mut Option<BenchWriter>, group: &str, name: &str, samples: u32, f: impl Fn()) {
+    let s = time_median(samples, f);
+    println!(
+        "{group}/{name}: {:.1} ms/run (lo {:.1}, hi {:.1}, n={samples})",
+        s.median, s.lo, s.hi
+    );
+    if let Some(w) = writer {
+        w.record_or_die(s.cost_record(&format!("{group}/{name}")));
+    }
+}
+
+fn bench_simulation_throughput(writer: &mut Option<BenchWriter>) {
+    report(writer, "simulation", "baseline_em3d", 5, || {
         black_box(run_one(Workload::Em3d, PrefetcherKind::None, tiny_scale()));
     });
-    report("simulation", "bingo_em3d", 3, || {
+    report(writer, "simulation", "bingo_em3d", 5, || {
         black_box(run_one(Workload::Em3d, PrefetcherKind::Bingo, tiny_scale()));
     });
-    report("simulation", "bingo_data_serving", 3, || {
+    report(writer, "simulation", "bingo_data_serving", 5, || {
         black_box(run_one(
             Workload::DataServing,
             PrefetcherKind::Bingo,
@@ -49,7 +57,7 @@ fn bench_simulation_throughput() {
     });
 }
 
-fn bench_figure_paths() {
+fn bench_figure_paths(writer: &mut Option<BenchWriter>) {
     // One representative (workload, prefetcher) per figure family, small
     // enough to repeat a few times per case.
     let cases: [(&str, Workload, PrefetcherKind); 6] = [
@@ -77,13 +85,49 @@ fn bench_figure_paths() {
         ),
     ];
     for (name, w, k) in cases {
-        report("figures", name, 3, move || {
+        report(writer, "figures", name, 5, move || {
             black_box(run_one(w, k, tiny_scale()));
         });
     }
 }
 
+/// The raw-speed trajectory: simulator throughput (million simulated
+/// instructions per wall-clock second) for every cell of the fig8 grid —
+/// all ten workloads against the no-prefetch baseline and the six headline
+/// prefetchers.
+fn bench_fig8_grid(writer: &mut Option<BenchWriter>) {
+    let scale = tiny_scale();
+    let instrs = instrs_per_pass(scale);
+    let mut kinds = vec![PrefetcherKind::None];
+    kinds.extend(PrefetcherKind::HEADLINE);
+    for w in Workload::ALL {
+        for &k in &kinds {
+            let s = time_median(3, || {
+                black_box(run_one(w, k, scale));
+            });
+            let key = format!("fig8_grid/{}/{}", w.name(), k.name());
+            let r = s.throughput_record(&key, instrs);
+            println!(
+                "{key}: {:.1} Minstr/s (lo {:.1}, hi {:.1}, n={})",
+                r.median, r.lo, r.hi, r.samples
+            );
+            if let Some(wr) = writer {
+                wr.record_or_die(r);
+            }
+        }
+    }
+}
+
 fn main() {
-    bench_simulation_throughput();
-    bench_figure_paths();
+    let mut writer = BenchWriter::from_env();
+    if let Some(w) = &mut writer {
+        // Host-speed reference for bench_compare's normalization.
+        w.record_or_die(bingo_bench::calibration_record());
+    }
+    bench_simulation_throughput(&mut writer);
+    bench_figure_paths(&mut writer);
+    bench_fig8_grid(&mut writer);
+    if let Some(w) = &writer {
+        println!("bench records written to {}", w.path().display());
+    }
 }

@@ -3,12 +3,14 @@
 //! three operations (the storage-consolidation contribution).
 //!
 //! The hermetic build has no criterion, so this is a plain `harness = false`
-//! binary: each case runs a fixed-iteration timed loop and prints
-//! nanoseconds per operation. Numbers are indicative, not statistically
-//! filtered — good enough to spot order-of-magnitude regressions.
+//! binary: each case times a fixed-iteration loop several times and prints
+//! the median nanoseconds per operation with the observed spread. Set
+//! `BINGO_BENCH_JSON=<file>` to also emit machine-readable records (see
+//! `bingo_bench::perf_record`) for the CI regression gate.
 
 use std::hint::black_box;
-use std::time::Instant;
+
+use bingo_bench::{time_median, BenchRecord, BenchWriter};
 
 use bingo::multi_event::{MultiEventConfig, MultiEventPrefetcher};
 use bingo::{Bingo, BingoConfig, Footprint, UnifiedHistoryTable};
@@ -55,22 +57,46 @@ fn drive(p: &mut dyn Prefetcher, accesses: u64) -> usize {
     issued
 }
 
-/// Times `iters` runs of `f` and prints ns per inner operation.
-fn report(group: &str, name: &str, iters: u64, ops_per_iter: u64, mut f: impl FnMut()) {
-    // One warmup pass, then the timed passes.
-    f();
-    let start = Instant::now();
-    for _ in 0..iters {
-        f();
+/// Times `samples` passes of `iters` runs of `f` and reports the median
+/// ns per inner operation with the observed spread.
+fn report(
+    writer: &mut Option<BenchWriter>,
+    group: &str,
+    name: &str,
+    samples: u32,
+    iters: u64,
+    ops_per_iter: u64,
+    mut f: impl FnMut(),
+) {
+    let ops = (iters * ops_per_iter) as f64;
+    let s = time_median(samples, || {
+        for _ in 0..iters {
+            f();
+        }
+    });
+    // A pass is `iters` loops; convert the ms-per-pass spread to ns/op.
+    let to_ns = |ms: f64| ms * 1e6 / ops;
+    let record = BenchRecord {
+        key: format!("{group}/{name}"),
+        unit: "ns/op".to_string(),
+        median: to_ns(s.median),
+        lo: to_ns(s.lo),
+        hi: to_ns(s.hi),
+        samples,
+    };
+    println!(
+        "{group}/{name}: {:.1} ns/op (lo {:.1}, hi {:.1}, n={samples})",
+        record.median, record.lo, record.hi
+    );
+    if let Some(w) = writer {
+        w.record_or_die(record);
     }
-    let elapsed = start.elapsed();
-    let ns_per_op = elapsed.as_nanos() as f64 / (iters * ops_per_iter) as f64;
-    println!("{group}/{name}: {ns_per_op:.1} ns/op ({iters} iters)");
 }
 
-fn bench_prefetcher_access() {
+fn bench_prefetcher_access(writer: &mut Option<BenchWriter>) {
     const ACCESSES: u64 = 2_000;
-    const ITERS: u64 = 50;
+    const ITERS: u64 = 10;
+    const SAMPLES: u32 = 5;
     let cases: Vec<(&str, Box<dyn Prefetcher>)> = vec![
         ("bingo", Box::new(Bingo::new(BingoConfig::paper()))),
         (
@@ -84,18 +110,26 @@ fn bench_prefetcher_access() {
         ("bop", Box::new(Bop::new(BopConfig::paper()))),
     ];
     for (name, mut p) in cases {
-        report("prefetcher_access", name, ITERS, ACCESSES, || {
-            black_box(drive(p.as_mut(), ACCESSES));
-        });
+        report(
+            writer,
+            "prefetcher_access",
+            name,
+            SAMPLES,
+            ITERS,
+            ACCESSES,
+            || {
+                black_box(drive(p.as_mut(), ACCESSES));
+            },
+        );
     }
 }
 
-fn bench_history_table() {
+fn bench_history_table(writer: &mut Option<BenchWriter>) {
     const OPS: u64 = 100_000;
 
     let mut t = UnifiedHistoryTable::new(16 * 1024, 16, 32);
     let mut i = 0u64;
-    report("unified_history_table", "insert", 10, OPS, || {
+    report(writer, "unified_history_table", "insert", 5, 2, OPS, || {
         for _ in 0..OPS {
             i += 1;
             t.insert(
@@ -111,12 +145,20 @@ fn bench_history_table() {
         t.insert(i, i % 1024, Footprint::from_bits(i & 0xffff_ffff, 32));
     }
     let mut i = 0u64;
-    report("unified_history_table", "lookup_long", 10, OPS, || {
-        for _ in 0..OPS {
-            i += 1;
-            black_box(t.lookup_long(black_box(i % 16_384), black_box(i % 1024)));
-        }
-    });
+    report(
+        writer,
+        "unified_history_table",
+        "lookup_long",
+        5,
+        2,
+        OPS,
+        || {
+            for _ in 0..OPS {
+                i += 1;
+                black_box(t.lookup_long(black_box(i % 16_384), black_box(i % 1024)));
+            }
+        },
+    );
 
     let mut t = UnifiedHistoryTable::new(16 * 1024, 16, 32);
     for i in 0..16_384u64 {
@@ -125,9 +167,11 @@ fn bench_history_table() {
     let mut matches = Vec::with_capacity(16);
     let mut i = 0u64;
     report(
+        writer,
         "unified_history_table",
         "lookup_short_vote",
-        10,
+        5,
+        2,
         OPS,
         || {
             for _ in 0..OPS {
@@ -140,6 +184,15 @@ fn bench_history_table() {
 }
 
 fn main() {
-    bench_prefetcher_access();
-    bench_history_table();
+    let mut writer = BenchWriter::from_env();
+    if let Some(w) = &mut writer {
+        // Host-speed reference for bench_compare's normalization. Both
+        // bench binaries record it; the merged file keeps the freshest.
+        w.record_or_die(bingo_bench::calibration_record());
+    }
+    bench_prefetcher_access(&mut writer);
+    bench_history_table(&mut writer);
+    if let Some(w) = &writer {
+        println!("bench records written to {}", w.path().display());
+    }
 }

@@ -27,6 +27,7 @@ pub mod area;
 pub mod checkpoint;
 pub mod differential;
 pub mod knobs;
+pub mod perf_record;
 pub mod runner;
 pub mod stats_export;
 pub mod table;
@@ -38,6 +39,10 @@ pub use differential::{
     fuzz_bingo, shrink_bingo_mismatch, FuzzFailure, FuzzReport, Mismatch,
 };
 pub use knobs::{pf_queue_from_env, trace_chunk_from_env, PF_QUEUE_ENV, TRACE_CHUNK_ENV};
+pub use perf_record::{
+    calibration_record, load_records, time_median, BenchRecord, BenchWriter, Sample,
+    BENCH_JSON_ENV, BENCH_MERGE_ENV, BENCH_THRESHOLD_ENV, CALIBRATION_KEY,
+};
 pub use runner::{
     cell_key, cell_key_with_options, cell_key_with_telemetry, default_jobs, geometric_mean, mean,
     parallel_map, run_cell, run_cell_configured, run_one, run_one_configured,

@@ -62,9 +62,16 @@ pub struct Observation {
 }
 
 /// Filter table + LRU accumulation table.
+///
+/// Each table keeps a dense column of region keys parallel to its slot
+/// vector: the membership scan that runs on every access walks only the
+/// key column, and the wide slot data is touched on a match. The columns
+/// move in lockstep (every push / `swap_remove` is mirrored).
 #[derive(Debug)]
 pub struct AccumulationTable {
+    filter_regions: Vec<RegionId>,
     filter: Vec<Slot>,
+    slot_regions: Vec<RegionId>,
     slots: Vec<Slot>,
     filter_capacity: usize,
     capacity: usize,
@@ -86,10 +93,13 @@ impl AccumulationTable {
             (1..=64).contains(&region_blocks),
             "region blocks {region_blocks} out of range"
         );
+        let filter_capacity = capacity.max(8);
         AccumulationTable {
-            filter: Vec::new(),
+            filter_regions: Vec::with_capacity(filter_capacity),
+            filter: Vec::with_capacity(filter_capacity),
+            slot_regions: Vec::with_capacity(capacity),
             slots: Vec::with_capacity(capacity),
-            filter_capacity: capacity.max(8),
+            filter_capacity,
             capacity,
             region_blocks,
             stamp: 0,
@@ -127,11 +137,8 @@ impl AccumulationTable {
         let stamp = self.stamp;
 
         // Already promoted: extend the footprint.
-        if let Some(slot) = self
-            .slots
-            .iter_mut()
-            .find(|s| s.residency.region == info.region)
-        {
+        if let Some(i) = self.slot_regions.iter().position(|r| *r == info.region) {
+            let slot = &mut self.slots[i];
             slot.residency.footprint.set(info.offset);
             slot.last_touch = stamp;
             return Observation {
@@ -141,11 +148,8 @@ impl AccumulationTable {
         }
 
         // Second access to a filtered region: promote to accumulation.
-        if let Some(i) = self
-            .filter
-            .iter()
-            .position(|s| s.residency.region == info.region)
-        {
+        if let Some(i) = self.filter_regions.iter().position(|r| *r == info.region) {
+            self.filter_regions.swap_remove(i);
             let mut slot = self.filter.swap_remove(i);
             slot.residency.footprint.set(info.offset);
             slot.last_touch = stamp;
@@ -156,10 +160,12 @@ impl AccumulationTable {
                     .enumerate()
                     .min_by_key(|(_, s)| s.last_touch)
                     .expect("table is non-empty when full");
+                self.slot_regions.swap_remove(idx);
                 Some(self.slots.swap_remove(idx).residency)
             } else {
                 None
             };
+            self.slot_regions.push(slot.residency.region);
             self.slots.push(slot);
             return Observation {
                 trigger: false,
@@ -186,8 +192,10 @@ impl AccumulationTable {
                 .enumerate()
                 .min_by_key(|(_, s)| s.last_touch)
                 .expect("filter is non-empty when full");
+            self.filter_regions.swap_remove(idx);
             self.filter.swap_remove(idx);
         }
+        self.filter_regions.push(residency.region);
         self.filter.push(Slot {
             residency,
             last_touch: stamp,
@@ -201,13 +209,12 @@ impl AccumulationTable {
     /// Ends the residency of `region`, if live in either structure,
     /// returning it for training.
     pub fn end_residency(&mut self, region: RegionId) -> Option<Residency> {
-        if let Some(idx) = self.slots.iter().position(|s| s.residency.region == region) {
+        if let Some(idx) = self.slot_regions.iter().position(|r| *r == region) {
+            self.slot_regions.swap_remove(idx);
             return Some(self.slots.swap_remove(idx).residency);
         }
-        let idx = self
-            .filter
-            .iter()
-            .position(|s| s.residency.region == region)?;
+        let idx = self.filter_regions.iter().position(|r| *r == region)?;
+        self.filter_regions.swap_remove(idx);
         Some(self.filter.swap_remove(idx).residency)
     }
 

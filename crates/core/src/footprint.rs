@@ -152,20 +152,70 @@ impl Footprint {
         let len = first.len;
         let need = (threshold * footprints.len() as f64).ceil() as u32;
         let need = need.max(1);
-        let mut result = Footprint::empty(len);
-        for offset in 0..len {
-            let votes = footprints
-                .iter()
-                .map(|f| {
-                    debug_assert_eq!(f.len, len);
-                    f.contains(offset) as u32
-                })
-                .sum::<u32>();
-            if votes >= need {
-                result.set(offset);
+
+        // A block is kept when at least `need` of the n footprints contain
+        // it. Instead of counting votes one offset at a time, count all 64
+        // offsets at once: each footprint is a 1-bit addend across 64
+        // lanes, accumulated into bit-sliced counter planes (plane j holds
+        // bit j of every lane's running count).
+        if need == 1 {
+            // Any single vote suffices: the union.
+            let mut bits = 0u64;
+            for f in footprints {
+                debug_assert_eq!(f.len, len);
+                bits |= f.bits;
             }
+            return Footprint { bits, len };
         }
-        result
+        if need as usize >= footprints.len() {
+            // Unanimity (need can never exceed n since threshold <= 1).
+            let mut bits = u64::MAX;
+            for f in footprints {
+                debug_assert_eq!(f.len, len);
+                bits &= f.bits;
+            }
+            return Footprint {
+                bits: if len == 64 {
+                    bits
+                } else {
+                    bits & ((1 << len) - 1)
+                },
+                len,
+            };
+        }
+        // Planes represent counts 0..2^k-1 exactly, where k is the bit
+        // length of `need`; a carry out of the top plane means the lane's
+        // count already reached 2^k > need, recorded sticky.
+        let k = (32 - need.leading_zeros()) as usize;
+        let mut planes = [0u64; 32];
+        let mut overflow = 0u64;
+        for f in footprints {
+            debug_assert_eq!(f.len, len);
+            let mut carry = f.bits;
+            for plane in planes.iter_mut().take(k) {
+                let sum = *plane ^ carry;
+                carry &= *plane;
+                *plane = sum;
+                if carry == 0 {
+                    break;
+                }
+            }
+            overflow |= carry;
+        }
+        // Branch-free per-lane comparison of the k-bit counts against the
+        // constant `need`, MSB first: ge collects lanes decided greater,
+        // eq tracks lanes still tied.
+        let mut ge = 0u64;
+        let mut eq = u64::MAX;
+        for j in (0..k).rev() {
+            let need_bit = if (need >> j) & 1 == 1 { u64::MAX } else { 0 };
+            ge |= eq & planes[j] & !need_bit;
+            eq &= !(planes[j] ^ need_bit);
+        }
+        Footprint {
+            bits: overflow | ge | eq,
+            len,
+        }
     }
 }
 
@@ -283,7 +333,7 @@ mod tests {
             Footprint::from_bits(0b011, 8),
             Footprint::from_bits(0b001, 8),
         ];
-        fs.extend(std::iter::repeat(Footprint::from_bits(0b100, 8)).take(8));
+        fs.extend(std::iter::repeat_n(Footprint::from_bits(0b100, 8), 8));
         assert_eq!(fs.len(), 10);
         let v = Footprint::vote(&fs, 0.2);
         assert!(v.contains(0), "bit0 has exactly 2/10 votes: at threshold");
@@ -350,6 +400,89 @@ mod tests {
         f.set(63);
         assert!(f.contains(63));
         assert_eq!(Footprint::from_bits(u64::MAX, 64).count(), 64);
+    }
+
+    /// Word-boundary bits of a 4 KiB region (64 blocks): offset 63 is the
+    /// top bit of the backing u64 — shifts there are where an off-by-one
+    /// or a signed shift would corrupt the footprint.
+    #[test]
+    fn word_boundary_offsets_in_4kib_region() {
+        let mut f = Footprint::empty(64);
+        f.set(0);
+        f.set(63);
+        assert_eq!(f.bits(), 1 | (1 << 63));
+        assert_eq!(f.count(), 2);
+        assert_eq!(f.iter().collect::<Vec<_>>(), vec![0, 63]);
+        f.flip(63);
+        assert!(!f.contains(63), "flip clears the top bit");
+        assert!(f.contains(0));
+        // `contains` beyond the region is false, never a shift panic.
+        assert!(!Footprint::from_bits(u64::MAX, 64).contains(64));
+    }
+
+    /// The smallest ablation width: a 128 B region is 2 blocks. Set,
+    /// union, and vote must all respect the 2-bit mask.
+    #[test]
+    fn narrow_128b_region_ops() {
+        let mut a = Footprint::empty(2);
+        a.set(1);
+        let b = Footprint::from_bits(0b01, 2);
+        assert_eq!(a.union(b).bits(), 0b11);
+        assert_eq!(a.intersect(b).bits(), 0);
+        assert_eq!(a.union(b).density(), 1.0);
+        // Unanimity at len 2 must mask the u64::MAX accumulator down to
+        // the region width.
+        let v = Footprint::vote(&[a.union(b), a.union(b)], 1.0);
+        assert_eq!(v.bits(), 0b11);
+        assert_eq!(v.len(), 2);
+    }
+
+    /// Per-offset counting reference for `vote`: the obvious
+    /// collection-based implementation the bit-sliced version replaced.
+    fn vote_reference(footprints: &[Footprint], threshold: f64) -> Footprint {
+        let Some(first) = footprints.first() else {
+            return Footprint::empty(1);
+        };
+        let need = ((threshold * footprints.len() as f64).ceil() as u32).max(1);
+        let mut out = Footprint::empty(first.len());
+        for off in 0..first.len() {
+            let votes = footprints.iter().filter(|f| f.contains(off)).count() as u32;
+            if votes >= need {
+                out.set(off);
+            }
+        }
+        out
+    }
+
+    /// The bit-sliced counter-plane vote must agree with the per-offset
+    /// reference on random footprints across region widths (128 B .. 4
+    /// KiB), pool sizes (through the sticky-overflow path), and
+    /// thresholds (union, majority, unanimity shortcuts included).
+    #[test]
+    fn vote_matches_counting_reference_on_random_footprints() {
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for &len in &[2u32, 8, 31, 32, 33, 63, 64] {
+            let mask = if len == 64 { u64::MAX } else { (1 << len) - 1 };
+            for &n in &[1usize, 2, 3, 5, 16, 33, 64] {
+                let fs: Vec<Footprint> = (0..n)
+                    .map(|_| Footprint::from_bits(next() & mask, len))
+                    .collect();
+                for &threshold in &[0.01, 0.2, 0.5, 0.8, 1.0] {
+                    let fast = Footprint::vote(&fs, threshold);
+                    let slow = vote_reference(&fs, threshold);
+                    assert_eq!(
+                        fast, slow,
+                        "vote diverged: len {len}, n {n}, threshold {threshold}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

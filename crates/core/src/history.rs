@@ -19,38 +19,31 @@
 
 use crate::footprint::Footprint;
 
-#[derive(Copy, Clone, Debug)]
-struct Entry {
-    valid: bool,
-    /// Full tag: the longest event (`PC+Address`).
-    long_tag: u64,
-    /// The short portion of the tag (`PC+Offset`); physically a subset of
-    /// the long event's bits, stored separately here for clarity.
-    short_tag: u64,
-    footprint: Footprint,
-    last_touch: u64,
-}
-
-impl Entry {
-    fn invalid(region_blocks: u32) -> Entry {
-        Entry {
-            valid: false,
-            long_tag: 0,
-            short_tag: 0,
-            footprint: Footprint::empty(region_blocks),
-            last_touch: 0,
-        }
-    }
-}
-
 /// The single, set-associative history table of Bingo.
+///
+/// Stored structure-of-arrays: the tag scans that dominate every lookup
+/// walk dense `u64` slices (set *s* occupies indices `s*ways ..
+/// (s+1)*ways`), and the footprint/recency columns are touched only on a
+/// match. Invalid entries carry zeroed tags and a zero recency stamp;
+/// validity is tracked explicitly so a genuine zero tag cannot alias.
 #[derive(Debug)]
 pub struct UnifiedHistoryTable {
-    sets: Vec<Vec<Entry>>,
+    valid: Vec<bool>,
+    /// Full tags: the longest event (`PC+Address`).
+    long_tags: Vec<u64>,
+    /// The short portion of each tag (`PC+Offset`); physically a subset of
+    /// the long event's bits, stored separately here for clarity.
+    short_tags: Vec<u64>,
+    footprints: Vec<Footprint>,
+    last_touch: Vec<u64>,
     ways: usize,
     set_mask: u64,
     stamp: u64,
     region_blocks: u32,
+    /// Reusable `(previous stamp, footprint)` buffer for
+    /// [`UnifiedHistoryTable::lookup_short`], so the hot path never
+    /// allocates.
+    scratch: Vec<(u64, Footprint)>,
 }
 
 /// Statistics helpers returned by [`UnifiedHistoryTable::lookup_short`].
@@ -75,17 +68,22 @@ impl UnifiedHistoryTable {
             "entries {entries} / ways {ways} must give a power-of-two set count"
         );
         UnifiedHistoryTable {
-            sets: vec![vec![Entry::invalid(region_blocks); ways]; sets],
+            valid: vec![false; entries],
+            long_tags: vec![0; entries],
+            short_tags: vec![0; entries],
+            footprints: vec![Footprint::empty(region_blocks); entries],
+            last_touch: vec![0; entries],
             ways,
             set_mask: sets as u64 - 1,
             stamp: 0,
             region_blocks,
+            scratch: Vec::with_capacity(ways),
         }
     }
 
     /// Total entries.
     pub fn entries(&self) -> usize {
-        self.sets.len() * self.ways
+        self.valid.len()
     }
 
     fn set_of(&self, short_key: u64) -> usize {
@@ -111,43 +109,50 @@ impl UnifiedHistoryTable {
             self.region_blocks
         );
         let stamp = self.next_stamp();
-        let set_idx = self.set_of(short_key);
-        let set = &mut self.sets[set_idx];
+        let base = self.set_of(short_key) * self.ways;
+        let end = base + self.ways;
         // Re-train an existing entry for the same long event.
-        if let Some(e) = set.iter_mut().find(|e| e.valid && e.long_tag == long_key) {
-            e.footprint = footprint;
-            e.short_tag = short_key;
-            e.last_touch = stamp;
-            return;
+        let mut slot = None;
+        let mut lru = base;
+        let mut lru_touch = u64::MAX;
+        for i in base..end {
+            if !self.valid[i] {
+                if slot.is_none() {
+                    slot = Some(i);
+                }
+                continue;
+            }
+            if self.long_tags[i] == long_key {
+                self.footprints[i] = footprint;
+                self.short_tags[i] = short_key;
+                self.last_touch[i] = stamp;
+                return;
+            }
+            if self.last_touch[i] < lru_touch {
+                lru_touch = self.last_touch[i];
+                lru = i;
+            }
         }
-        let slot = if let Some(i) = set.iter().position(|e| !e.valid) {
-            i
-        } else {
-            set.iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.last_touch)
-                .map(|(i, _)| i)
-                .expect("sets are non-empty")
-        };
-        set[slot] = Entry {
-            valid: true,
-            long_tag: long_key,
-            short_tag: short_key,
-            footprint,
-            last_touch: stamp,
-        };
+        let slot = slot.unwrap_or(lru);
+        self.valid[slot] = true;
+        self.long_tags[slot] = long_key;
+        self.short_tags[slot] = short_key;
+        self.footprints[slot] = footprint;
+        self.last_touch[slot] = stamp;
     }
 
     /// Looks up with the long event (all tag bits compared). At most one
     /// entry can match; recency is updated on a hit.
     pub fn lookup_long(&mut self, long_key: u64, short_key: u64) -> Option<Footprint> {
         let stamp = self.next_stamp();
-        let set_idx = self.set_of(short_key);
-        let e = self.sets[set_idx]
-            .iter_mut()
-            .find(|e| e.valid && e.long_tag == long_key)?;
-        e.last_touch = stamp;
-        Some(e.footprint)
+        let base = self.set_of(short_key) * self.ways;
+        for i in base..base + self.ways {
+            if self.long_tags[i] == long_key && self.valid[i] {
+                self.last_touch[i] = stamp;
+                return Some(self.footprints[i]);
+            }
+        }
+        None
     }
 
     /// Looks up with the short event only (the gray path of Fig. 5): every
@@ -156,18 +161,20 @@ impl UnifiedHistoryTable {
     pub fn lookup_short(&mut self, short_key: u64, out: &mut ShortMatches) {
         out.clear();
         let stamp = self.next_stamp();
-        let set_idx = self.set_of(short_key);
-        let mut matches: Vec<(u64, Footprint)> = self.sets[set_idx]
-            .iter_mut()
-            .filter(|e| e.valid && e.short_tag == short_key)
-            .map(|e| {
-                let prev = e.last_touch;
-                e.last_touch = stamp;
-                (prev, e.footprint)
-            })
-            .collect();
-        matches.sort_by_key(|m| std::cmp::Reverse(m.0));
-        out.extend(matches.into_iter().map(|(_, f)| f));
+        let base = self.set_of(short_key) * self.ways;
+        self.scratch.clear();
+        for i in base..base + self.ways {
+            if self.short_tags[i] == short_key && self.valid[i] {
+                self.scratch.push((self.last_touch[i], self.footprints[i]));
+                self.last_touch[i] = stamp;
+            }
+        }
+        // Previous stamps are unique (every touch draws a fresh stamp), so
+        // this unstable sort orders matches exactly as the stable
+        // most-recent-first sort always has.
+        self.scratch
+            .sort_unstable_by_key(|m| std::cmp::Reverse(m.0));
+        out.extend(self.scratch.iter().map(|&(_, f)| f));
     }
 
     /// Invalidates one valid entry chosen by `pick` (a value used modulo
@@ -180,15 +187,17 @@ impl UnifiedHistoryTable {
             return false;
         }
         let mut target = (pick % valid as u64) as usize;
-        for set in &mut self.sets {
-            for e in set.iter_mut() {
-                if e.valid {
-                    if target == 0 {
-                        *e = Entry::invalid(self.region_blocks);
-                        return true;
-                    }
-                    target -= 1;
+        for i in 0..self.valid.len() {
+            if self.valid[i] {
+                if target == 0 {
+                    self.valid[i] = false;
+                    self.long_tags[i] = 0;
+                    self.short_tags[i] = 0;
+                    self.footprints[i] = Footprint::empty(self.region_blocks);
+                    self.last_touch[i] = 0;
+                    return true;
                 }
+                target -= 1;
             }
         }
         unreachable!("target was chosen modulo the valid-entry count");
@@ -196,10 +205,7 @@ impl UnifiedHistoryTable {
 
     /// Number of valid entries (diagnostics).
     pub fn valid_entries(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|s| s.iter().filter(|e| e.valid).count())
-            .sum()
+        self.valid.iter().filter(|v| **v).count()
     }
 
     /// Storage in bits. Mirrors the paper's accounting (Section VI-A: a

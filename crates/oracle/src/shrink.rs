@@ -177,9 +177,7 @@ mod tests {
         let mut fails = |t: &PrefetchTrace| {
             t.events().iter().enumerate().any(|(i, e)| {
                 matches!(e, PrefetchEvent::Access { block, .. }
-                    if t.events()[i + 1..]
-                        .iter()
-                        .any(|l| *l == PrefetchEvent::Evict { block: *block }))
+                    if t.events()[i + 1..].contains(&PrefetchEvent::Evict { block: *block }))
             })
         };
         let small = shrink(&noisy_trace(), &mut fails);

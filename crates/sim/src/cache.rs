@@ -14,10 +14,9 @@
 //! eviction is *useful*; one demanded while still in flight is *late*; one
 //! evicted untouched is *useless* (an overprediction).
 
-use std::collections::HashMap;
-
 use crate::addr::BlockAddr;
 use crate::config::CacheConfig;
+use crate::openmap::OpenMap;
 use crate::stats::CacheStats;
 
 /// Replacement policy for victim selection within a set.
@@ -61,34 +60,16 @@ pub struct Evicted {
     pub unused_prefetch: bool,
 }
 
-#[derive(Copy, Clone, Debug)]
-struct Line {
-    block: BlockAddr,
-    valid: bool,
-    dirty: bool,
+/// Per-line status flags, packed so the tag array stays dense.
+mod flag {
+    pub const VALID: u8 = 1 << 0;
+    pub const DIRTY: u8 = 1 << 1;
     /// Line was filled by a prefetch.
-    prefetched: bool,
+    pub const PREFETCHED: u8 = 1 << 2;
     /// A demand access has touched the line since its fill.
-    demanded: bool,
-    /// Recency stamp for LRU.
-    last_touch: u64,
-    /// Insertion stamp for FIFO.
-    inserted: u64,
+    pub const DEMANDED: u8 = 1 << 3;
     /// Line was filled during the measurement window (post-warmup).
-    measured: bool,
-}
-
-impl Line {
-    const INVALID: Line = Line {
-        block: BlockAddr::new(0),
-        valid: false,
-        dirty: false,
-        prefetched: false,
-        demanded: false,
-        last_touch: 0,
-        inserted: 0,
-        measured: true,
-    };
+    pub const MEASURED: u8 = 1 << 4;
 }
 
 #[derive(Copy, Clone, Debug)]
@@ -103,12 +84,25 @@ struct PendingFill {
 }
 
 /// A set-associative, banked, write-back cache with a finite MSHR file.
+///
+/// The tag array is structure-of-arrays: every lookup's way scan walks a
+/// dense `u64` tag slice (set *s* occupies indices `s*ways ..
+/// (s+1)*ways`), touching the flag/recency columns only on a match. The
+/// MSHR file is an [`OpenMap`] pre-sized to the MSHR count, so the hot
+/// path never hashes through SipHash or allocates.
 #[derive(Debug)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    tags: Vec<u64>,
+    flags: Vec<u8>,
+    last_touch: Vec<u64>,
+    inserted: Vec<u64>,
     set_mask: u64,
-    pending: HashMap<u64, PendingFill>,
+    /// `banks - 1` when the bank count is a power of two, letting
+    /// [`Cache::bank_start`] — on the path retried every cycle by a
+    /// stalled core — use a mask instead of an integer division.
+    bank_mask: Option<u64>,
+    pending: OpenMap<PendingFill>,
     /// In-flight fills allocated by prefetches (the prefetch-queue
     /// occupancy); maintained incrementally so the bounded-queue check is
     /// O(1) per candidate.
@@ -138,11 +132,18 @@ impl Cache {
     /// Panics if the configuration implies a non-power-of-two set count.
     pub fn with_policy(cfg: CacheConfig, policy: ReplacementPolicy) -> Self {
         let sets = cfg.sets();
+        let lines = sets * cfg.ways;
         Cache {
             cfg,
-            sets: vec![vec![Line::INVALID; cfg.ways]; sets],
+            tags: vec![0; lines],
+            // Invalid lines count as measured so stale slots never leak
+            // into pre-measurement accounting.
+            flags: vec![flag::MEASURED; lines],
+            last_touch: vec![0; lines],
+            inserted: vec![0; lines],
             set_mask: sets as u64 - 1,
-            pending: HashMap::new(),
+            bank_mask: cfg.banks.is_power_of_two().then(|| cfg.banks as u64 - 1),
+            pending: OpenMap::with_capacity(cfg.mshrs),
             pending_prefetches: 0,
             bank_free: vec![0; cfg.banks],
             stamp: 0,
@@ -169,7 +170,10 @@ impl Cache {
     /// Models bank-port contention: reserves the block's bank for one cycle
     /// and returns the cycle at which the lookup actually starts.
     fn bank_start(&mut self, block: BlockAddr, now: u64) -> u64 {
-        let bank = (block.index() % self.cfg.banks as u64) as usize;
+        let bank = match self.bank_mask {
+            Some(mask) => (block.index() & mask) as usize,
+            None => (block.index() % self.cfg.banks as u64) as usize,
+        };
         let start = now.max(self.bank_free[bank]);
         self.bank_free[bank] = start + 1;
         start
@@ -185,22 +189,19 @@ impl Cache {
         self.stats.demand_accesses += 1;
         let start = self.bank_start(block, now);
         let stamp = self.next_stamp();
-        let set = self.set_index(block);
-        for line in &mut self.sets[set] {
-            if line.valid && line.block == block {
-                line.last_touch = stamp;
-                line.dirty |= is_write;
-                if line.prefetched && !line.demanded {
-                    self.stats.pf_useful += 1;
-                }
-                line.demanded = true;
-                self.stats.demand_hits += 1;
-                return Lookup::Hit {
-                    ready_at: start + self.cfg.latency,
-                };
+        if let Some(i) = self.find_resident(block) {
+            self.last_touch[i] = stamp;
+            let f = self.flags[i];
+            if f & (flag::PREFETCHED | flag::DEMANDED) == flag::PREFETCHED {
+                self.stats.pf_useful += 1;
             }
+            self.flags[i] = f | flag::DEMANDED | if is_write { flag::DIRTY } else { 0 };
+            self.stats.demand_hits += 1;
+            return Lookup::Hit {
+                ready_at: start + self.cfg.latency,
+            };
         }
-        if let Some(entry) = self.pending.get_mut(&block.index()) {
+        if let Some(entry) = self.pending.get_mut(block.index()) {
             if entry.prefetch && !entry.demanded {
                 self.stats.pf_late += 1;
             }
@@ -213,14 +214,54 @@ impl Cache {
         Lookup::Miss
     }
 
+    /// Replays `k` consecutive missed-and-stalled retry lookups of `block`
+    /// in closed form, the first at cycle `first`. While the system is
+    /// quiescent a stalled core's retry deterministically misses, so its
+    /// only effects are the access counter, the recency stamp, and the bank
+    /// reservation — and the bank recurrence `free = max(t, free) + 1` over
+    /// access times that start at `first` and grow by at most one per cycle
+    /// collapses to `free = max(first, free) + k`.
+    pub(crate) fn apply_missed_retries(
+        &mut self,
+        block: BlockAddr,
+        first: u64,
+        k: u64,
+        mshr_stalled: bool,
+    ) {
+        self.stats.demand_accesses += k;
+        if mshr_stalled {
+            self.stats.demand_mshr_stalls += k;
+        }
+        self.stamp += k;
+        let bank = match self.bank_mask {
+            Some(mask) => (block.index() & mask) as usize,
+            None => (block.index() % self.cfg.banks as u64) as usize,
+        };
+        let free = &mut self.bank_free[bank];
+        *free = (*free).max(first) + k;
+    }
+
     /// Whether the block is resident or in flight (used to filter duplicate
     /// prefetches). Does not disturb recency or statistics.
     pub fn probe(&self, block: BlockAddr) -> bool {
-        if self.pending.contains_key(&block.index()) {
+        if self.pending.contains_key(block.index()) {
             return true;
         }
-        let set = self.set_index(block);
-        self.sets[set].iter().any(|l| l.valid && l.block == block)
+        self.find_resident(block).is_some()
+    }
+
+    /// Flat index of the valid line holding `block`, if resident. Scans
+    /// the set's dense tag slice; one slice bounds check, no per-way ones.
+    #[inline]
+    fn find_resident(&self, block: BlockAddr) -> Option<usize> {
+        let base = self.set_index(block) * self.cfg.ways;
+        let end = base + self.cfg.ways;
+        let tag = block.index();
+        self.tags[base..end]
+            .iter()
+            .zip(&self.flags[base..end])
+            .position(|(&t, &f)| t == tag && f & flag::VALID != 0)
+            .map(|w| base + w)
     }
 
     /// Whether the block has an in-flight fill that was allocated by a
@@ -228,7 +269,7 @@ impl Cache {
     /// does not disturb state or statistics.
     pub fn prefetch_pending(&self, block: BlockAddr) -> bool {
         self.pending
-            .get(&block.index())
+            .get(block.index())
             .is_some_and(|e| e.prefetch && !e.demanded)
     }
 
@@ -291,7 +332,7 @@ impl Cache {
     /// Marks an in-flight fill dirty (a store is merging into it); returns
     /// whether the block was pending.
     pub fn mark_pending_dirty(&mut self, block: BlockAddr) -> bool {
-        match self.pending.get_mut(&block.index()) {
+        match self.pending.get_mut(block.index()) {
             Some(entry) => {
                 entry.dirty = true;
                 true
@@ -306,71 +347,66 @@ impl Cache {
     /// Returns `None` if the block was not pending (e.g. invalidated while
     /// in flight) or if an invalid way absorbed the fill.
     pub fn complete_fill(&mut self, block: BlockAddr, dirty: bool) -> Option<Evicted> {
-        let entry = self.pending.remove(&block.index())?;
+        let entry = self.pending.remove(block.index())?;
         if entry.prefetch {
             self.pending_prefetches -= 1;
         }
         let stamp = self.next_stamp();
-        let set = self.set_index(block);
+        let base = self.set_index(block) * self.cfg.ways;
 
         // Prefer an invalid way.
-        let ways = &mut self.sets[set];
-        let victim_idx = if let Some(i) = ways.iter().position(|l| !l.valid) {
+        let victim_idx = if let Some(i) =
+            (base..base + self.cfg.ways).find(|&i| self.flags[i] & flag::VALID == 0)
+        {
             i
         } else {
-            self.pick_victim(set)
+            self.pick_victim(base)
         };
-        let victim = self.sets[set][victim_idx];
-        let evicted = if victim.valid {
+        let vf = self.flags[victim_idx];
+        let evicted = if vf & flag::VALID != 0 {
             self.stats.evictions += 1;
-            if victim.dirty {
+            let victim_dirty = vf & flag::DIRTY != 0;
+            if victim_dirty {
                 self.stats.writebacks += 1;
             }
-            let unused_prefetch = victim.prefetched && !victim.demanded;
+            let unused_prefetch = vf & (flag::PREFETCHED | flag::DEMANDED) == flag::PREFETCHED;
             if unused_prefetch {
                 self.stats.pf_useless += 1;
             }
             Some(Evicted {
-                block: victim.block,
-                dirty: victim.dirty,
+                block: BlockAddr::new(self.tags[victim_idx]),
+                dirty: victim_dirty,
                 unused_prefetch,
             })
         } else {
             None
         };
-        self.sets[set][victim_idx] = Line {
-            block,
-            valid: true,
-            dirty: dirty || entry.dirty,
-            prefetched: entry.prefetch,
-            demanded: entry.demanded,
-            last_touch: stamp,
-            inserted: stamp,
-            measured: true,
-        };
+        self.tags[victim_idx] = block.index();
+        self.flags[victim_idx] = flag::VALID
+            | flag::MEASURED
+            | if dirty || entry.dirty { flag::DIRTY } else { 0 }
+            | if entry.prefetch { flag::PREFETCHED } else { 0 }
+            | if entry.demanded { flag::DEMANDED } else { 0 };
+        self.last_touch[victim_idx] = stamp;
+        self.inserted[victim_idx] = stamp;
         crate::audit_assert!(
-            self.sets[set].len() == self.cfg.ways,
-            "set structure invariant: set {} has {} ways, configured {}",
-            set,
-            self.sets[set].len(),
-            self.cfg.ways
+            victim_idx >= base && victim_idx < base + self.cfg.ways,
+            "set structure invariant: victim index {} outside set at {}..{}",
+            victim_idx,
+            base,
+            base + self.cfg.ways
         );
         evicted
     }
 
-    fn pick_victim(&mut self, set: usize) -> usize {
+    fn pick_victim(&mut self, base: usize) -> usize {
+        let ways = base..base + self.cfg.ways;
         match self.policy {
-            ReplacementPolicy::Lru => self.sets[set]
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.last_touch)
-                .map(|(i, _)| i)
+            ReplacementPolicy::Lru => ways
+                .min_by_key(|&i| self.last_touch[i])
                 .expect("cache sets are never empty"),
-            ReplacementPolicy::Fifo => self.sets[set]
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.inserted)
-                .map(|(i, _)| i)
+            ReplacementPolicy::Fifo => ways
+                .min_by_key(|&i| self.inserted[i])
                 .expect("cache sets are never empty"),
             ReplacementPolicy::Random => {
                 // xorshift64*
@@ -379,7 +415,7 @@ impl Cache {
                 x ^= x << 25;
                 x ^= x >> 27;
                 self.rng_state = x;
-                (x.wrapping_mul(0x2545_f491_4f6c_dd1d) % self.cfg.ways as u64) as usize
+                base + (x.wrapping_mul(0x2545_f491_4f6c_dd1d) % self.cfg.ways as u64) as usize
             }
         }
     }
@@ -387,30 +423,28 @@ impl Cache {
     /// Marks a resident line dirty (used for writebacks arriving from an
     /// upper level). Returns `true` if the line was resident.
     pub fn mark_dirty(&mut self, block: BlockAddr) -> bool {
-        let set = self.set_index(block);
-        for line in &mut self.sets[set] {
-            if line.valid && line.block == block {
-                line.dirty = true;
-                return true;
+        match self.find_resident(block) {
+            Some(i) => {
+                self.flags[i] |= flag::DIRTY;
+                true
             }
+            None => false,
         }
-        false
     }
 
     /// Invalidates a block if resident. Returns whether it was dirty.
     pub fn invalidate(&mut self, block: BlockAddr) -> Option<bool> {
-        let set = self.set_index(block);
-        for line in &mut self.sets[set] {
-            if line.valid && line.block == block {
-                let dirty = line.dirty;
-                if line.prefetched && !line.demanded {
-                    self.stats.pf_useless += 1;
-                }
-                *line = Line::INVALID;
-                return Some(dirty);
-            }
+        let i = self.find_resident(block)?;
+        let f = self.flags[i];
+        let dirty = f & flag::DIRTY != 0;
+        if f & (flag::PREFETCHED | flag::DEMANDED) == flag::PREFETCHED {
+            self.stats.pf_useless += 1;
         }
-        None
+        self.tags[i] = 0;
+        self.flags[i] = flag::MEASURED;
+        self.last_touch[i] = 0;
+        self.inserted[i] = 0;
+        Some(dirty)
     }
 
     /// Number of resident prefetched lines never demanded, restricted to
@@ -418,19 +452,16 @@ impl Cache {
     /// `pf_useless` at end of simulation so overprediction accounting does
     /// not depend on the cache filling up within the measurement window.
     pub fn count_unused_prefetched(&self) -> u64 {
-        self.sets
+        const UNUSED: u8 = flag::VALID | flag::PREFETCHED | flag::MEASURED;
+        self.flags
             .iter()
-            .flat_map(|s| s.iter())
-            .filter(|l| l.valid && l.prefetched && !l.demanded && l.measured)
+            .filter(|&&f| f & (UNUSED | flag::DEMANDED) == UNUSED)
             .count() as u64
     }
 
     /// Number of valid resident lines (test/diagnostic helper).
     pub fn resident_lines(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|s| s.iter().filter(|l| l.valid).count())
-            .sum()
+        self.flags.iter().filter(|&&f| f & flag::VALID != 0).count()
     }
 
     /// Clears statistics, keeping cache contents (for warmup windows), and
@@ -438,10 +469,8 @@ impl Cache {
     /// (e.g. [`Cache::count_unused_prefetched`]) ignores them.
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::default();
-        for set in &mut self.sets {
-            for line in set {
-                line.measured = false;
-            }
+        for f in &mut self.flags {
+            *f &= !flag::MEASURED;
         }
     }
 }

@@ -10,9 +10,9 @@
 //! deterministic generator (see the `bingo-workloads` crate).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::BinaryHeap;
 
-use crate::addr::{Addr, CoreId, Pc};
+use crate::addr::{Addr, BlockAddr, CoreId, Pc};
 use crate::config::CoreConfig;
 use crate::memory::{IssueResult, MemorySystem};
 use crate::stats::CoreStats;
@@ -58,6 +58,26 @@ pub trait InstrSource {
     fn ingest_report(&self) -> Option<crate::stats::IngestReport> {
         None
     }
+
+    /// Consumes up to `max` consecutive leading [`Instr::Op`]s in one
+    /// call, returning how many were taken. Must be equivalent to calling
+    /// [`InstrSource::next_instr`] that many times and observing only
+    /// ops; consumption stops early at the first non-op. The default
+    /// (take nothing) keeps every existing source correct — callers fall
+    /// back to `next_instr` when this returns 0.
+    fn take_ops(&mut self, max: usize) -> usize {
+        let _ = max;
+        0
+    }
+
+    /// Number of consecutive ops at the head of the stream, without
+    /// consuming them — the op-crank fast-forward's eligibility probe.
+    /// May generate buffered instructions (hence `&mut`), but must not
+    /// change the observable stream. The conservative default (0)
+    /// disables cranking for sources that do not implement it.
+    fn peek_ops(&mut self) -> usize {
+        0
+    }
 }
 
 impl<F: FnMut() -> Instr> InstrSource for F {
@@ -71,16 +91,28 @@ impl<F: FnMut() -> Instr> InstrSource for F {
 pub struct OooCore {
     id: CoreId,
     cfg: CoreConfig,
-    /// Completion cycles of in-flight instructions, in program order.
-    rob: VecDeque<u64>,
+    /// Completion cycles of in-flight instructions, in program order: a
+    /// power-of-two ring buffer (head + length + mask), cheaper on the
+    /// per-instruction push/pop pair than a `VecDeque`.
+    rob: Box<[u64]>,
+    rob_head: usize,
+    rob_len: usize,
+    rob_mask: usize,
     /// Instruction that failed to dispatch last cycle, retried first.
     stalled: Option<Instr>,
+    /// Whether the current stall came from the LSQ-occupancy check rather
+    /// than the memory system (only meaningful while `stalled` is a store).
+    lsq_stall: bool,
     /// Completion cycles of outstanding stores (LSQ occupancy).
     store_queue: BinaryHeap<Reverse<u64>>,
     /// Completion cycle of the tail load of each dependency chain.
     chain_done: Box<[u64; 256]>,
     target: u64,
     warmup: u64,
+    /// The retired-instruction count at which something happens next: the
+    /// warmup boundary while warming, the retirement target after. Keeps
+    /// the retire loop to a single comparison per instruction.
+    boundary: u64,
     warmed: bool,
     cycle_offset: u64,
     done: bool,
@@ -94,12 +126,17 @@ impl OooCore {
         OooCore {
             id,
             cfg,
-            rob: VecDeque::with_capacity(cfg.rob_entries),
+            rob: vec![0; cfg.rob_entries.next_power_of_two()].into_boxed_slice(),
+            rob_head: 0,
+            rob_len: 0,
+            rob_mask: cfg.rob_entries.next_power_of_two() - 1,
             stalled: None,
+            lsq_stall: false,
             store_queue: BinaryHeap::new(),
             chain_done: Box::new([0; 256]),
             target,
             warmup: 0,
+            boundary: target,
             warmed: true,
             cycle_offset: 0,
             done: false,
@@ -113,6 +150,13 @@ impl OooCore {
     pub fn set_warmup(&mut self, warmup: u64) {
         self.warmup = warmup;
         self.warmed = warmup == 0;
+        self.boundary = if self.warmed { self.target } else { warmup };
+    }
+
+    #[inline(always)]
+    fn rob_push(&mut self, done_at: u64) {
+        self.rob[(self.rob_head + self.rob_len) & self.rob_mask] = done_at;
+        self.rob_len += 1;
     }
 
     /// Whether the core has passed its warmup window.
@@ -141,37 +185,53 @@ impl OooCore {
         // Retire in order.
         let mut retired = 0;
         while retired < self.cfg.retire_width {
-            match self.rob.front() {
-                Some(&done_at) if done_at <= now => {
-                    self.rob.pop_front();
-                    self.stats.instructions += 1;
-                    retired += 1;
-                    if !self.warmed && self.stats.instructions >= self.warmup {
-                        self.warmed = true;
-                        self.cycle_offset = now;
-                        self.stats = CoreStats {
-                            cycles: 1,
-                            ..CoreStats::default()
-                        };
-                    } else if self.warmed && self.stats.instructions >= self.target {
-                        self.done = true;
-                        return true;
-                    }
+            if self.rob_len == 0 || self.rob[self.rob_head] > now {
+                break;
+            }
+            self.rob_head = (self.rob_head + 1) & self.rob_mask;
+            self.rob_len -= 1;
+            self.stats.instructions += 1;
+            retired += 1;
+            if self.stats.instructions >= self.boundary {
+                if !self.warmed {
+                    self.warmed = true;
+                    self.cycle_offset = now;
+                    self.stats = CoreStats {
+                        cycles: 1,
+                        ..CoreStats::default()
+                    };
+                    self.boundary = self.target;
+                } else {
+                    self.done = true;
+                    return true;
                 }
-                _ => break,
             }
         }
 
         // Dispatch in order.
         let mut dispatched = 0;
-        while dispatched < self.cfg.width && self.rob.len() < self.cfg.rob_entries {
+        while dispatched < self.cfg.width && self.rob_len < self.cfg.rob_entries {
+            // Batch path: a leading run of ops dispatches without the
+            // per-instruction source round-trip. Ops never stall, so this
+            // is exactly `n` iterations of the general path below.
+            if self.stalled.is_none() {
+                let room = (self.cfg.width - dispatched).min(self.cfg.rob_entries - self.rob_len);
+                let n = src.take_ops(room);
+                if n > 0 {
+                    for _ in 0..n {
+                        self.rob_push(now + 1);
+                    }
+                    dispatched += n;
+                    continue;
+                }
+            }
             let instr = match self.stalled.take() {
                 Some(i) => i,
                 None => src.next_instr(),
             };
             match instr {
                 Instr::Op => {
-                    self.rob.push_back(now + 1);
+                    self.rob_push(now + 1);
                 }
                 Instr::Load { pc, addr, dep } => {
                     // A load whose producer (chain tail) has not completed
@@ -191,7 +251,7 @@ impl OooCore {
                     };
                     match mem.load(self.id, pc, addr, issue_at) {
                         IssueResult::Done(t) => {
-                            self.rob.push_back(t);
+                            self.rob_push(t);
                             if let Some(chain) = dep {
                                 self.chain_done[chain as usize] = t;
                             }
@@ -200,6 +260,7 @@ impl OooCore {
                         IssueResult::Stall => {
                             self.stats.dispatch_stall_cycles += 1;
                             self.stalled = Some(instr);
+                            self.lsq_stall = false;
                             break;
                         }
                     }
@@ -211,17 +272,19 @@ impl OooCore {
                     if self.store_queue.len() >= self.cfg.lsq_entries {
                         self.stats.dispatch_stall_cycles += 1;
                         self.stalled = Some(instr);
+                        self.lsq_stall = true;
                         break;
                     }
                     match mem.store(self.id, pc, addr, now) {
                         IssueResult::Done(t) => {
                             self.store_queue.push(Reverse(t));
-                            self.rob.push_back(now + 1);
+                            self.rob_push(now + 1);
                             self.stats.stores += 1;
                         }
                         IssueResult::Stall => {
                             self.stats.dispatch_stall_cycles += 1;
                             self.stalled = Some(instr);
+                            self.lsq_stall = false;
                             break;
                         }
                     }
@@ -231,6 +294,227 @@ impl OooCore {
         }
         false
     }
+
+    /// If the core is provably idle after cycle `now` — finished, blocked
+    /// on a full ROB, or re-stalling on the same structural hazard every
+    /// cycle — describes how long and what each idle cycle does, so the
+    /// system can fast-forward. `None` means the core may do new work next
+    /// cycle and every cycle must be stepped.
+    pub(crate) fn quiescent_plan(&self, now: u64) -> Option<CorePlan> {
+        if self.done {
+            return Some(CorePlan {
+                wake: u64::MAX,
+                retry: None,
+            });
+        }
+        match self.stalled {
+            // A memory-stalled core keeps retiring, but retirement is pure
+            // bookkeeping the window can replay (`apply_retirements`) — it
+            // cannot clear the stall. Only a warmup/target boundary inside
+            // the drained entries forces normal stepping, so the wake is
+            // the boundary-crossing cycle, not the next retirement.
+            Some(Instr::Load { addr, dep, .. }) => Some(CorePlan {
+                wake: self.retire_horizon(now + 1),
+                retry: Some(RetrySpec {
+                    block: addr.block(),
+                    dep_ready: dep.map_or(0, |c| self.chain_done[c as usize]),
+                    mem: true,
+                }),
+            }),
+            Some(Instr::Store { addr, .. }) => {
+                let horizon = self.retire_horizon(now + 1);
+                let (wake, mem) = if self.lsq_stall {
+                    // The stall clears the cycle the oldest outstanding
+                    // store completes and frees its LSQ slot.
+                    let sq_wake = self.store_queue.peek().map_or(u64::MAX, |&Reverse(t)| t);
+                    (horizon.min(sq_wake), false)
+                } else {
+                    (horizon, true)
+                };
+                Some(CorePlan {
+                    wake,
+                    retry: Some(RetrySpec {
+                        block: addr.block(),
+                        dep_ready: 0,
+                        mem,
+                    }),
+                })
+            }
+            // Ops never stall; treat defensively as active.
+            Some(Instr::Op) => None,
+            // ROB-full without a stall: the head's retirement reopens
+            // dispatch, so that cycle must be stepped.
+            None if self.rob_len == self.cfg.rob_entries => Some(CorePlan {
+                wake: self.rob[self.rob_head],
+                retry: None,
+            }),
+            None => None,
+        }
+    }
+
+    /// Cycle at which draining the ROB from cycle `next` would cross the
+    /// warmup/target boundary (`u64::MAX` when the buffered entries cannot
+    /// reach it — the common case, decided without touching the ROB).
+    /// Entries retire in order, at most `retire_width` per cycle, each no
+    /// earlier than its completion cycle.
+    fn retire_horizon(&self, next: u64) -> u64 {
+        let needed = self.boundary.saturating_sub(self.stats.instructions);
+        if (self.rob_len as u64) < needed {
+            return u64::MAX;
+        }
+        let mut cycle = next;
+        let mut used = 0;
+        for j in 0..self.rob_len {
+            if used == self.cfg.retire_width {
+                cycle += 1;
+                used = 0;
+            }
+            let ready = self.rob[(self.rob_head + j) & self.rob_mask];
+            if ready > cycle {
+                cycle = ready;
+                used = 0;
+            }
+            used += 1;
+            if (j as u64) + 1 == needed {
+                return cycle;
+            }
+        }
+        u64::MAX
+    }
+
+    /// Replays the retirements a stalled core performs over the skipped
+    /// window `[next, wake)`, with the same pacing as [`retire_horizon`].
+    /// The caller capped `wake` at the horizon, so no warmup/target
+    /// boundary is crossed here.
+    ///
+    /// [`retire_horizon`]: Self::retire_horizon
+    pub(crate) fn apply_retirements(&mut self, next: u64, wake: u64) {
+        let mut cycle = next;
+        let mut used = 0;
+        while self.rob_len > 0 {
+            if used == self.cfg.retire_width {
+                cycle += 1;
+                used = 0;
+            }
+            let ready = self.rob[self.rob_head];
+            if ready > cycle {
+                cycle = ready;
+                used = 0;
+            }
+            if cycle >= wake {
+                break;
+            }
+            self.rob_head = (self.rob_head + 1) & self.rob_mask;
+            self.rob_len -= 1;
+            self.stats.instructions += 1;
+            used += 1;
+        }
+        debug_assert!(
+            self.stats.instructions < self.boundary,
+            "window retirement crossed a boundary the horizon should have capped"
+        );
+    }
+
+    /// How many consecutive cycles starting next cycle this core could be
+    /// "op-cranked" — stepped by the tight retire/dispatch replay of
+    /// [`apply_op_crank`] instead of the full cycle machinery. Valid only
+    /// for an unstalled, unfinished core. `ops_avail` is the length of
+    /// the op run heading its instruction stream; the cap guarantees the
+    /// crank (a) never needs a non-op instruction (dispatch consumes at
+    /// most `width` ops per cycle) and (b) never crosses the
+    /// warmup/target boundary (retirement adds at most `retire_width`
+    /// instructions per cycle).
+    ///
+    /// [`apply_op_crank`]: Self::apply_op_crank
+    pub(crate) fn op_crank_cycles(&self, ops_avail: usize) -> u64 {
+        debug_assert!(self.stalled.is_none() && !self.done);
+        let k_ops = (ops_avail / self.cfg.width) as u64;
+        let needed = self.boundary - self.stats.instructions;
+        let k_boundary = (needed - 1) / self.cfg.retire_width as u64;
+        k_ops.min(k_boundary)
+    }
+
+    /// Replays cycles `[next, wake)` for a core whose stream head is a run
+    /// of ops: in-order retirement (at most `retire_width` per cycle, each
+    /// entry no earlier than its completion cycle) and op dispatch (at
+    /// most `width` per cycle, bounded by ROB space, completing next
+    /// cycle) — exactly what [`step`] would do, minus the per-cycle
+    /// source/memory round-trips. Returns how many ops were dispatched;
+    /// the caller must consume that many from the source. The caller
+    /// capped `wake` via [`op_crank_cycles`], so the ops are available and
+    /// no warmup/target boundary is crossed.
+    ///
+    /// [`step`]: Self::step
+    /// [`op_crank_cycles`]: Self::op_crank_cycles
+    pub(crate) fn apply_op_crank(&mut self, next: u64, wake: u64) -> usize {
+        let mut consumed = 0;
+        for cycle in next..wake {
+            let mut retired = 0;
+            while retired < self.cfg.retire_width
+                && self.rob_len > 0
+                && self.rob[self.rob_head] <= cycle
+            {
+                self.rob_head = (self.rob_head + 1) & self.rob_mask;
+                self.rob_len -= 1;
+                self.stats.instructions += 1;
+                retired += 1;
+            }
+            let room = self.cfg.width.min(self.cfg.rob_entries - self.rob_len);
+            for _ in 0..room {
+                self.rob_push(cycle + 1);
+            }
+            consumed += room;
+        }
+        debug_assert!(
+            self.stats.instructions < self.boundary,
+            "op crank crossed a boundary op_crank_cycles should have capped"
+        );
+        consumed
+    }
+
+    /// Replays the core-side effects of `k` skipped stall cycles starting
+    /// at cycle `a`: each was one dispatch stall, and a dependent stalled
+    /// load re-accumulates its remaining operand wait every retry.
+    pub(crate) fn apply_stall_cycles(&mut self, a: u64, k: u64) {
+        self.stats.dispatch_stall_cycles += k;
+        if let Some(Instr::Load {
+            dep: Some(chain), ..
+        }) = self.stalled
+        {
+            let ready = self.chain_done[chain as usize];
+            if ready > a {
+                // Retry at cycle t adds `ready - t` while t < ready:
+                // a triangular sum over the first `m` skipped cycles.
+                let m = k.min(ready - a);
+                self.stats.dependency_stall_cycles += m * (ready - a) - m * (m - 1) / 2;
+            }
+        }
+    }
+}
+
+/// One cycle's worth of deterministic retry effects for a stalled core
+/// (see [`OooCore::quiescent_plan`]).
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct RetrySpec {
+    /// The block the stalled access targets.
+    pub block: BlockAddr,
+    /// Completion cycle of the load's dependency chain tail (0 when
+    /// independent): retries access memory at `max(cycle, dep_ready)`.
+    pub dep_ready: u64,
+    /// Whether each retry reaches the memory system (an MSHR stall) or
+    /// dies at the LSQ-occupancy check (store-queue back-pressure).
+    pub mem: bool,
+}
+
+/// A quiescent core's schedule: when it next does something new, and what
+/// each skipped cycle would have done in the meantime.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct CorePlan {
+    /// Earliest future cycle at which this core's state can change
+    /// (`u64::MAX` when only a memory-system event can wake it).
+    pub wake: u64,
+    /// Per-cycle retry to replay across the skipped window, if stalled.
+    pub retry: Option<RetrySpec>,
 }
 
 #[cfg(test)]

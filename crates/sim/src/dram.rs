@@ -70,6 +70,10 @@ pub struct Dram {
     cfg: DramConfig,
     channels: Vec<Channel>,
     row_shift: u32,
+    /// `(channel mask, channel shift, bank mask)` when both the channel
+    /// and bank counts are powers of two, reducing the per-read address
+    /// map to shifts and masks instead of two integer divisions.
+    pow2_map: Option<(u64, u32, u64)>,
     /// Statistics; reset with [`Dram::reset_stats`].
     pub stats: DramStats,
 }
@@ -87,10 +91,19 @@ impl Dram {
             .collect();
         // Blocks within one row are contiguous: row id = block >> log2(blocks/row).
         let row_blocks = cfg.row_bytes / crate::addr::BLOCK_BYTES;
+        let pow2_map = (cfg.channels.is_power_of_two() && cfg.banks_per_channel.is_power_of_two())
+            .then(|| {
+                (
+                    cfg.channels as u64 - 1,
+                    cfg.channels.trailing_zeros(),
+                    cfg.banks_per_channel as u64 - 1,
+                )
+            });
         Dram {
             cfg,
             channels,
             row_shift: row_blocks.trailing_zeros(),
+            pow2_map,
             stats: DramStats::default(),
         }
     }
@@ -102,9 +115,19 @@ impl Dram {
 
     fn map(&self, block: BlockAddr) -> (usize, usize, u64) {
         let row = block.index() >> self.row_shift;
-        let channel = (row % self.cfg.channels as u64) as usize;
-        let bank = ((row / self.cfg.channels as u64) % self.cfg.banks_per_channel as u64) as usize;
-        (channel, bank, row)
+        match self.pow2_map {
+            Some((ch_mask, ch_shift, bank_mask)) => {
+                let channel = (row & ch_mask) as usize;
+                let bank = ((row >> ch_shift) & bank_mask) as usize;
+                (channel, bank, row)
+            }
+            None => {
+                let channel = (row % self.cfg.channels as u64) as usize;
+                let bank =
+                    ((row / self.cfg.channels as u64) % self.cfg.banks_per_channel as u64) as usize;
+                (channel, bank, row)
+            }
+        }
     }
 
     /// Issues a demand read for `block` at cycle `now`; returns the cycle

@@ -55,6 +55,7 @@ pub mod core_model;
 pub mod dram;
 pub mod fault;
 pub mod memory;
+pub mod openmap;
 pub mod prefetch;
 pub mod replay;
 pub mod stats;
@@ -70,6 +71,7 @@ pub use core_model::{Instr, InstrSource, OooCore};
 pub use dram::{Dram, DramStats};
 pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use memory::{IssueResult, MemorySystem};
+pub use openmap::OpenMap;
 pub use prefetch::{AccessInfo, FaultyPrefetcher, NextLinePrefetcher, NoPrefetcher, Prefetcher};
 pub use replay::{PrefetchEvent, PrefetchTrace, ReplayParseError, ReplayStep};
 pub use stats::{CacheStats, CoreStats, CoverageReport, IngestReport, SimResult};

@@ -43,6 +43,15 @@ enum FillLevel {
     L1 { core: usize },
 }
 
+/// Which MSHR file a core's most recent [`IssueResult::Stall`] came from;
+/// consulted by the quiescent fast-forward to replay retry effects at the
+/// right cache level.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) enum StallLevel {
+    L1,
+    Llc,
+}
+
 /// The full memory hierarchy shared by all cores.
 pub struct MemorySystem {
     cfg: SystemConfig,
@@ -57,6 +66,9 @@ pub struct MemorySystem {
     /// `None` when `BINGO_THROTTLE=off`: the hot path then pays a single
     /// branch per access, and behavior is bit-for-bit the unthrottled one.
     throttle: Option<ThrottleController>,
+    /// Per-core level of the most recent demand stall. Fresh whenever a
+    /// core is currently mem-stalled (it re-stalled this very cycle).
+    stall_level: Vec<StallLevel>,
 }
 
 impl MemorySystem {
@@ -80,11 +92,12 @@ impl MemorySystem {
             llc: Cache::new(cfg.llc),
             dram: Dram::new(cfg.dram),
             prefetchers,
-            fills: BinaryHeap::new(),
+            fills: BinaryHeap::with_capacity(64),
             fill_seq: 0,
             pf_buf: Vec::with_capacity(64),
             ledger: PrefetchLedger::new(TelemetryLevel::Off),
             throttle: None,
+            stall_level: vec![StallLevel::L1; cfg.cores],
             cfg,
         }
     }
@@ -203,7 +216,18 @@ impl MemorySystem {
 
     /// Processes all fills that are due at or before `now`. Must be called
     /// once per cycle before cores issue new requests.
+    ///
+    /// On most cycles nothing is due; that check inlines into the caller's
+    /// loop as a single heap peek, with the landing logic kept out of line.
+    #[inline]
     pub fn tick(&mut self, now: u64) {
+        if matches!(self.fills.peek(), Some(&Reverse((ready, _, _, _))) if ready <= now) {
+            self.tick_due(now);
+        }
+    }
+
+    #[inline(never)]
+    fn tick_due(&mut self, now: u64) {
         while let Some(&Reverse((ready, _, _, _))) = self.fills.peek() {
             if ready > now {
                 break;
@@ -245,6 +269,41 @@ impl MemorySystem {
         }
     }
 
+    /// Ready cycle of the earliest outstanding fill, if any — the memory
+    /// system's next externally visible event.
+    pub(crate) fn next_fill_ready(&self) -> Option<u64> {
+        self.fills.peek().map(|&Reverse((ready, _, _, _))| ready)
+    }
+
+    /// Level of `core`'s most recent demand stall (see [`StallLevel`]).
+    pub(crate) fn stall_level(&self, core: usize) -> StallLevel {
+        self.stall_level[core]
+    }
+
+    /// Replays `k` skipped cycles of `core` retrying its stalled access to
+    /// `block` against a quiescent hierarchy, the first retry issuing at
+    /// cycle `first`. An L1-stalled retry dies at the L1 MSHR check; an
+    /// LLC-stalled retry misses the (available-MSHR) L1 and dies at the LLC
+    /// MSHR check after the L1 lookup latency — exactly the effects of
+    /// [`MemorySystem::load`]/[`MemorySystem::store`] up to their stall
+    /// return.
+    pub(crate) fn apply_stalled_retries(
+        &mut self,
+        core: usize,
+        block: BlockAddr,
+        first: u64,
+        k: u64,
+    ) {
+        match self.stall_level[core] {
+            StallLevel::L1 => self.l1s[core].apply_missed_retries(block, first, k, true),
+            StallLevel::Llc => {
+                self.l1s[core].apply_missed_retries(block, first, k, false);
+                self.llc
+                    .apply_missed_retries(block, first + self.cfg.l1d.latency, k, true);
+            }
+        }
+    }
+
     fn schedule_fill(&mut self, level: FillLevel, block: BlockAddr, ready: u64) {
         self.fill_seq += 1;
         self.fills
@@ -281,6 +340,7 @@ impl MemorySystem {
         }
         if !self.l1s[core.0].mshr_available_for_demand() {
             self.l1s[core.0].stats.demand_mshr_stalls += 1;
+            self.stall_level[core.0] = StallLevel::L1;
             return IssueResult::Stall;
         }
 
@@ -307,6 +367,7 @@ impl MemorySystem {
                 llc_hit = false;
                 if !self.llc.mshr_available_for_demand() {
                     self.llc.stats.demand_mshr_stalls += 1;
+                    self.stall_level[core.0] = StallLevel::Llc;
                     return IssueResult::Stall;
                 }
                 self.llc.stats.demand_misses += 1;

@@ -9,7 +9,7 @@ use std::time::{Duration, Instant};
 use crate::addr::CoreId;
 use crate::config::SystemConfig;
 use crate::core_model::{InstrSource, OooCore};
-use crate::memory::MemorySystem;
+use crate::memory::{MemorySystem, StallLevel};
 use crate::prefetch::Prefetcher;
 use crate::stats::SimResult;
 use crate::telemetry::TelemetryLevel;
@@ -62,6 +62,7 @@ pub struct System {
     mem_stats_reset: bool,
     measure_start: u64,
     deadline: Option<Duration>,
+    fast_forward: bool,
 }
 
 impl System {
@@ -93,7 +94,20 @@ impl System {
             mem_stats_reset: true,
             measure_start: 0,
             deadline: None,
+            fast_forward: true,
         }
+    }
+
+    /// Enables or disables the quiescent fast-forward (on by default).
+    ///
+    /// Fast-forwarding is a pure run-loop optimization: cycles on which
+    /// every core is provably idle are jumped over with their effects
+    /// replayed in closed form, so results are bit-for-bit identical either
+    /// way (asserted by the `fast_forward_is_bit_for_bit` tests). The
+    /// toggle exists for those equivalence tests and for debugging.
+    pub fn with_fast_forward(mut self, enabled: bool) -> Self {
+        self.fast_forward = enabled;
+        self
     }
 
     /// Sets a soft wall-clock deadline for [`System::try_run`].
@@ -195,11 +209,25 @@ impl System {
     /// livelock cycle bound (1e10 cycles) was reached.
     pub fn try_run(mut self) -> Result<SimResult, SimAbort> {
         const CYCLE_LIMIT: u64 = 10_000_000_000;
-        // Poll the wall clock only once per batch of cycles: `Instant::now`
-        // is far too expensive to call on every simulated cycle.
+        // Poll the wall clock only once per batch of loop iterations:
+        // `Instant::now` is far too expensive to call on every simulated
+        // cycle. Iterations rather than cycles, because the fast-forward
+        // makes cycle numbers jump.
         const DEADLINE_POLL_MASK: u64 = 8192 - 1;
         let started = self.deadline.map(|_| Instant::now());
+        let mut iterations = 0u64;
         loop {
+            // Poll on entry (iteration 0) as well: the fast-forward can
+            // finish a small run in fewer iterations than one poll batch,
+            // and an already-expired deadline must still abort it.
+            if iterations & DEADLINE_POLL_MASK == 0 {
+                if let (Some(limit), Some(start)) = (self.deadline, started) {
+                    if start.elapsed() >= limit {
+                        return Err(SimAbort::DeadlineExceeded { limit });
+                    }
+                }
+            }
+            iterations += 1;
             self.mem.tick(self.now);
             let mut all_done = true;
             for i in 0..self.cores.len() {
@@ -217,16 +245,13 @@ impl System {
             if all_done {
                 break;
             }
-            self.now += 1;
+            self.now = if self.fast_forward {
+                self.advance_quiescent()
+            } else {
+                self.now + 1
+            };
             if self.now >= CYCLE_LIMIT {
                 return Err(SimAbort::CycleLimit { limit: CYCLE_LIMIT });
-            }
-            if self.now & DEADLINE_POLL_MASK == 0 {
-                if let (Some(limit), Some(start)) = (self.deadline, started) {
-                    if start.elapsed() >= limit {
-                        return Err(SimAbort::DeadlineExceeded { limit });
-                    }
-                }
             }
         }
         let total_cycles = self.now - self.measure_start;
@@ -251,6 +276,88 @@ impl System {
             telemetry: self.mem.telemetry_report(),
             ingest,
         })
+    }
+}
+
+impl System {
+    /// Computes the next cycle to simulate after `self.now`, jumping over
+    /// cycles on which the machine is provably quiescent.
+    ///
+    /// The machine is quiescent when every core is finished, blocked on a
+    /// full ROB, or re-stalling on the same structural hazard — then
+    /// nothing can change before the earliest of: the next fill landing,
+    /// the next in-order retirement, or the next LSQ slot freeing. The
+    /// skipped cycles are not free, though: a stalled core retries its
+    /// access every cycle, with observable side effects (access counters,
+    /// recency stamps, bank-port reservations, dependency-wait
+    /// accounting). Those retries deterministically fail inside the
+    /// window, so their effects are replayed in closed form — keeping
+    /// results bit-for-bit identical to stepping every cycle.
+    fn advance_quiescent(&mut self) -> u64 {
+        let next = self.now + 1;
+        let mut wake = self.mem.next_fill_ready().unwrap_or(u64::MAX);
+        let mut llc_stalls = 0usize;
+        for i in 0..self.cores.len() {
+            match self.usable_plan(i, next) {
+                Some(plan) => {
+                    wake = wake.min(plan.wake);
+                    if let Some(retry) = &plan.retry {
+                        if retry.mem && self.mem.stall_level(i) == StallLevel::Llc {
+                            llc_stalls += 1;
+                        }
+                    }
+                }
+                None => {
+                    // An active core can still be skipped over — "op
+                    // cranked" — while its stream head is a run of ops:
+                    // those cycles touch nothing but its own ROB.
+                    let ops = self.sources[i].peek_ops();
+                    let k = self.cores[i].op_crank_cycles(ops);
+                    if k == 0 {
+                        return next; // real work next cycle: step it
+                    }
+                    wake = wake.min(next + k);
+                }
+            }
+        }
+        // Several cores stalled on LLC MSHRs interleave at the shared LLC
+        // banks every cycle; replaying that interleaving in closed form is
+        // not worth the complexity, so step those (rare) windows normally.
+        if llc_stalls > 1 || wake <= next || wake == u64::MAX {
+            return next;
+        }
+        let skipped = wake - next;
+        for i in 0..self.cores.len() {
+            match self.usable_plan(i, next) {
+                Some(plan) => {
+                    if let Some(retry) = plan.retry {
+                        self.cores[i].apply_retirements(next, wake);
+                        self.cores[i].apply_stall_cycles(next, skipped);
+                        if retry.mem {
+                            let first = next.max(retry.dep_ready);
+                            self.mem
+                                .apply_stalled_retries(i, retry.block, first, skipped);
+                        }
+                    }
+                }
+                None => {
+                    let consumed = self.cores[i].apply_op_crank(next, wake);
+                    let taken = self.sources[i].take_ops(consumed);
+                    debug_assert_eq!(taken, consumed, "op run shorter than peeked");
+                }
+            }
+        }
+        wake
+    }
+
+    /// The core's quiescent plan, if it describes a real skippable window.
+    /// A ROB-full core whose head retires immediately (`wake <= next`,
+    /// no retry to replay) is treated as active instead — it is exactly
+    /// the throughput-bound regime the op crank handles.
+    fn usable_plan(&self, i: usize, next: u64) -> Option<crate::core_model::CorePlan> {
+        self.cores[i]
+            .quiescent_plan(self.now)
+            .filter(|p| p.retry.is_some() || p.wake > next)
     }
 }
 
@@ -362,6 +469,92 @@ mod tests {
     fn source_count_must_match() {
         let cfg = SystemConfig::tiny();
         let _ = System::new(cfg, vec![], vec![Box::new(NoPrefetcher)], 100);
+    }
+
+    /// A pointer-chase source: every 3rd instruction is a dependent load
+    /// to a fresh block, exercising dependency-wait retries under MSHR
+    /// pressure.
+    fn chase_source(core: usize) -> Box<dyn InstrSource> {
+        let mut next = 0u64;
+        let base = (core as u64) << 40;
+        Box::new(move || {
+            next += 1;
+            if next.is_multiple_of(3) {
+                Instr::Load {
+                    pc: Pc::new(0x440),
+                    addr: Addr::new(base + (next / 3) * 64 * 512),
+                    dep: Some((core % 4) as u8),
+                }
+            } else {
+                Instr::Op
+            }
+        })
+    }
+
+    /// A store-heavy source that saturates the LSQ and the MSHRs.
+    fn store_source(core: usize) -> Box<dyn InstrSource> {
+        let mut next = 0u64;
+        let base = (core as u64) << 40;
+        Box::new(move || {
+            next += 1;
+            if next.is_multiple_of(2) {
+                Instr::Store {
+                    pc: Pc::new(0x500),
+                    addr: Addr::new(base + (next / 2) * 64 * 512),
+                }
+            } else {
+                Instr::Op
+            }
+        })
+    }
+
+    /// The quiescent fast-forward must be unobservable: identical
+    /// `SimResult`s (every counter, every prefetcher debug string) with it
+    /// on and off, across stall-heavy source shapes.
+    #[test]
+    fn fast_forward_is_bit_for_bit() {
+        let cfg = {
+            let mut c = SystemConfig::tiny();
+            c.cores = 2;
+            c
+        };
+        type SourceShape = fn(usize) -> Box<dyn InstrSource>;
+        let shapes: &[SourceShape] = &[streaming_source, chase_source, store_source];
+        for (si, make_src) in shapes.iter().enumerate() {
+            let build = |ff: bool| {
+                System::new(
+                    cfg,
+                    (0..2).map(make_src).collect(),
+                    vec![Box::new(NextLinePrefetcher::new(4)), Box::new(NoPrefetcher)],
+                    8_000,
+                )
+                .with_fast_forward(ff)
+            };
+            let fast = build(true).run();
+            let slow = build(false).run();
+            assert_eq!(fast, slow, "fast-forward diverged on source shape {si}");
+        }
+    }
+
+    /// Same equivalence through a warmup window, where the measurement
+    /// reset must land on the same cycle in both modes.
+    #[test]
+    fn fast_forward_is_bit_for_bit_with_warmup() {
+        let cfg = SystemConfig::tiny();
+        let build = |ff: bool| {
+            System::new(
+                cfg,
+                vec![chase_source(0)],
+                vec![Box::new(NextLinePrefetcher::new(2))],
+                6_000,
+            )
+            .with_warmup(2_000)
+            .with_fast_forward(ff)
+        };
+        let fast = build(true).run();
+        let slow = build(false).run();
+        assert_eq!(fast, slow);
+        assert_eq!(fast.cores[0].instructions, 6_000);
     }
 
     #[test]

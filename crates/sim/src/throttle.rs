@@ -316,11 +316,21 @@ impl ThrottleController {
     /// Counts one demand access; at epoch boundaries judges the elapsed
     /// epoch and returns `Some(new_level)` if the level changed (the
     /// caller pushes it to the prefetchers).
+    #[inline]
     pub fn on_access(&mut self, llc: &CacheStats, dram: &DramStats) -> Option<ThrottleLevel> {
         self.accesses += 1;
         if self.accesses < EPOCH_ACCESSES {
             return None;
         }
+        self.epoch_boundary(llc, dram)
+    }
+
+    /// The 1-in-[`EPOCH_ACCESSES`] slow path of
+    /// [`on_access`](ThrottleController::on_access), kept out of line so
+    /// the per-access counter bump inlines into the memory system's demand
+    /// path without dragging the epoch-judging code with it.
+    #[inline(never)]
+    fn epoch_boundary(&mut self, llc: &CacheStats, dram: &DramStats) -> Option<ThrottleLevel> {
         self.accesses = 0;
         self.stats.epochs += 1;
         let verdict = self.judge(llc, dram);

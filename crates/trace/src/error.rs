@@ -231,7 +231,7 @@ mod tests {
         let errors = [
             ReadError::Io {
                 offset: 17,
-                error: io::Error::new(io::ErrorKind::Other, "boom"),
+                error: io::Error::other("boom"),
             },
             ReadError::BadMagic { offset: 0 },
             ReadError::BadVersion {

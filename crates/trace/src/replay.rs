@@ -146,7 +146,7 @@ mod tests {
         let mut n = 0u64;
         Box::new(move || {
             n += 1;
-            if n % 3 == 0 {
+            if n.is_multiple_of(3) {
                 Instr::Load {
                     pc: Pc::new(0x400),
                     addr: Addr::new(n * 64),

@@ -114,7 +114,7 @@ mod tests {
             1 => Instr::Load {
                 pc: Pc::new(0x400 + n),
                 addr: Addr::new(n * 64),
-                dep: if n % 5 == 0 {
+                dep: if n.is_multiple_of(5) {
                     Some((n % 4) as u8)
                 } else {
                     None

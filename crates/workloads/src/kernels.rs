@@ -18,11 +18,11 @@
 //! step) into an instruction queue; [`crate::source::WorkloadSource`]
 //! interleaves episodes from several kernels by weight.
 
-use std::collections::VecDeque;
-
 use bingo_rng::rngs::SmallRng;
 use bingo_rng::Rng;
 use bingo_sim::{Addr, Instr, Pc};
+
+use crate::queue::InstrQueue;
 
 /// How a region's footprint is keyed — the knob that separates
 /// spatially-correlated applications from temporally-correlated ones.
@@ -235,7 +235,7 @@ impl ObjectKernel {
     /// Emits one memory access (plus its op padding), advancing one of the
     /// in-flight visits. New visits start whenever fewer than
     /// `concurrency` are active.
-    pub fn emit(&mut self, base_addr: u64, rng: &mut SmallRng, out: &mut VecDeque<Instr>) {
+    pub fn emit(&mut self, base_addr: u64, rng: &mut SmallRng, out: &mut InstrQueue) {
         while self.active.len() < self.concurrency.max(1) {
             self.start_visit(base_addr, rng);
         }
@@ -246,13 +246,11 @@ impl ObjectKernel {
         let off = visit.offsets[visit.next];
         let pc = Pc::new(visit.pc);
         let addr = Addr::new(visit.region_base + off as u64 * 64 + rng.gen_range(0..8u64) * 8);
-        for _ in 0..self.ops_per_access {
-            out.push_back(Instr::Op);
-        }
+        out.push_ops(self.ops_per_access);
         if rng.gen_bool(self.store_fraction) {
-            out.push_back(Instr::Store { pc, addr });
+            out.push(Instr::Store { pc, addr });
         } else {
-            out.push_back(Instr::Load {
+            out.push(Instr::Load {
                 pc,
                 addr,
                 dep: visit.chain,
@@ -295,23 +293,21 @@ pub struct StreamKernel {
 
 impl StreamKernel {
     /// Emits one streaming chunk.
-    pub fn emit(&mut self, base_addr: u64, rng: &mut SmallRng, out: &mut VecDeque<Instr>) {
+    pub fn emit(&mut self, base_addr: u64, rng: &mut SmallRng, out: &mut InstrQueue) {
         let pc = Pc::new(self.pc);
         for i in 0..self.chunk_blocks {
-            for _ in 0..self.ops_per_access {
-                out.push_back(Instr::Op);
-            }
+            out.push_ops(self.ops_per_access);
             let block = (self.cursor + i * self.stride_blocks) % self.wrap_blocks;
             let addr = Addr::new(kernel_base(base_addr, self.pc) + block * 64);
             if rng.gen_bool(self.store_fraction) {
-                out.push_back(Instr::Store { pc, addr });
+                out.push(Instr::Store { pc, addr });
             } else {
                 let chain = if self.chained {
                     Some((self.pc % 239) as u8)
                 } else {
                     None
                 };
-                out.push_back(Instr::Load {
+                out.push(Instr::Load {
                     pc,
                     addr,
                     dep: chain,
@@ -338,14 +334,12 @@ pub struct ChaseKernel {
 impl ChaseKernel {
     /// Emits one chase episode: `steps` serialized loads at pseudo-random
     /// positions.
-    pub fn emit(&mut self, base_addr: u64, rng: &mut SmallRng, out: &mut VecDeque<Instr>) {
+    pub fn emit(&mut self, base_addr: u64, rng: &mut SmallRng, out: &mut InstrQueue) {
         let pc = Pc::new(self.pc);
         for _ in 0..self.steps {
-            for _ in 0..self.ops_per_access {
-                out.push_back(Instr::Op);
-            }
+            out.push_ops(self.ops_per_access);
             let block = rng.gen_range(0..self.span_blocks);
-            out.push_back(Instr::Load {
+            out.push(Instr::Load {
                 pc,
                 // One chain per chase kernel (keyed by its PC), so the
                 // chase serializes with itself across episodes but not
@@ -374,18 +368,16 @@ pub struct RandomKernel {
 
 impl RandomKernel {
     /// Emits one burst of independent accesses.
-    pub fn emit(&mut self, base_addr: u64, rng: &mut SmallRng, out: &mut VecDeque<Instr>) {
+    pub fn emit(&mut self, base_addr: u64, rng: &mut SmallRng, out: &mut InstrQueue) {
         let pc = Pc::new(self.pc);
         for _ in 0..self.burst {
-            for _ in 0..self.ops_per_access {
-                out.push_back(Instr::Op);
-            }
+            out.push_ops(self.ops_per_access);
             let block = rng.gen_range(0..self.span_blocks);
             let addr = Addr::new(kernel_base(base_addr, self.pc) + block * 64);
             if rng.gen_bool(self.store_fraction) {
-                out.push_back(Instr::Store { pc, addr });
+                out.push(Instr::Store { pc, addr });
             } else {
-                out.push_back(Instr::Load {
+                out.push(Instr::Load {
                     pc,
                     addr,
                     dep: None,
@@ -410,7 +402,7 @@ pub enum Kernel {
 
 impl Kernel {
     /// Emits one episode into `out`.
-    pub fn emit(&mut self, base_addr: u64, rng: &mut SmallRng, out: &mut VecDeque<Instr>) {
+    pub fn emit(&mut self, base_addr: u64, rng: &mut SmallRng, out: &mut InstrQueue) {
         match self {
             Kernel::Object(k) => k.emit(base_addr, rng, out),
             Kernel::Stream(k) => k.emit(base_addr, rng, out),
@@ -544,8 +536,8 @@ mod tests {
         SmallRng::seed_from_u64(42)
     }
 
-    fn drain_accesses(out: &mut VecDeque<Instr>) -> Vec<(u64, u64, bool)> {
-        out.drain(..)
+    fn drain_accesses(out: &mut InstrQueue) -> Vec<(u64, u64, bool)> {
+        std::iter::from_fn(|| out.pop())
             .filter_map(|i| match i {
                 Instr::Load { pc, addr, dep } => Some((pc.raw(), addr.raw(), dep.is_some())),
                 Instr::Store { pc, addr } => Some((pc.raw(), addr.raw(), false)),
@@ -641,7 +633,7 @@ mod tests {
             pc_base: 0x1000,
             ..ObjectSpec::default()
         });
-        let mut out = VecDeque::new();
+        let mut out = InstrQueue::new();
         let mut r = rng();
         // Concurrency 1: visits run to completion one region at a time,
         // each visiting ascending offsets within a single region.
@@ -666,7 +658,7 @@ mod tests {
     #[test]
     fn stream_kernel_is_sequential_and_wraps() {
         let mut k = stream(1, 8, 16, 0, 0.0, false, 0x400);
-        let mut out = VecDeque::new();
+        let mut out = InstrQueue::new();
         let mut r = rng();
         k.emit(0, &mut r, &mut out);
         k.emit(0, &mut r, &mut out);
@@ -680,7 +672,7 @@ mod tests {
     #[test]
     fn chase_kernel_emits_dependent_loads() {
         let mut k = chase(1000, 5, 3, 0x500);
-        let mut out = VecDeque::new();
+        let mut out = InstrQueue::new();
         let mut r = rng();
         k.emit(0, &mut r, &mut out);
         let accesses = drain_accesses(&mut out);
@@ -691,11 +683,13 @@ mod tests {
     #[test]
     fn ops_density_controls_instruction_mix() {
         let mut k = random(100, 10, 9, 0.0, 0x600);
-        let mut out = VecDeque::new();
+        let mut out = InstrQueue::new();
         let mut r = rng();
         k.emit(0, &mut r, &mut out);
         let total = out.len();
-        let mems = out.iter().filter(|i| !matches!(i, Instr::Op)).count();
+        let mems = std::iter::from_fn(|| out.pop())
+            .filter(|i| !matches!(i, Instr::Op))
+            .count();
         assert_eq!(total, 100);
         assert_eq!(mems, 10, "1 memory access per 9 ops");
     }
@@ -703,7 +697,7 @@ mod tests {
     #[test]
     fn base_addr_offsets_address_space() {
         let mut k = stream(1, 4, 1024, 0, 0.0, false, 0x400);
-        let mut out = VecDeque::new();
+        let mut out = InstrQueue::new();
         let mut r = rng();
         let base = 1u64 << 40;
         k.emit(base, &mut r, &mut out);

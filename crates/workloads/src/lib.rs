@@ -28,10 +28,12 @@
 
 pub mod apps;
 pub mod kernels;
+pub mod queue;
 pub mod source;
 pub mod trace_workload;
 
 pub use apps::{SpecProgram, Workload};
 pub use kernels::{Kernel, ObjectSpec, PatternKey, REGION_BLOCKS};
+pub use queue::InstrQueue;
 pub use source::{WeightedKernel, WorkloadSource};
 pub use trace_workload::{capture_to_file, capture_workload, TraceWorkload};

@@ -1,0 +1,216 @@
+//! [`InstrQueue`]: a run-length-encoded instruction buffer.
+//!
+//! Generated instruction streams are overwhelmingly non-memory `Op`s
+//! (96–99 % across the workload suite) arriving in long runs between
+//! memory accesses — every kernel emits `ops_per_access` ops before each
+//! load or store. Buffering those runs as counts instead of individual
+//! [`Instr::Op`] elements makes the producer side O(1) per run and lets
+//! consumers drain whole runs in one call ([`InstrQueue::take_ops`]),
+//! which is what the simulator's batched op dispatch and op-crank
+//! fast-forward feed on. Element-wise consumption ([`InstrQueue::pop`])
+//! observes exactly the same instruction sequence.
+
+use std::collections::VecDeque;
+
+use bingo_sim::Instr;
+
+/// One buffered queue element: a run of ops, or a single memory access.
+#[derive(Copy, Clone, Debug)]
+enum Item {
+    /// `n` consecutive [`Instr::Op`]s (`n > 0`; adjacent runs are merged).
+    Ops(u32),
+    /// One load or store.
+    Mem(Instr),
+}
+
+/// A FIFO of dynamic instructions with op runs stored run-length-encoded.
+#[derive(Clone, Debug, Default)]
+pub struct InstrQueue {
+    items: VecDeque<Item>,
+    /// Expanded length (each op in a run counts individually).
+    len: usize,
+}
+
+impl InstrQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        InstrQueue::default()
+    }
+
+    /// Number of buffered instructions (runs counted expanded).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no instructions are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one instruction. `Instr::Op` extends the trailing run.
+    pub fn push(&mut self, instr: Instr) {
+        match instr {
+            Instr::Op => self.push_ops(1),
+            mem => {
+                self.items.push_back(Item::Mem(mem));
+                self.len += 1;
+            }
+        }
+    }
+
+    /// Appends a run of `n` ops in O(1), merging with a trailing run.
+    pub fn push_ops(&mut self, n: u32) {
+        if n == 0 {
+            return;
+        }
+        self.len += n as usize;
+        match self.items.back_mut() {
+            Some(Item::Ops(run)) => *run += n,
+            _ => self.items.push_back(Item::Ops(n)),
+        }
+    }
+
+    /// Removes and returns the next instruction, if any.
+    pub fn pop(&mut self) -> Option<Instr> {
+        match self.items.front_mut() {
+            None => None,
+            Some(Item::Ops(run)) => {
+                *run -= 1;
+                if *run == 0 {
+                    self.items.pop_front();
+                }
+                self.len -= 1;
+                Some(Instr::Op)
+            }
+            Some(Item::Mem(_)) => {
+                let Some(Item::Mem(mem)) = self.items.pop_front() else {
+                    unreachable!("front was just observed to be a memory access")
+                };
+                self.len -= 1;
+                Some(mem)
+            }
+        }
+    }
+
+    /// Length of the op run at the front (0 if the front is a memory
+    /// access or the queue is empty). Runs are merged on push, so this is
+    /// the exact count of consecutive leading ops.
+    pub fn leading_ops(&self) -> usize {
+        match self.items.front() {
+            Some(Item::Ops(run)) => *run as usize,
+            _ => 0,
+        }
+    }
+
+    /// Consumes up to `max` leading ops in O(1), returning how many were
+    /// taken. Stops (returns less than `max`) at a memory access or an
+    /// empty queue.
+    pub fn take_ops(&mut self, max: usize) -> usize {
+        match self.items.front_mut() {
+            Some(Item::Ops(run)) => {
+                let taken = (*run as usize).min(max);
+                *run -= taken as u32;
+                if *run == 0 {
+                    self.items.pop_front();
+                }
+                self.len -= taken;
+                taken
+            }
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bingo_sim::{Addr, Pc};
+
+    fn load(a: u64) -> Instr {
+        Instr::Load {
+            pc: Pc::new(0x400),
+            addr: Addr::new(a),
+            dep: None,
+        }
+    }
+
+    #[test]
+    fn pop_expands_runs_in_order() {
+        let mut q = InstrQueue::new();
+        q.push_ops(3);
+        q.push(load(64));
+        q.push_ops(2);
+        assert_eq!(q.len(), 6);
+        let drained: Vec<Instr> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            drained,
+            vec![
+                Instr::Op,
+                Instr::Op,
+                Instr::Op,
+                load(64),
+                Instr::Op,
+                Instr::Op
+            ]
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn adjacent_runs_merge() {
+        let mut q = InstrQueue::new();
+        q.push_ops(4);
+        q.push(Instr::Op);
+        q.push_ops(2);
+        assert_eq!(q.leading_ops(), 7);
+        assert_eq!(q.take_ops(100), 7);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn take_ops_stops_at_memory_access() {
+        let mut q = InstrQueue::new();
+        q.push_ops(5);
+        q.push(load(128));
+        q.push_ops(3);
+        assert_eq!(q.take_ops(2), 2);
+        assert_eq!(q.take_ops(10), 3, "only the rest of the leading run");
+        assert_eq!(q.take_ops(10), 0, "memory access blocks the run");
+        assert_eq!(q.pop(), Some(load(128)));
+        assert_eq!(q.leading_ops(), 3);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn take_then_pop_matches_pop_only() {
+        // Consuming via any mix of take_ops/pop yields the same sequence.
+        let build = || {
+            let mut q = InstrQueue::new();
+            q.push_ops(3);
+            q.push(load(64));
+            q.push(load(128));
+            q.push_ops(1);
+            q
+        };
+        let mut a = build();
+        let mut popped = Vec::new();
+        while let Some(i) = a.pop() {
+            popped.push(i);
+        }
+        let mut b = build();
+        let mut mixed = Vec::new();
+        loop {
+            let n = b.take_ops(2);
+            for _ in 0..n {
+                mixed.push(Instr::Op);
+            }
+            if n == 0 {
+                match b.pop() {
+                    Some(i) => mixed.push(i),
+                    None => break,
+                }
+            }
+        }
+        assert_eq!(popped, mixed);
+    }
+}

@@ -1,13 +1,12 @@
 //! [`WorkloadSource`]: a deterministic, seeded [`InstrSource`] that
 //! interleaves episodes from a weighted set of kernels.
 
-use std::collections::VecDeque;
-
 use bingo_rng::rngs::SmallRng;
 use bingo_rng::{Rng, SeedableRng};
 use bingo_sim::{Instr, InstrSource};
 
 use crate::kernels::Kernel;
+use crate::queue::InstrQueue;
 
 /// One weighted kernel inside a workload.
 #[derive(Clone, Debug)]
@@ -27,7 +26,7 @@ pub struct WeightedKernel {
 pub struct WorkloadSource {
     kernels: Vec<WeightedKernel>,
     total_weight: u32,
-    queue: VecDeque<Instr>,
+    queue: InstrQueue,
     rng: SmallRng,
     base_addr: u64,
 }
@@ -50,36 +49,69 @@ impl WorkloadSource {
         WorkloadSource {
             kernels,
             total_weight,
-            queue: VecDeque::with_capacity(256),
+            queue: InstrQueue::new(),
             rng: SmallRng::seed_from_u64(seed),
             base_addr,
         }
+    }
+
+    /// Picks a kernel by weight and emits its next episode into the queue.
+    ///
+    /// Refill timing is unobservable: each per-source RNG draw happens at
+    /// the same position in the draw sequence whether a refill is
+    /// triggered lazily by [`InstrSource::next_instr`] or eagerly by
+    /// [`InstrSource::peek_ops`], so the generated stream is identical.
+    fn refill(&mut self) {
+        let mut pick = self.rng.gen_range(0..self.total_weight);
+        let idx = self
+            .kernels
+            .iter()
+            .position(|k| {
+                if pick < k.weight {
+                    true
+                } else {
+                    pick -= k.weight;
+                    false
+                }
+            })
+            .expect("weighted pick is within total");
+        self.kernels[idx]
+            .kernel
+            .emit(self.base_addr, &mut self.rng, &mut self.queue);
     }
 }
 
 impl InstrSource for WorkloadSource {
     fn next_instr(&mut self) -> Instr {
         loop {
-            if let Some(i) = self.queue.pop_front() {
+            if let Some(i) = self.queue.pop() {
                 return i;
             }
-            let mut pick = self.rng.gen_range(0..self.total_weight);
-            let idx = self
-                .kernels
-                .iter()
-                .position(|k| {
-                    if pick < k.weight {
-                        true
-                    } else {
-                        pick -= k.weight;
-                        false
-                    }
-                })
-                .expect("weighted pick is within total");
-            self.kernels[idx]
-                .kernel
-                .emit(self.base_addr, &mut self.rng, &mut self.queue);
+            self.refill();
         }
+    }
+
+    fn take_ops(&mut self, max: usize) -> usize {
+        let mut taken = 0;
+        while taken < max {
+            if self.queue.is_empty() {
+                self.refill();
+                continue;
+            }
+            let n = self.queue.take_ops(max - taken);
+            if n == 0 {
+                break; // a memory access heads the queue
+            }
+            taken += n;
+        }
+        taken
+    }
+
+    fn peek_ops(&mut self) -> usize {
+        while self.queue.is_empty() {
+            self.refill();
+        }
+        self.queue.leading_ops()
     }
 }
 
@@ -169,5 +201,47 @@ mod tests {
     #[should_panic(expected = "at least one kernel")]
     fn empty_kernel_list_rejected() {
         let _ = WorkloadSource::new(vec![], 0, 0);
+    }
+
+    /// Draining through `take_ops`/`peek_ops` must observe exactly the
+    /// stream `next_instr` alone produces — the batched-dispatch and
+    /// op-crank paths rely on this equivalence for bit-for-bit results.
+    #[test]
+    fn batched_op_consumption_matches_lazy() {
+        let mk = || {
+            WorkloadSource::new(
+                vec![
+                    WeightedKernel {
+                        weight: 3,
+                        kernel: stream(1, 8, 1 << 20, 7, 0.1, false, 0x400),
+                    },
+                    WeightedKernel {
+                        weight: 2,
+                        kernel: chase(1 << 16, 4, 3, 0x500),
+                    },
+                ],
+                11,
+                0,
+            )
+        };
+        let lazy = collect(&mut mk(), 20_000);
+        let mut src = mk();
+        let mut batched = Vec::new();
+        let mut step = 0usize;
+        while batched.len() < 20_000 {
+            // Vary the batch size and interleave peeks to cover run
+            // boundaries and peek-triggered refills.
+            step += 1;
+            let peeked = src.peek_ops();
+            let n = src.take_ops(step % 5);
+            assert!(n <= peeked, "take_ops exceeded the peeked run");
+            for _ in 0..n {
+                batched.push(Instr::Op);
+            }
+            if n == 0 {
+                batched.push(src.next_instr());
+            }
+        }
+        assert_eq!(lazy, batched[..20_000]);
     }
 }

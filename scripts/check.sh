@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # Full pre-merge check: build, tests, formatting, lints.
 # Usage: scripts/check.sh  (run from anywhere inside the repo)
+#
+# Opt-in: BINGO_BENCH=1 scripts/check.sh additionally runs the bench
+# binaries and gates them against the committed BENCH_simulator.json with
+# the same threshold CI uses (override with BINGO_BENCH_THRESHOLD).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,5 +22,21 @@ cargo fmt --check
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
+
+if [[ "${BINGO_BENCH:-0}" == "1" ]]; then
+    echo "==> cargo bench -p bingo-bench (perf trajectory vs BENCH_simulator.json)"
+    # Absolute path: cargo bench runs the bench executables with the
+    # package directory (crates/bench) as CWD, not the workspace root.
+    # Three best-merged runs accumulate a candidate measured the same way
+    # the committed snapshot was (per-key minima over runs, which
+    # contention can only inflate).
+    rm -f target/bench/candidate.json
+    for _ in 1 2 3; do
+        BINGO_BENCH_JSON="$PWD/target/bench/candidate.json" BINGO_BENCH_MERGE=best \
+            cargo bench -p bingo-bench
+    done
+    cargo run --release -p bingo-bench --bin bench_compare -- \
+        --snapshot BENCH_simulator.json --candidate target/bench/candidate.json
+fi
 
 echo "==> all checks passed"

@@ -156,3 +156,28 @@ fn mix_workloads_assign_different_programs_per_core() {
         "mix cores should have distinct IPCs, got {ipcs:?}"
     );
 }
+
+/// The quiescent fast-forward — including the op-crank over the
+/// run-length-encoded workload streams — must be unobservable on the
+/// real workload suite: identical `SimResult`s with it on and off.
+/// (The closure-source equivalence tests in `bingo-sim` never exercise
+/// the crank, because closures report no op runs; `WorkloadSource` does.)
+#[test]
+fn fast_forward_is_bit_for_bit_on_real_workloads() {
+    for w in [Workload::Em3d, Workload::DataServing, Workload::Mix1] {
+        let cfg = SystemConfig::paper();
+        let build = |ff: bool| {
+            System::with_prefetchers(
+                cfg,
+                w.sources(cfg.cores, 42),
+                |_| Box::new(Bingo::new(BingoConfig::paper())) as Box<dyn Prefetcher>,
+                40_000,
+            )
+            .with_warmup(30_000)
+            .with_fast_forward(ff)
+        };
+        let fast = build(true).run();
+        let slow = build(false).run();
+        assert_eq!(fast, slow, "fast-forward diverged on {w}");
+    }
+}

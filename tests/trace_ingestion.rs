@@ -91,9 +91,10 @@ fn corrupt_corpus_trace_is_quarantined_under_lenient_policy() {
     let bytes = std::fs::read(corpus_dir().join(CORRUPT)).expect("read corpus file");
     let mut reader = TraceReader::new(Cursor::new(&bytes[..]), Policy::Lenient).unwrap();
     let mut delivered = 0u64;
-    while let Some(_) = reader
+    while reader
         .next_instr()
         .expect("lenient never errors on bit flips")
+        .is_some()
     {
         delivered += 1;
     }
