@@ -11,8 +11,11 @@
 use std::hint::black_box;
 
 use bingo::EventKind;
-use bingo_bench::{run_one, time_median, BenchWriter, PrefetcherKind, RunScale};
-use bingo_sim::SystemConfig;
+use bingo_bench::{
+    run_mix_configured, run_one, time_median, BenchWriter, MixAssignment, MixConfig,
+    PrefetcherKind, Pressure, RunScale,
+};
+use bingo_sim::{SystemConfig, TelemetryLevel, ThrottleMode};
 use bingo_workloads::Workload;
 
 fn tiny_scale() -> RunScale {
@@ -118,6 +121,55 @@ fn bench_fig8_grid(writer: &mut Option<BenchWriter>) {
     }
 }
 
+/// The multi-core trajectory: 2-core homogeneous mixes through the mix
+/// path (per-core front-ends, shared LLC/MSHR/DRAM) for every fig8
+/// workload against the baseline and Bingo, so contention-grid speed is
+/// gated alongside the single-core grid.
+fn bench_fig8_2core(writer: &mut Option<BenchWriter>) {
+    let scale = tiny_scale();
+    let cores = 2usize;
+    let instrs = (cores as u64 * (scale.instructions_per_core + scale.warmup_per_core)) as f64;
+    for w in Workload::ALL {
+        for k in [PrefetcherKind::None, PrefetcherKind::Bingo] {
+            let mix = MixConfig {
+                name: "bench".to_string(),
+                cores: vec![
+                    MixAssignment {
+                        workload: w,
+                        prefetcher: k,
+                        scale_percent: 100,
+                    };
+                    cores
+                ],
+                ramp: None,
+            };
+            let s = time_median(3, || {
+                black_box(
+                    run_mix_configured(
+                        &mix,
+                        cores,
+                        &Pressure::NONE,
+                        scale,
+                        None,
+                        TelemetryLevel::Off,
+                        ThrottleMode::Off,
+                    )
+                    .expect("bench mix cell completes"),
+                );
+            });
+            let key = format!("fig8_2core/{}/{}", w.name(), k.name());
+            let r = s.throughput_record(&key, instrs);
+            println!(
+                "{key}: {:.1} Minstr/s (lo {:.1}, hi {:.1}, n={})",
+                r.median, r.lo, r.hi, r.samples
+            );
+            if let Some(wr) = writer {
+                wr.record_or_die(r);
+            }
+        }
+    }
+}
+
 fn main() {
     let mut writer = BenchWriter::from_env();
     if let Some(w) = &mut writer {
@@ -127,6 +179,7 @@ fn main() {
     bench_simulation_throughput(&mut writer);
     bench_figure_paths(&mut writer);
     bench_fig8_grid(&mut writer);
+    bench_fig8_2core(&mut writer);
     if let Some(w) = &writer {
         println!("bench records written to {}", w.path().display());
     }

@@ -7,7 +7,7 @@
 use std::process::Command;
 use std::time::Instant;
 
-const BINARIES: [&str; 16] = [
+const BINARIES: [&str; 17] = [
     "table1_config",
     "table2_workloads",
     "fig2_events",
@@ -20,6 +20,7 @@ const BINARIES: [&str; 16] = [
     "fig10_isodegree",
     "fig_timeliness",
     "fig_traces",
+    "fig_multicore",
     "ablation_voting",
     "ablation_region",
     "ablation_training",

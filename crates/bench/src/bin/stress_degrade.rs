@@ -22,39 +22,17 @@
 //! `BINGO_STATS` exports each cell's full `SimResult` as JSON lines.
 
 use bingo_bench::{
-    default_jobs, f2, parallel_map, pf_queue_from_env, PrefetcherKind, RunScale, StatsExport, Table,
+    default_jobs, f2, parallel_map, pf_queue_from_env, PrefetcherKind, Pressure, RunScale,
+    StatsExport, Table,
 };
 use bingo_sim::{SimResult, System, SystemConfig, ThrottleMode};
 use bingo_workloads::Workload;
 
-/// One level of memory-system resource pressure.
-struct Pressure {
-    name: &'static str,
-    /// DRAM channels (the paper machine has 2).
-    channels: usize,
-    /// Channel occupancy per 64 B transfer (the paper machine: 14 cycles).
-    transfer_cycles: u64,
-    /// Prefetch-queue bound (the paper machine: unbounded).
-    queue: usize,
-}
-
-/// Half the paper's bandwidth, then roughly a quarter. The queue bound
-/// tightens alongside so both drop paths (bandwidth contention and
-/// queue-full) carry load.
-const PRESSURES: [Pressure; 2] = [
-    Pressure {
-        name: "constrained",
-        channels: 1,
-        transfer_cycles: 28,
-        queue: 16,
-    },
-    Pressure {
-        name: "scarce",
-        channels: 1,
-        transfer_cycles: 56,
-        queue: 8,
-    },
-];
+/// Half the paper's bandwidth, then roughly a quarter (the shared
+/// [`Pressure`] presets the multi-core capacity search also uses). The
+/// queue bound tightens alongside so both drop paths (bandwidth
+/// contention and queue-full) carry load.
+const PRESSURES: [Pressure; 2] = [Pressure::CONSTRAINED, Pressure::SCARCE];
 
 /// The three configurations compared in every cell.
 const CONFIGS: [(&str, PrefetcherKind, ThrottleMode); 3] = [
@@ -77,9 +55,10 @@ fn run_cell(
     // Two cores keep the sweep fast; with a single channel at reduced
     // bandwidth they contend plenty.
     cfg.cores = 2;
-    cfg.dram.channels = pressure.channels;
-    cfg.dram.transfer_cycles = pressure.transfer_cycles;
-    cfg.prefetch_queue_depth = Some(pf_queue_from_env().unwrap_or(pressure.queue));
+    pressure.apply(&mut cfg);
+    if let Some(depth) = pf_queue_from_env() {
+        cfg.prefetch_queue_depth = Some(depth);
+    }
     let sources = workload.sources(cfg.cores, scale.seed);
     System::with_prefetchers(cfg, sources, |_| kind.build(), scale.instructions_per_core)
         .with_warmup(scale.warmup_per_core)

@@ -27,6 +27,7 @@ pub mod area;
 pub mod checkpoint;
 pub mod differential;
 pub mod knobs;
+pub mod mix;
 pub mod perf_record;
 pub mod runner;
 pub mod stats_export;
@@ -39,17 +40,22 @@ pub use differential::{
     fuzz_bingo, shrink_bingo_mismatch, FuzzFailure, FuzzReport, Mismatch,
 };
 pub use knobs::{pf_queue_from_env, trace_chunk_from_env, PF_QUEUE_ENV, TRACE_CHUNK_ENV};
+pub use mix::{
+    find_knee, CapacityCell, CapacitySearch, FairnessReport, MixAssignment, MixConfig, MixError,
+    Pressure, Ramp, KNEE_FRACTION,
+};
 pub use perf_record::{
     calibration_record, load_records, time_median, BenchRecord, BenchWriter, Sample,
     BENCH_JSON_ENV, BENCH_MERGE_ENV, BENCH_THRESHOLD_ENV, CALIBRATION_KEY,
 };
 pub use runner::{
     cell_key, cell_key_with_options, cell_key_with_telemetry, default_jobs, geometric_mean, mean,
-    parallel_map, run_cell, run_cell_configured, run_one, run_one_configured,
-    run_one_with_deadline, run_trace_cell, run_trace_one_configured, telemetry_from_env,
-    throttle_from_env, trace_cell_key, CellFailure, CellOutcome, Evaluation, GridReport, Harness,
-    ParallelHarness, PrefetcherKind, RunScale, TraceCellFailure, TraceEvaluation, TraceGridReport,
-    CELL_TIMEOUT_ENV, TELEMETRY_ENV, THROTTLE_ENV,
+    mix_cell_key, mix_solo_key, parallel_map, run_cell, run_cell_configured, run_mix_configured,
+    run_mix_solo_configured, run_one, run_one_configured, run_one_with_deadline, run_trace_cell,
+    run_trace_one_configured, telemetry_from_env, throttle_from_env, trace_cell_key, CellFailure,
+    CellOutcome, Evaluation, GridReport, Harness, MixCell, MixCellFailure, MixEvaluation,
+    MixGridReport, ParallelHarness, PrefetcherKind, RunScale, TraceCellFailure, TraceEvaluation,
+    TraceGridReport, CELL_TIMEOUT_ENV, TELEMETRY_ENV, THROTTLE_ENV,
 };
 pub use stats_export::{StatsExport, STATS_ENV};
 pub use table::{f2, pct, Table};

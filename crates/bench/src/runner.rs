@@ -43,6 +43,7 @@ use bingo_workloads::{TraceWorkload, Workload};
 
 use crate::checkpoint::{Checkpoint, CHECKPOINT_ENV};
 use crate::knobs;
+use crate::mix::{FairnessReport, MixAssignment, MixConfig, Pressure};
 use crate::stats_export::StatsExport;
 
 /// Which prefetcher to attach to every core.
@@ -136,6 +137,29 @@ impl PrefetcherKind {
             }
             PrefetcherKind::Faulty { panic_after } => format!("Faulty@{panic_after}"),
         }
+    }
+
+    /// Parses a mix-config prefetcher slug — the lowercase spelling used
+    /// by `core … prefetcher=<slug>` lines. Only the fixed paper
+    /// configurations are addressable from config files; parameterized
+    /// kinds (entry sweeps, fault injection, …) stay programmatic.
+    /// `None` for anything unrecognized, so the parser can report the
+    /// bad name with its line number.
+    pub fn from_slug(slug: &str) -> Option<PrefetcherKind> {
+        Some(match slug {
+            "none" => PrefetcherKind::None,
+            "bop" => PrefetcherKind::Bop,
+            "bop-aggr" => PrefetcherKind::BopAggressive,
+            "spp" => PrefetcherKind::Spp,
+            "spp-aggr" => PrefetcherKind::SppAggressive,
+            "vldp" => PrefetcherKind::Vldp,
+            "vldp-aggr" => PrefetcherKind::VldpAggressive,
+            "ampm" => PrefetcherKind::Ampm,
+            "sms" => PrefetcherKind::Sms,
+            "bingo" => PrefetcherKind::Bingo,
+            "stride" => PrefetcherKind::Stride,
+            _ => return None,
+        })
     }
 
     /// Builds one prefetcher instance.
@@ -840,6 +864,7 @@ pub struct ParallelHarness {
     stats: Option<StatsExport>,
     baselines: HashMap<Workload, SimResult>,
     trace_baselines: HashMap<String, SimResult>,
+    mix_solos: HashMap<String, SimResult>,
 }
 
 /// Parses the `BINGO_CELL_TIMEOUT` value (seconds, fractional allowed),
@@ -918,6 +943,7 @@ impl ParallelHarness {
             stats: None,
             baselines: HashMap::new(),
             trace_baselines: HashMap::new(),
+            mix_solos: HashMap::new(),
         }
     }
 
@@ -1803,6 +1829,613 @@ pub fn mean(values: &[f64]) -> f64 {
     values.iter().sum::<f64>() / values.len() as f64
 }
 
+// ---------------------------------------------------------------------------
+// Multi-core mix cells
+// ---------------------------------------------------------------------------
+
+/// One cell of a multi-core mix grid: a declared [`MixConfig`] run at
+/// `cores` cores under a memory-[`Pressure`] level. Core counts past the
+/// declared slots replicate the mix pattern cyclically (see
+/// [`MixConfig::assignment`]).
+#[derive(Debug, Clone)]
+pub struct MixCell {
+    /// The declared mix.
+    pub mix: MixConfig,
+    /// Core count of this cell's machine.
+    pub cores: usize,
+    /// Memory-pressure level applied to the shared resources.
+    pub pressure: Pressure,
+}
+
+/// Runs one declared mix on an N-core machine: per-core instruction
+/// sources, prefetcher instances, and committed-instruction targets all
+/// come from the mix's per-slot assignments, while the LLC, MSHR pool,
+/// and DRAM channels stay at the paper machine's shared sizing (under
+/// the given [`Pressure`]). A homogeneous mix at the paper's core count,
+/// scale 100 %, and [`Pressure::NONE`] is bit-for-bit
+/// [`run_one_configured`] by construction: identical sources, identical
+/// per-core prefetchers, uniform targets.
+///
+/// # Errors
+///
+/// [`SimAbort`] if the optional deadline expires or the simulator trips
+/// its internal cycle limit.
+pub fn run_mix_configured(
+    mix: &MixConfig,
+    cores: usize,
+    pressure: &Pressure,
+    scale: RunScale,
+    deadline: Option<Duration>,
+    telemetry: TelemetryLevel,
+    throttle: ThrottleMode,
+) -> Result<SimResult, SimAbort> {
+    assert!(cores > 0, "a mix machine needs at least one core");
+    let mut cfg = SystemConfig::paper().with_cores(cores);
+    pressure.apply(&mut cfg);
+    let sources = (0..cores)
+        .map(|i| mix.assignment(i).workload.source_for_core(i, scale.seed))
+        .collect();
+    let prefetchers = (0..cores)
+        .map(|i| mix.assignment(i).prefetcher.build())
+        .collect();
+    let targets: Vec<u64> = (0..cores)
+        .map(|i| mix.assignment(i).instructions(scale.instructions_per_core))
+        .collect();
+    let mut system = System::new_heterogeneous(cfg, sources, prefetchers, &targets)
+        .with_warmup(scale.warmup_per_core)
+        .with_telemetry(telemetry)
+        .with_throttle(throttle);
+    if let Some(limit) = deadline {
+        system = system.with_time_limit(limit);
+    }
+    system.try_run()
+}
+
+/// Runs one mix slot *alone*: the identical instruction stream (same
+/// slot index, so same seed and address space), prefetcher, and
+/// instruction target as in the mix, but on a 1-core machine with the
+/// whole shared memory system — same pressure level — to itself. The
+/// fairness report's per-core slowdown is the ratio of this run's IPC to
+/// the slot's IPC inside the mix.
+///
+/// # Errors
+///
+/// Same as [`run_mix_configured`].
+pub fn run_mix_solo_configured(
+    assignment: MixAssignment,
+    slot: usize,
+    pressure: &Pressure,
+    scale: RunScale,
+    deadline: Option<Duration>,
+    telemetry: TelemetryLevel,
+    throttle: ThrottleMode,
+) -> Result<SimResult, SimAbort> {
+    let mut cfg = SystemConfig::paper().with_cores(1);
+    pressure.apply(&mut cfg);
+    let sources = vec![assignment.workload.source_for_core(slot, scale.seed)];
+    let prefetchers = vec![assignment.prefetcher.build()];
+    let targets = [assignment.instructions(scale.instructions_per_core)];
+    let mut system = System::new_heterogeneous(cfg, sources, prefetchers, &targets)
+        .with_warmup(scale.warmup_per_core)
+        .with_telemetry(telemetry)
+        .with_throttle(throttle);
+    if let Some(limit) = deadline {
+        system = system.with_time_limit(limit);
+    }
+    system.try_run()
+}
+
+/// Applies the mix-key namespacing suffixes shared by [`mix_cell_key`]
+/// and [`mix_solo_key`]: [`Pressure::NONE`], [`TelemetryLevel::Off`],
+/// and [`ThrottleMode::Off`] each contribute nothing, so default-mode
+/// keys stay byte-for-byte stable across option additions — the same
+/// rule [`cell_key_with_options`] follows.
+fn decorate_mix_key(
+    base: String,
+    pressure: &Pressure,
+    telemetry: TelemetryLevel,
+    throttle: ThrottleMode,
+) -> String {
+    let base = format!("{base}{}", pressure.key_suffix());
+    let base = match telemetry {
+        TelemetryLevel::Off => base,
+        TelemetryLevel::Counts => format!("{base}/telemetry=counts"),
+        TelemetryLevel::Trace => format!("{base}/telemetry=trace"),
+    };
+    match throttle {
+        ThrottleMode::Off => base,
+        ThrottleMode::Static | ThrottleMode::Feedback => format!("{base}/throttle={throttle}"),
+    }
+}
+
+/// Checkpoint/stats key of one mix cell. The key embeds both the mix's
+/// name and its full slot spec, so renaming a mix *or* editing its
+/// assignments invalidates old checkpoint entries; it lives in the
+/// `mix:` namespace, disjoint from single-workload (`{seed}/…`) and
+/// trace (`trace:…`) keys, so mixed old/new checkpoint files resolve
+/// every generation of cell correctly.
+pub fn mix_cell_key(
+    scale: RunScale,
+    mix: &MixConfig,
+    cores: usize,
+    pressure: &Pressure,
+    telemetry: TelemetryLevel,
+    throttle: ThrottleMode,
+) -> String {
+    let base = format!(
+        "mix:{}/{}/{}/{}@{}/{}",
+        scale.seed,
+        scale.instructions_per_core,
+        scale.warmup_per_core,
+        mix.name,
+        cores,
+        mix.spec()
+    );
+    decorate_mix_key(base, pressure, telemetry, throttle)
+}
+
+/// Checkpoint/stats key of one solo run. Deliberately *not* namespaced
+/// by mix name: a solo run depends only on the slot assignment, so two
+/// mixes sharing a slot share the solo simulation and its checkpoint
+/// entry.
+pub fn mix_solo_key(
+    scale: RunScale,
+    slot: usize,
+    assignment: &MixAssignment,
+    pressure: &Pressure,
+    telemetry: TelemetryLevel,
+    throttle: ThrottleMode,
+) -> String {
+    let base = format!(
+        "mix-solo:{}/{}/{}/{}",
+        scale.seed,
+        scale.instructions_per_core,
+        scale.warmup_per_core,
+        assignment.slot_spec(slot)
+    );
+    decorate_mix_key(base, pressure, telemetry, throttle)
+}
+
+/// The harness run settings shared by every cell of one mix sweep.
+#[derive(Clone, Copy)]
+struct MixRunSettings {
+    scale: RunScale,
+    deadline: Option<Duration>,
+    telemetry: TelemetryLevel,
+    throttle: ThrottleMode,
+    progress: bool,
+}
+
+/// [`run_mix_configured`] with panic isolation: every failure mode comes
+/// back as a [`CellOutcome`], with an optional `[cell]` progress line.
+fn timed_mix_cell(
+    mix: &MixConfig,
+    cores: usize,
+    pressure: &Pressure,
+    s: MixRunSettings,
+) -> CellOutcome {
+    let label = format!("{}@{}", mix.name, cores);
+    guarded_mix_cell(&label, pressure.name, s.progress, || {
+        run_mix_configured(
+            mix,
+            cores,
+            pressure,
+            s.scale,
+            s.deadline,
+            s.telemetry,
+            s.throttle,
+        )
+    })
+}
+
+/// [`run_mix_solo_configured`] with panic isolation and the same
+/// progress-line format as [`timed_mix_cell`].
+fn timed_mix_solo_cell(
+    assignment: MixAssignment,
+    slot: usize,
+    pressure: &Pressure,
+    s: MixRunSettings,
+) -> CellOutcome {
+    let label = format!("solo:{}", assignment.slot_spec(slot));
+    guarded_mix_cell(&label, pressure.name, s.progress, || {
+        run_mix_solo_configured(
+            assignment,
+            slot,
+            pressure,
+            s.scale,
+            s.deadline,
+            s.telemetry,
+            s.throttle,
+        )
+    })
+}
+
+/// The shared panic-isolation + progress core of the mix cell runners.
+fn guarded_mix_cell(
+    label: &str,
+    pressure: &str,
+    progress: bool,
+    run: impl FnOnce() -> Result<SimResult, SimAbort>,
+) -> CellOutcome {
+    let start = Instant::now();
+    let attempt = catch_unwind(AssertUnwindSafe(run));
+    let outcome = match attempt {
+        Ok(Ok(result)) => CellOutcome::Ok(Box::new(result)),
+        Ok(Err(SimAbort::DeadlineExceeded { limit })) => CellOutcome::TimedOut { limit },
+        Ok(Err(abort @ SimAbort::CycleLimit { .. })) => CellOutcome::Panicked {
+            message: abort.to_string(),
+        },
+        Err(payload) => CellOutcome::Panicked {
+            message: panic_message(payload.as_ref()),
+        },
+    };
+    if progress {
+        let wall = start.elapsed().as_secs_f64();
+        let status = match &outcome {
+            CellOutcome::Ok(result) => format!(
+                "{:>6.2} Minstr/s",
+                result.instructions() as f64 / wall.max(1e-9) / 1e6
+            ),
+            CellOutcome::Panicked { .. } => "PANICKED".to_string(),
+            CellOutcome::TimedOut { .. } => "TIMED OUT".to_string(),
+        };
+        eprintln!("[cell] {label:<28} {pressure:<14} {wall:>7.2}s  {status}");
+    }
+    outcome
+}
+
+/// The outcome of one completed mix cell.
+#[derive(Clone, Debug)]
+pub struct MixEvaluation {
+    /// Name of the evaluated mix.
+    pub mix_name: String,
+    /// Core count of the cell's machine.
+    pub cores: usize,
+    /// Pressure level of the cell.
+    pub pressure: Pressure,
+    /// Per-core fairness: IPCs, aggregate, min/max ratio, slowdowns
+    /// versus the solo runs.
+    pub fairness: FairnessReport,
+    /// The full mix run.
+    pub result: SimResult,
+}
+
+/// One failed mix cell or solo run: which, and why.
+#[derive(Clone, Debug)]
+pub struct MixCellFailure {
+    /// Name of the mix (for a solo failure: the mix(es) needing it are
+    /// not listed; the slot spec below identifies the run).
+    pub mix_name: String,
+    /// Core count of the failed cell; for a solo failure, 1.
+    pub cores: usize,
+    /// Pressure level name.
+    pub pressure: &'static str,
+    /// `Some(slot spec)` when the failure was a solo run.
+    pub solo: Option<String>,
+    /// Human-readable failure reason.
+    pub reason: String,
+}
+
+/// The result of a fault-tolerant mix sweep, mirroring [`GridReport`]:
+/// per-cell evaluations in input order (`None` where the cell or one of
+/// its solos failed) plus the collected failures.
+#[derive(Debug)]
+pub struct MixGridReport {
+    /// One slot per input cell, input order; `None` for failed cells.
+    pub evaluations: Vec<Option<MixEvaluation>>,
+    /// Every failed mix cell and solo run, in discovery order.
+    pub failures: Vec<MixCellFailure>,
+    /// Cells and solos replayed from the checkpoint instead of
+    /// simulated.
+    pub checkpoint_hits: usize,
+}
+
+impl MixGridReport {
+    /// Whether every cell (and every solo) completed.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Number of cells that produced an evaluation.
+    pub fn completed(&self) -> usize {
+        self.evaluations.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// The multi-line failure report; empty string when clean.
+    pub fn failure_report(&self) -> String {
+        if self.failures.is_empty() {
+            return String::new();
+        }
+        let mut out = format!(
+            "FAILURE REPORT: {} of {} mix cell(s) completed, {} failure(s)\n",
+            self.completed(),
+            self.evaluations.len(),
+            self.failures.len()
+        );
+        for f in &self.failures {
+            let what = match &f.solo {
+                Some(spec) => format!("solo {spec}"),
+                None => format!("{}@{}", f.mix_name, f.cores),
+            };
+            out.push_str(&format!("  {what} / {}: {}\n", f.pressure, f.reason));
+        }
+        out
+    }
+
+    /// Unwraps a clean report into its evaluations.
+    ///
+    /// # Panics
+    ///
+    /// Panics — after printing the failure report to stderr — if any cell
+    /// or solo failed, after every healthy cell has completed and been
+    /// checkpointed (the same contract as [`GridReport::into_complete`]).
+    pub fn into_complete(self) -> Vec<MixEvaluation> {
+        if !self.failures.is_empty() {
+            eprint!("{}", self.failure_report());
+            panic!(
+                "{} mix cell(s) failed; see the failure report above",
+                self.failures.len()
+            );
+        }
+        self.evaluations
+            .into_iter()
+            .map(|e| e.expect("clean reports have every evaluation"))
+            .collect()
+    }
+}
+
+impl ParallelHarness {
+    /// Fault-tolerant multi-core mix sweep. For every cell the harness
+    /// first ensures the solo run of each core slot exists (computed once
+    /// per unique `(slot assignment, pressure)` across the whole grid,
+    /// checkpoint-replayed when possible), then runs the N-core mix, and
+    /// finally derives the cell's [`FairnessReport`] from the mix result
+    /// and its solos. Mix cells use `mix:`-namespaced checkpoint/stats
+    /// keys, solos `mix-solo:` — both disjoint from the single-workload
+    /// and trace namespaces, so one checkpoint file can carry all three
+    /// generations of cell and a mixed old/new file retries only what is
+    /// actually missing.
+    pub fn try_evaluate_mix_grid(&mut self, cells: &[MixCell]) -> MixGridReport {
+        let scale = self.scale;
+        let telemetry = self.telemetry;
+        let throttle = self.throttle;
+        let settings = MixRunSettings {
+            scale,
+            deadline: self.cell_timeout,
+            telemetry,
+            throttle,
+            progress: self.progress,
+        };
+        let started = Instant::now();
+        let mut failures: Vec<MixCellFailure> = Vec::new();
+        let mut checkpoint_hits = 0;
+
+        // Every unique solo run the grid needs, in first-need order.
+        let mut solo_keys: Vec<String> = Vec::new();
+        let mut solo_specs: Vec<(MixAssignment, usize, Pressure)> = Vec::new();
+        for cell in cells {
+            for slot in 0..cell.cores {
+                let a = cell.mix.assignment(slot);
+                let key = mix_solo_key(scale, slot, &a, &cell.pressure, telemetry, throttle);
+                if !solo_keys.contains(&key) {
+                    solo_keys.push(key);
+                    solo_specs.push((a, slot, cell.pressure));
+                }
+            }
+        }
+
+        // Resolve solos: cache, then checkpoint, then simulation.
+        let todo: Vec<usize> = (0..solo_keys.len())
+            .filter(|&i| {
+                let key = &solo_keys[i];
+                if self.mix_solos.contains_key(key) {
+                    return false;
+                }
+                if let Some(cp) = &self.checkpoint {
+                    if let Some(result) = cp.get(key) {
+                        self.mix_solos.insert(key.clone(), result);
+                        checkpoint_hits += 1;
+                        return false;
+                    }
+                }
+                true
+            })
+            .collect();
+        let outcomes = parallel_map(self.jobs, todo.len(), |j| {
+            let (a, slot, pressure) = solo_specs[todo[j]];
+            timed_mix_solo_cell(a, slot, &pressure, settings)
+        });
+        for (&i, outcome) in todo.iter().zip(outcomes) {
+            let key = &solo_keys[i];
+            match outcome {
+                CellOutcome::Ok(result) => {
+                    self.record_mix_checkpoint(key, &result);
+                    self.mix_solos.insert(key.clone(), *result);
+                }
+                failed => {
+                    let (a, slot, pressure) = &solo_specs[i];
+                    failures.push(MixCellFailure {
+                        mix_name: String::new(),
+                        cores: 1,
+                        pressure: pressure.name,
+                        solo: Some(a.slot_spec(*slot)),
+                        reason: failure_reason(&failed),
+                    });
+                }
+            }
+        }
+
+        // Export every resolved solo (checkpoint replays included, so the
+        // export is always the complete grid; the export dedups keys).
+        if self.stats.is_some() {
+            for key in &solo_keys {
+                if let Some(result) = self.mix_solos.get(key) {
+                    self.record_mix_stats(key, result);
+                }
+            }
+        }
+
+        // Run the mix cells whose solos all resolved.
+        let mut resolved: Vec<Option<CellOutcome>> = cells
+            .iter()
+            .map(|cell| {
+                let missing_solo = (0..cell.cores).find(|&slot| {
+                    let a = cell.mix.assignment(slot);
+                    let key = mix_solo_key(scale, slot, &a, &cell.pressure, telemetry, throttle);
+                    !self.mix_solos.contains_key(&key)
+                });
+                if let Some(slot) = missing_solo {
+                    return Some(CellOutcome::Panicked {
+                        message: format!("not run: the solo run of core slot {slot} failed"),
+                    });
+                }
+                if let Some(cp) = &self.checkpoint {
+                    let key = mix_cell_key(
+                        scale,
+                        &cell.mix,
+                        cell.cores,
+                        &cell.pressure,
+                        telemetry,
+                        throttle,
+                    );
+                    if let Some(result) = cp.get(&key) {
+                        checkpoint_hits += 1;
+                        return Some(CellOutcome::Ok(Box::new(result)));
+                    }
+                }
+                None
+            })
+            .collect();
+        let todo: Vec<usize> = (0..cells.len())
+            .filter(|&i| resolved[i].is_none())
+            .collect();
+        let outcomes = parallel_map(self.jobs, todo.len(), |j| {
+            let cell = &cells[todo[j]];
+            timed_mix_cell(&cell.mix, cell.cores, &cell.pressure, settings)
+        });
+        for (&i, outcome) in todo.iter().zip(outcomes) {
+            if let CellOutcome::Ok(result) = &outcome {
+                let cell = &cells[i];
+                let key = mix_cell_key(
+                    scale,
+                    &cell.mix,
+                    cell.cores,
+                    &cell.pressure,
+                    telemetry,
+                    throttle,
+                );
+                self.record_mix_checkpoint(&key, result);
+            }
+            resolved[i] = Some(outcome);
+        }
+        if settings.progress && cells.len() > 1 {
+            eprintln!(
+                "[mix-grid] {} cells in {:.1}s on {} worker(s)",
+                cells.len(),
+                started.elapsed().as_secs_f64(),
+                self.jobs.min(cells.len()),
+            );
+        }
+
+        // Derive fairness and assemble the report.
+        let evaluations: Vec<Option<MixEvaluation>> = cells
+            .iter()
+            .zip(resolved)
+            .map(|(cell, outcome)| {
+                let outcome = outcome.expect("every mix cell was resolved or run");
+                match outcome {
+                    CellOutcome::Ok(result) => {
+                        let key = mix_cell_key(
+                            scale,
+                            &cell.mix,
+                            cell.cores,
+                            &cell.pressure,
+                            telemetry,
+                            throttle,
+                        );
+                        self.record_mix_stats(&key, &result);
+                        let solos: Vec<SimResult> = (0..cell.cores)
+                            .map(|slot| {
+                                let a = cell.mix.assignment(slot);
+                                let key = mix_solo_key(
+                                    scale,
+                                    slot,
+                                    &a,
+                                    &cell.pressure,
+                                    telemetry,
+                                    throttle,
+                                );
+                                self.mix_solos[&key].clone()
+                            })
+                            .collect();
+                        let fairness = FairnessReport::compute(&result, &solos);
+                        Some(MixEvaluation {
+                            mix_name: cell.mix.name.clone(),
+                            cores: cell.cores,
+                            pressure: cell.pressure,
+                            fairness,
+                            result: *result,
+                        })
+                    }
+                    failed => {
+                        failures.push(MixCellFailure {
+                            mix_name: cell.mix.name.clone(),
+                            cores: cell.cores,
+                            pressure: cell.pressure.name,
+                            solo: None,
+                            reason: failure_reason(&failed),
+                        });
+                        None
+                    }
+                }
+            })
+            .collect();
+        MixGridReport {
+            evaluations,
+            failures,
+            checkpoint_hits,
+        }
+    }
+
+    /// Panicking convenience over
+    /// [`ParallelHarness::try_evaluate_mix_grid`], mirroring
+    /// [`ParallelHarness::evaluate_grid`].
+    pub fn evaluate_mix_grid(&mut self, cells: &[MixCell]) -> Vec<MixEvaluation> {
+        self.try_evaluate_mix_grid(cells).into_complete()
+    }
+
+    /// Appends a mix-namespaced result to the checkpoint, if one is
+    /// attached. Write errors degrade the checkpoint, never the sweep.
+    fn record_mix_checkpoint(&self, key: &str, result: &SimResult) {
+        if let Some(cp) = &self.checkpoint {
+            if let Err(e) = cp.record(key, result) {
+                eprintln!("[checkpoint] write for {key} failed: {e}");
+            }
+        }
+    }
+
+    /// Appends a mix-namespaced result to the stats export, if one is
+    /// attached. Write errors degrade the export, never the sweep.
+    fn record_mix_stats(&self, key: &str, result: &SimResult) {
+        if let Some(stats) = &self.stats {
+            if let Err(e) = stats.record(key, result) {
+                eprintln!("[stats] write for {key} failed: {e}");
+            }
+        }
+    }
+}
+
+/// The human-readable reason of a failed [`CellOutcome`].
+fn failure_reason(outcome: &CellOutcome) -> String {
+    match outcome {
+        CellOutcome::Ok(_) => unreachable!("successful cells are not failures"),
+        CellOutcome::Panicked { message } => format!("panicked: {message}"),
+        CellOutcome::TimedOut { limit } => {
+            format!("timed out after {:.3}s", limit.as_secs_f64())
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2589,5 +3222,145 @@ mod tests {
         assert_eq!(evals.len(), 2);
         assert_eq!(evals[0].baseline, evals[1].baseline);
         assert_eq!(h.baseline(Workload::Streaming), &evals[0].baseline);
+    }
+
+    /// A tiny committed-style mix used by the mix-grid unit tests.
+    fn tiny_mix() -> MixConfig {
+        MixConfig::parse_str(
+            "mix tiny\n\
+             core 0 workload=streaming prefetcher=stride\n\
+             core 1 workload=stress-storm prefetcher=none scale=50%\n\
+             end\n",
+        )
+        .unwrap()
+        .remove(0)
+    }
+
+    #[test]
+    fn mix_keys_are_namespaced_and_stable_in_default_modes() {
+        let scale = tiny_scale(7);
+        let mix = tiny_mix();
+        let key = mix_cell_key(
+            scale,
+            &mix,
+            2,
+            &Pressure::NONE,
+            TelemetryLevel::Off,
+            ThrottleMode::Off,
+        );
+        assert_eq!(
+            key,
+            "mix:7/15000/5000/tiny@2/c0=streaming+Stride,c1=stress-storm+None*50%"
+        );
+        let pressured = mix_cell_key(
+            scale,
+            &mix,
+            2,
+            &Pressure::SCARCE,
+            TelemetryLevel::Counts,
+            ThrottleMode::Feedback,
+        );
+        assert!(
+            pressured.ends_with("/pressure=scarce/telemetry=counts/throttle=feedback"),
+            "{pressured}"
+        );
+        let solo = mix_solo_key(
+            scale,
+            1,
+            &mix.cores[1],
+            &Pressure::NONE,
+            TelemetryLevel::Off,
+            ThrottleMode::Off,
+        );
+        assert_eq!(solo, "mix-solo:7/15000/5000/c1=stress-storm+None*50%");
+    }
+
+    #[test]
+    fn mix_grid_runs_solos_and_reports_fairness() {
+        let mix = tiny_mix();
+        let cells = [MixCell {
+            mix: mix.clone(),
+            cores: 2,
+            pressure: Pressure::NONE,
+        }];
+        let mut h = ParallelHarness::with_jobs(tiny_scale(7), 2).quiet();
+        let report = h.try_evaluate_mix_grid(&cells);
+        assert!(report.is_clean(), "{}", report.failure_report());
+        let evals = report.into_complete();
+        assert_eq!(evals.len(), 1);
+        let e = &evals[0];
+        assert_eq!(e.mix_name, "tiny");
+        assert_eq!(e.cores, 2);
+        assert_eq!(e.fairness.core_ipcs.len(), 2);
+        assert_eq!(e.fairness.slowdowns.len(), 2);
+        // The scaled slot committed half the budget.
+        assert_eq!(e.result.cores[0].instructions, 15_000);
+        assert_eq!(e.result.cores[1].instructions, 7_500);
+        // Fairness metrics recompute from the per-core stats.
+        let ipcs = e.result.core_ipcs();
+        assert_eq!(e.fairness.aggregate_ipc, ipcs.iter().sum::<f64>());
+        assert!(e.fairness.min_max_ipc_ratio > 0.0 && e.fairness.min_max_ipc_ratio <= 1.0);
+        // Contention roughly slows a core down relative to its solo run;
+        // sub-percent wins are possible at tiny scale (timing quirks),
+        // anything larger would mean the solos are wired to the wrong
+        // streams.
+        for &s in &e.fairness.slowdowns {
+            assert!(s > 0.95, "slowdown {s}: mix run beat the solo run by >5%");
+        }
+    }
+
+    #[test]
+    fn mix_grid_replicates_pattern_cyclically_when_ramped() {
+        let mix = tiny_mix();
+        let cells = [MixCell {
+            mix,
+            cores: 4,
+            pressure: Pressure::CONSTRAINED,
+        }];
+        let mut h = ParallelHarness::with_jobs(tiny_scale(9), 2).quiet();
+        let evals = h.try_evaluate_mix_grid(&cells).into_complete();
+        let e = &evals[0];
+        assert_eq!(e.result.cores.len(), 4);
+        // Slots 2 and 3 repeat the declared pattern (full budget, half
+        // budget) with their own per-core streams.
+        assert_eq!(e.result.cores[2].instructions, 15_000);
+        assert_eq!(e.result.cores[3].instructions, 7_500);
+    }
+
+    #[test]
+    fn failed_solo_fails_dependent_mix_cells_only() {
+        let broken = MixConfig {
+            name: "broken".to_string(),
+            cores: vec![MixAssignment {
+                workload: Workload::Em3d,
+                prefetcher: PrefetcherKind::Faulty { panic_after: 100 },
+                scale_percent: 100,
+            }],
+            ramp: None,
+        };
+        let healthy = tiny_mix();
+        let cells = [
+            MixCell {
+                mix: broken,
+                cores: 1,
+                pressure: Pressure::NONE,
+            },
+            MixCell {
+                mix: healthy,
+                cores: 2,
+                pressure: Pressure::NONE,
+            },
+        ];
+        let mut h = ParallelHarness::with_jobs(tiny_scale(5), 2).quiet();
+        let report = h.try_evaluate_mix_grid(&cells);
+        assert!(!report.is_clean());
+        assert!(report.evaluations[0].is_none(), "broken cell has no result");
+        assert!(report.evaluations[1].is_some(), "healthy cell completed");
+        // The solo failure and the dependent cell failure are both listed.
+        assert!(report.failures.iter().any(|f| f.solo.is_some()));
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.solo.is_none() && f.mix_name == "broken"));
     }
 }

@@ -167,10 +167,15 @@ impl SystemConfig {
     /// A single-core variant of the paper configuration, convenient for
     /// unit tests and single-threaded microbenchmarks.
     pub fn paper_single_core() -> Self {
-        SystemConfig {
-            cores: 1,
-            ..Self::paper()
-        }
+        Self::paper().with_cores(1)
+    }
+
+    /// The same configuration with a different core count. The shared
+    /// resources (LLC capacity, MSHR pool, DRAM channels) deliberately do
+    /// *not* scale with it — contention for them at higher counts is
+    /// exactly what the multi-core capacity search measures.
+    pub fn with_cores(self, cores: usize) -> Self {
+        SystemConfig { cores, ..self }
     }
 
     /// A scaled-down configuration for fast tests: one core, 8 KB L1,

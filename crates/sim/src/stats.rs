@@ -234,6 +234,26 @@ impl SimResult {
         self.llc.mpki(self.instructions())
     }
 
+    /// Per-core IPC, indexed by core id.
+    pub fn core_ipcs(&self) -> Vec<f64> {
+        self.cores.iter().map(CoreStats::ipc).collect()
+    }
+
+    /// Ratio of the slowest core's IPC to the fastest core's IPC — the raw
+    /// (workload-blind) fairness signal of a multi-core run. 1.0 means
+    /// perfectly balanced progress; values near 0 mean one core is starved.
+    /// Returns 1.0 for empty or all-idle runs so the metric is always a
+    /// valid ratio.
+    pub fn min_max_ipc_ratio(&self) -> f64 {
+        let ipcs = self.core_ipcs();
+        let max = ipcs.iter().cloned().fold(0.0_f64, f64::max);
+        if max == 0.0 {
+            return 1.0;
+        }
+        let min = ipcs.iter().cloned().fold(f64::INFINITY, f64::min);
+        min / max
+    }
+
     /// Geometric mean of per-core IPC speedups versus a baseline run of the
     /// same workload (the paper's "performance improvement" metric).
     ///
@@ -410,6 +430,31 @@ mod tests {
     #[test]
     fn accuracy_zero_when_no_prefetches() {
         assert_eq!(CacheStats::default().accuracy(), 0.0);
+    }
+
+    #[test]
+    fn min_max_ipc_ratio_bounds() {
+        let mut r = SimResult::default();
+        // No cores at all: degenerate but still a valid ratio.
+        assert_eq!(r.min_max_ipc_ratio(), 1.0);
+        r.cores = vec![
+            CoreStats {
+                instructions: 1000,
+                cycles: 1000,
+                ..Default::default()
+            },
+            CoreStats {
+                instructions: 500,
+                cycles: 2000,
+                ..Default::default()
+            },
+        ];
+        // IPCs 1.0 and 0.25.
+        assert!((r.min_max_ipc_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(r.core_ipcs(), vec![1.0, 0.25]);
+        // All-idle run (zero cycles everywhere).
+        r.cores.iter_mut().for_each(|c| c.cycles = 0);
+        assert_eq!(r.min_max_ipc_ratio(), 1.0);
     }
 
     #[test]

@@ -82,9 +82,39 @@ impl System {
         prefetchers: Vec<Box<dyn Prefetcher>>,
         instructions_per_core: u64,
     ) -> Self {
+        let targets = vec![instructions_per_core; cfg.cores];
+        Self::new_heterogeneous(cfg, sources, prefetchers, &targets)
+    }
+
+    /// Builds a system with a *per-core* retirement target — the substrate
+    /// for heterogeneous workload mixes, where cores carry different
+    /// programs with different instruction budgets but still contend for
+    /// the one shared LLC, MSHR pool, and DRAM channels.
+    ///
+    /// With every target equal this is exactly [`System::new`] (which
+    /// delegates here), so the homogeneous path cannot drift from the
+    /// heterogeneous one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or any vector length does
+    /// not match `cfg.cores`.
+    pub fn new_heterogeneous(
+        cfg: SystemConfig,
+        sources: Vec<Box<dyn InstrSource>>,
+        prefetchers: Vec<Box<dyn Prefetcher>>,
+        instructions_per_core: &[u64],
+    ) -> Self {
         assert_eq!(sources.len(), cfg.cores, "one instruction source per core");
-        let cores = (0..cfg.cores)
-            .map(|i| OooCore::new(CoreId(i), cfg.core, instructions_per_core))
+        assert_eq!(
+            instructions_per_core.len(),
+            cfg.cores,
+            "one instruction target per core"
+        );
+        let cores = instructions_per_core
+            .iter()
+            .enumerate()
+            .map(|(i, &target)| OooCore::new(CoreId(i), cfg.core, target))
             .collect();
         System {
             cores,
@@ -469,6 +499,54 @@ mod tests {
     fn source_count_must_match() {
         let cfg = SystemConfig::tiny();
         let _ = System::new(cfg, vec![], vec![Box::new(NoPrefetcher)], 100);
+    }
+
+    /// Per-core retirement targets: each core stops at its own budget, and
+    /// uniform targets are bit-for-bit the [`System::new`] path.
+    #[test]
+    fn heterogeneous_targets_honor_each_core() {
+        let cfg = SystemConfig::tiny().with_cores(2);
+        let r = System::new_heterogeneous(
+            cfg,
+            vec![streaming_source(0), streaming_source(1)],
+            vec![Box::new(NoPrefetcher), Box::new(NoPrefetcher)],
+            &[12_000, 3_000],
+        )
+        .run();
+        assert_eq!(r.cores[0].instructions, 12_000);
+        assert_eq!(r.cores[1].instructions, 3_000);
+        assert!(
+            r.cores[1].cycles < r.cores[0].cycles,
+            "the smaller budget must finish first"
+        );
+
+        let uniform = System::new_heterogeneous(
+            cfg,
+            vec![streaming_source(0), streaming_source(1)],
+            vec![Box::new(NoPrefetcher), Box::new(NoPrefetcher)],
+            &[8_000, 8_000],
+        )
+        .run();
+        let classic = System::new(
+            cfg,
+            vec![streaming_source(0), streaming_source(1)],
+            vec![Box::new(NoPrefetcher), Box::new(NoPrefetcher)],
+            8_000,
+        )
+        .run();
+        assert_eq!(uniform, classic, "uniform targets must match System::new");
+    }
+
+    #[test]
+    #[should_panic(expected = "one instruction target per core")]
+    fn target_count_must_match() {
+        let cfg = SystemConfig::tiny().with_cores(2);
+        let _ = System::new_heterogeneous(
+            cfg,
+            vec![streaming_source(0), streaming_source(1)],
+            vec![Box::new(NoPrefetcher), Box::new(NoPrefetcher)],
+            &[100],
+        );
     }
 
     /// A pointer-chase source: every 3rd instruction is a dependent load

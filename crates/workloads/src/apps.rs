@@ -167,6 +167,49 @@ impl Workload {
         }
     }
 
+    /// Parses a [`Workload::slug`] back into its workload — the spelling
+    /// used by mix-config files and trace-capture directories. `None` for
+    /// anything that is not exactly a known slug, so callers can report
+    /// the bad name instead of guessing.
+    pub fn from_slug(slug: &str) -> Option<Workload> {
+        Workload::ALL
+            .into_iter()
+            .chain(Workload::STRESS)
+            .find(|w| w.slug() == slug)
+    }
+
+    /// Builds the instruction source of one core slot.
+    ///
+    /// The source is a pure function of `(workload, core, seed)` — it does
+    /// *not* depend on how many cores the machine has — so a core slot
+    /// carries the identical instruction stream whether its neighbors run
+    /// the same workload (the homogeneous suite) or different ones (a
+    /// declarative mix). That invariance is what makes the mix path
+    /// bit-for-bit equal to the classic path at every matching slot.
+    pub fn source_for_core(self, core: usize, seed: u64) -> Box<dyn InstrSource> {
+        let base_addr = ((core as u64) + 1) << 44;
+        let core_seed = seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(core as u64 + 1);
+        let kernels = match self {
+            Workload::DataServing => data_serving(),
+            Workload::SatSolver => sat_solver(),
+            Workload::Streaming => streaming(),
+            Workload::Zeus => zeus(),
+            Workload::Em3d => em3d(),
+            Workload::Mix1 => spec(MIX1[core % 4]),
+            Workload::Mix2 => spec(MIX2[core % 4]),
+            Workload::Mix3 => spec(MIX3[core % 4]),
+            Workload::Mix4 => spec(MIX4[core % 4]),
+            Workload::Mix5 => spec(MIX5[core % 4]),
+            Workload::StressStorm => stress_storm(),
+            Workload::StressThrash => stress_thrash(),
+            Workload::StressChase => stress_chase(),
+            Workload::StressFlip => stress_flip(),
+        };
+        Box::new(WorkloadSource::new(kernels, core_seed, base_addr))
+    }
+
     /// Builds one instruction source per core.
     ///
     /// Server workloads run the same application on every core (distinct
@@ -174,29 +217,7 @@ impl Workload {
     /// cycling if `cores != 4`.
     pub fn sources(self, cores: usize, seed: u64) -> Vec<Box<dyn InstrSource>> {
         (0..cores)
-            .map(|core| {
-                let base_addr = ((core as u64) + 1) << 44;
-                let core_seed = seed
-                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                    .wrapping_add(core as u64 + 1);
-                let kernels = match self {
-                    Workload::DataServing => data_serving(),
-                    Workload::SatSolver => sat_solver(),
-                    Workload::Streaming => streaming(),
-                    Workload::Zeus => zeus(),
-                    Workload::Em3d => em3d(),
-                    Workload::Mix1 => spec(MIX1[core % 4]),
-                    Workload::Mix2 => spec(MIX2[core % 4]),
-                    Workload::Mix3 => spec(MIX3[core % 4]),
-                    Workload::Mix4 => spec(MIX4[core % 4]),
-                    Workload::Mix5 => spec(MIX5[core % 4]),
-                    Workload::StressStorm => stress_storm(),
-                    Workload::StressThrash => stress_thrash(),
-                    Workload::StressChase => stress_chase(),
-                    Workload::StressFlip => stress_flip(),
-                };
-                Box::new(WorkloadSource::new(kernels, core_seed, base_addr)) as Box<dyn InstrSource>
-            })
+            .map(|core| self.source_for_core(core, seed))
             .collect()
     }
 
@@ -935,6 +956,32 @@ mod tests {
         assert_eq!(Workload::Em3d.paper_mpki(), 32.4);
         assert_eq!(Workload::SatSolver.paper_mpki(), 1.7);
         assert_eq!(Workload::Mix1.paper_mpki(), 15.7);
+    }
+
+    #[test]
+    fn from_slug_round_trips_every_workload() {
+        for w in Workload::ALL.into_iter().chain(Workload::STRESS) {
+            assert_eq!(Workload::from_slug(w.slug()), Some(w), "{w}");
+        }
+        assert_eq!(Workload::from_slug("not-a-workload"), None);
+        assert_eq!(
+            Workload::from_slug("Data-Serving"),
+            None,
+            "slugs are case-sensitive"
+        );
+        assert_eq!(Workload::from_slug(""), None);
+    }
+
+    #[test]
+    fn source_for_core_matches_sources_slot() {
+        let whole = Workload::Mix3.sources(4, 42);
+        for (core, from_sources) in whole.into_iter().enumerate() {
+            let mut from_sources = from_sources;
+            let mut slot = Workload::Mix3.source_for_core(core, 42);
+            for _ in 0..2000 {
+                assert_eq!(slot.next_instr(), from_sources.next_instr(), "core {core}");
+            }
+        }
     }
 
     #[test]
