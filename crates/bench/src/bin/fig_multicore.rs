@@ -259,7 +259,8 @@ fn starvation_experiment(mix: &MixConfig, scale: RunScale) -> String {
     } else {
         "the polite core loses >5% of its unthrottled IPC: the chip-wide throttle starves it"
     };
-    println!("=> {verdict}\n");
+    println!("=> {verdict}");
+    println!("   (fig_qos reruns this comparison with the per-core throttle arm)\n");
 
     format!(
         "{{\"starvation\":{{\"mix\":\"{}\",\"pressure\":\"{}\",\"cores\":2,\

@@ -8,12 +8,15 @@
 //!
 //! * **off** — no prefetcher (the safety baseline),
 //! * **unthrottled** — Bingo with `BINGO_THROTTLE=off`,
-//! * **feedback** — Bingo with the closed-loop throttle.
+//! * **feedback** — Bingo with the closed-loop chip-wide throttle,
+//! * **percore** — Bingo with per-core controllers and the starvation
+//!   watchdog (`BINGO_THROTTLE=percore`).
 //!
 //! The acceptance criterion, asserted at the end of the sweep:
 //!
-//! 1. feedback-throttled Bingo stays within 5% of the prefetcher-off IPC
-//!    on *every* (pressure, workload) cell, and
+//! 1. feedback-throttled *and* percore-throttled Bingo each stay within
+//!    5% of the prefetcher-off IPC on *every* (pressure, workload) cell,
+//!    and
 //! 2. unthrottled Bingo loses more than 5% on at least one cell —
 //!    otherwise the stress family is not adversarial enough to prove
 //!    anything about graceful degradation.
@@ -34,11 +37,12 @@ use bingo_workloads::Workload;
 /// contention and queue-full) carry load.
 const PRESSURES: [Pressure; 2] = [Pressure::CONSTRAINED, Pressure::SCARCE];
 
-/// The three configurations compared in every cell.
-const CONFIGS: [(&str, PrefetcherKind, ThrottleMode); 3] = [
+/// The four configurations compared in every cell.
+const CONFIGS: [(&str, PrefetcherKind, ThrottleMode); 4] = [
     ("off", PrefetcherKind::None, ThrottleMode::Off),
     ("unthrottled", PrefetcherKind::Bingo, ThrottleMode::Off),
     ("feedback", PrefetcherKind::Bingo, ThrottleMode::Feedback),
+    ("percore", PrefetcherKind::Bingo, ThrottleMode::Percore),
 ];
 
 /// Tolerated IPC loss versus the prefetcher-off baseline.
@@ -104,10 +108,11 @@ fn main() {
         "Off IPC",
         "Unthrottled",
         "Feedback",
+        "Percore",
     ]);
     // Speedup of each Bingo configuration over the prefetcher-off run of
     // the same cell; < 1.0 means the prefetcher made things worse.
-    let mut feedback_violations: Vec<String> = Vec::new();
+    let mut throttled_violations: Vec<String> = Vec::new();
     let mut worst_unthrottled = (f64::INFINITY, String::new());
     for (pi, p) in PRESSURES.iter().enumerate() {
         for (wi, w) in Workload::STRESS.into_iter().enumerate() {
@@ -115,12 +120,16 @@ fn main() {
             let off = &results[base];
             let unthrottled = results[base + 1].speedup_over(off);
             let feedback = results[base + 2].speedup_over(off);
+            let percore = results[base + 3].speedup_over(off);
             let cell = format!("{}/{}", p.name, w.name());
             if unthrottled < worst_unthrottled.0 {
                 worst_unthrottled = (unthrottled, cell.clone());
             }
             if feedback < 1.0 - TOLERANCE {
-                feedback_violations.push(format!("{cell}: {feedback:.3}x"));
+                throttled_violations.push(format!("{cell} (feedback): {feedback:.3}x"));
+            }
+            if percore < 1.0 - TOLERANCE {
+                throttled_violations.push(format!("{cell} (percore): {percore:.3}x"));
             }
             t.row(vec![
                 p.name.into(),
@@ -128,6 +137,7 @@ fn main() {
                 f2(off.aggregate_ipc()),
                 format!("{}x", f2(unthrottled)),
                 format!("{}x", f2(feedback)),
+                format!("{}x", f2(percore)),
             ]);
         }
     }
@@ -142,11 +152,11 @@ fn main() {
     );
 
     assert!(
-        feedback_violations.is_empty(),
-        "feedback throttling failed to degrade gracefully — cells more than \
+        throttled_violations.is_empty(),
+        "throttling failed to degrade gracefully — cells more than \
          {:.0}% below the prefetcher-off baseline: {}",
         TOLERANCE * 100.0,
-        feedback_violations.join(", ")
+        throttled_violations.join(", ")
     );
     assert!(
         worst_unthrottled.0 < 1.0 - TOLERANCE,
@@ -157,8 +167,8 @@ fn main() {
         worst_unthrottled.0
     );
     println!(
-        "\nPASS: feedback throttling stayed within {:.0}% of prefetcher-off \
-         everywhere; unthrottled lost {:.1}% on {}.",
+        "\nPASS: feedback and percore throttling stayed within {:.0}% of \
+         prefetcher-off everywhere; unthrottled lost {:.1}% on {}.",
         TOLERANCE * 100.0,
         (1.0 - worst_unthrottled.0) * 100.0,
         worst_unthrottled.1

@@ -32,7 +32,10 @@ use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::{Mutex, PoisonError};
 
-use bingo_sim::{CacheStats, CoreStats, IngestReport, SimResult, SourceCounters, TelemetryReport};
+use bingo_sim::{
+    CacheStats, CoreQos, CoreStats, IngestReport, QosReport, SimResult, SourceCounters,
+    TelemetryReport,
+};
 
 /// Environment variable naming the checkpoint file for CLI sweeps.
 pub const CHECKPOINT_ENV: &str = "BINGO_CHECKPOINT";
@@ -238,6 +241,33 @@ pub(crate) fn serialize_entry(key: &str, r: &SimResult) -> String {
         s.push_str(&format!(
             ",\"ingest\":[{},{},{},{}]",
             g.delivered_records, g.quarantined_records, g.quarantined_bytes, g.skipped_chunks
+        ));
+    }
+    // Optional again: only `percore`-throttled runs carry QoS accounting.
+    // Absent field -> None keeps every earlier checkpoint generation
+    // parseable, and `off|static|feedback` lines byte-identical.
+    if let Some(q) = &r.qos {
+        s.push_str(",\"qos\":{\"cores\":[");
+        for (i, c) in q.cores.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "[{},{},{},{},{},{},{},{},{}]",
+                c.demand_accesses,
+                c.pf_issued,
+                c.pf_used,
+                c.prefetch_reads,
+                c.reads,
+                c.epochs,
+                c.degrades,
+                c.upgrades,
+                c.final_level
+            ));
+        }
+        s.push_str(&format!(
+            "],\"watchdog\":[{},{},{},{}]}}",
+            q.watchdog_epochs, q.watchdog_starved_epochs, q.watchdog_clamps, q.watchdog_exempted
         ));
     }
     s.push('}');
@@ -518,6 +548,11 @@ fn parse_entry(line: &str) -> Option<(String, SimResult)> {
             Some(v) => Some(parse_ingest(v)?),
             None => None,
         },
+        // Optional: only percore-throttled lines carry QoS accounting.
+        qos: match root.field("qos") {
+            Some(v) => Some(parse_qos(v)?),
+            None => None,
+        },
     };
     Some((key, result))
 }
@@ -534,6 +569,43 @@ fn parse_ingest(v: &Json) -> Option<IngestReport> {
         quarantined_records: a[1].num()?,
         quarantined_bytes: a[2].num()?,
         skipped_chunks: a[3].num()?,
+    })
+}
+
+fn parse_qos(v: &Json) -> Option<QosReport> {
+    let cores = v
+        .field("cores")?
+        .arr()?
+        .iter()
+        .map(|c| {
+            let a = c.arr()?;
+            // Exactly 9 today; extras would ride at the end.
+            if a.len() < 9 {
+                return None;
+            }
+            Some(CoreQos {
+                demand_accesses: a[0].num()?,
+                pf_issued: a[1].num()?,
+                pf_used: a[2].num()?,
+                prefetch_reads: a[3].num()?,
+                reads: a[4].num()?,
+                epochs: a[5].num()?,
+                degrades: a[6].num()?,
+                upgrades: a[7].num()?,
+                final_level: u8::try_from(a[8].num()?).ok()?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let wd = v.field("watchdog")?.arr()?;
+    if wd.len() < 4 {
+        return None;
+    }
+    Some(QosReport {
+        cores,
+        watchdog_epochs: wd[0].num()?,
+        watchdog_starved_epochs: wd[1].num()?,
+        watchdog_clamps: wd[2].num()?,
+        watchdog_exempted: wd[3].num()?,
     })
 }
 
@@ -720,6 +792,7 @@ mod tests {
             ],
             telemetry: None,
             ingest: None,
+            qos: None,
         }
     }
 
@@ -825,6 +898,59 @@ mod tests {
         assert_eq!(parse_entry(&extended).expect("parses").1.ingest, r.ingest);
         let torn = line.replace("\"ingest\":[10000,37,612,3]", "\"ingest\":[10000,37]");
         assert!(parse_entry(&torn).is_none(), "2-element ingest is corrupt");
+    }
+
+    #[test]
+    fn round_trip_preserves_qos_report() {
+        let mut r = sample_result(11);
+        r.qos = Some(QosReport {
+            cores: vec![
+                CoreQos {
+                    demand_accesses: 5_000,
+                    pf_issued: 900,
+                    pf_used: 700,
+                    prefetch_reads: 850,
+                    reads: 1_400,
+                    epochs: 12,
+                    degrades: 2,
+                    upgrades: 1,
+                    final_level: 1,
+                },
+                CoreQos {
+                    demand_accesses: 4_800,
+                    pf_issued: 40,
+                    pf_used: 39,
+                    prefetch_reads: 38,
+                    reads: 620,
+                    epochs: 12,
+                    degrades: 0,
+                    upgrades: 0,
+                    final_level: 0,
+                },
+            ],
+            watchdog_epochs: 6,
+            watchdog_starved_epochs: 2,
+            watchdog_clamps: 1,
+            watchdog_exempted: 0,
+        });
+        let line = serialize_entry("42/1000/500/mix/throttle=percore", &r);
+        let (key, parsed) = parse_entry(&line).expect("own output parses");
+        assert_eq!(key, "42/1000/500/mix/throttle=percore");
+        assert_eq!(parsed.qos, r.qos);
+        // Pre-qos lines (no field) parse to None, and a qos-free result
+        // serializes without the field at all — off/static/feedback lines
+        // stay byte-identical to what older builds wrote.
+        let plain = serialize_entry("k", &sample_result(11));
+        assert!(!plain.contains("\"qos\""));
+        let (_, parsed) = parse_entry(&plain).expect("parses");
+        assert!(parsed.qos.is_none());
+        // A torn per-core array is corrupt, not silently zero-filled.
+        let torn = line.replace("[5000,900,700,850,1400,12,2,1,1]", "[5000,900]");
+        assert_ne!(torn, line, "replacement must hit");
+        assert!(
+            parse_entry(&torn).is_none(),
+            "2-element core qos is corrupt"
+        );
     }
 
     /// Checkpoint files written before the bounded prefetch queue existed

@@ -90,6 +90,70 @@ pub fn trace_chunk_from_env() -> Option<u32> {
     Some(records)
 }
 
+/// Environment variable overriding the per-core QoS starvation SLO used
+/// by `BINGO_THROTTLE=percore`: the minimum acceptable min/max progress
+/// ratio across cores before the watchdog clamps the offending cores.
+/// Unset falls back to [`bingo_sim::DEFAULT_QOS_SLO`].
+pub const QOS_SLO_ENV: &str = "BINGO_QOS_SLO";
+
+/// Reads [`QOS_SLO_ENV`]: `None` when unset.
+///
+/// # Panics
+///
+/// Panics if the variable is set but is not a finite ratio in `(0, 1]`.
+pub fn qos_slo_from_env() -> Option<f64> {
+    let slo = from_env(QOS_SLO_ENV, "a ratio in (0, 1]", |v| v.parse::<f64>().ok())?;
+    assert!(
+        slo.is_finite() && slo > 0.0 && slo <= 1.0,
+        "{QOS_SLO_ENV} must be a ratio in (0, 1], got {slo}"
+    );
+    Some(slo)
+}
+
+/// Environment variable gating the chaos cells of the figure binaries:
+/// `standard` (the [`bingo_sim::ChaosPlan::standard`] perturbation
+/// schedule, seeded from [`CHAOS_SEED_ENV`]) or `off` to skip them. The
+/// chaos cells are part of the committed figures, so unset means
+/// `standard`.
+pub const CHAOS_ENV: &str = "BINGO_CHAOS";
+
+/// Reads [`CHAOS_ENV`]: `true` when unset.
+///
+/// # Panics
+///
+/// Panics if the variable is set but is neither `off` nor `standard` —
+/// an unrecognized chaos spec must not silently run a calm simulation
+/// and report its numbers as chaos-hardened.
+pub fn chaos_from_env() -> bool {
+    from_env(CHAOS_ENV, "one of off/standard", |v| match v {
+        "off" => Some(false),
+        "standard" => Some(true),
+        _ => None,
+    })
+    .unwrap_or(true)
+}
+
+/// Environment variable seeding the chaos injector's PRNG when
+/// [`CHAOS_ENV`] is `standard`. Unset uses the documented default so CI
+/// cells replay bit-for-bit.
+pub const CHAOS_SEED_ENV: &str = "BINGO_CHAOS_SEED";
+
+/// Default chaos seed: committed so every CI chaos cell replays the same
+/// perturbation log.
+pub const DEFAULT_CHAOS_SEED: u64 = 0xB1A60;
+
+/// Reads [`CHAOS_SEED_ENV`], defaulting to [`DEFAULT_CHAOS_SEED`].
+///
+/// # Panics
+///
+/// Panics if the variable is set but not an unsigned 64-bit integer.
+pub fn chaos_seed_from_env() -> u64 {
+    from_env(CHAOS_SEED_ENV, "an unsigned 64-bit integer", |v| {
+        v.parse::<u64>().ok()
+    })
+    .unwrap_or(DEFAULT_CHAOS_SEED)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,6 +186,73 @@ mod tests {
             "{TRACE_CHUNK_ENV} must be a positive integer <= {}, got {records}",
             bingo_trace::MAX_CHUNK_RECORDS
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "BINGO_QOS_SLO must be a ratio in (0, 1], got \"fast\"")]
+    fn qos_slo_rejects_non_numeric() {
+        let _: f64 = parse(QOS_SLO_ENV, "fast", "a ratio in (0, 1]", |v| v.parse().ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "BINGO_QOS_SLO must be a ratio in (0, 1], got 0")]
+    fn qos_slo_rejects_zero() {
+        // Hermetic mirror of `qos_slo_from_env`'s bounds check: zero parses
+        // as a float and must be caught by the range assert.
+        let slo: f64 = parse(QOS_SLO_ENV, "0", "a ratio in (0, 1]", |v| v.parse().ok());
+        assert!(
+            slo.is_finite() && slo > 0.0 && slo <= 1.0,
+            "{QOS_SLO_ENV} must be a ratio in (0, 1], got {slo}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "BINGO_QOS_SLO must be a ratio in (0, 1], got 1.5")]
+    fn qos_slo_rejects_above_one() {
+        let slo: f64 = parse(QOS_SLO_ENV, "1.5", "a ratio in (0, 1]", |v| v.parse().ok());
+        assert!(
+            slo.is_finite() && slo > 0.0 && slo <= 1.0,
+            "{QOS_SLO_ENV} must be a ratio in (0, 1], got {slo}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "BINGO_QOS_SLO must be a ratio in (0, 1], got NaN")]
+    fn qos_slo_rejects_nan() {
+        let slo: f64 = parse(QOS_SLO_ENV, "NaN", "a ratio in (0, 1]", |v| v.parse().ok());
+        assert!(
+            slo.is_finite() && slo > 0.0 && slo <= 1.0,
+            "{QOS_SLO_ENV} must be a ratio in (0, 1], got {slo}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "BINGO_CHAOS must be one of off/standard, got \"maximum\"")]
+    fn chaos_rejects_unknown_spec() {
+        let _: bool = parse(CHAOS_ENV, "maximum", "one of off/standard", |v| match v {
+            "off" => Some(false),
+            "standard" => Some(true),
+            _ => None,
+        });
+    }
+
+    #[test]
+    fn chaos_parses_both_modes() {
+        let spec = |v: &str| match v {
+            "off" => Some(false),
+            "standard" => Some(true),
+            _ => None,
+        };
+        assert!(!parse(CHAOS_ENV, "off", "one of off/standard", spec));
+        assert!(parse(CHAOS_ENV, " standard ", "one of off/standard", spec));
+    }
+
+    #[test]
+    #[should_panic(expected = "BINGO_CHAOS_SEED must be an unsigned 64-bit integer, got \"-1\"")]
+    fn chaos_seed_rejects_negative() {
+        let _: u64 = parse(CHAOS_SEED_ENV, "-1", "an unsigned 64-bit integer", |v| {
+            v.parse().ok()
+        });
     }
 
     #[test]

@@ -39,7 +39,10 @@ pub use differential::{
     bingo_config_variants, diff_bingo, diff_bingo_instances, diff_with_oracle, fuzz_baseline,
     fuzz_bingo, shrink_bingo_mismatch, FuzzFailure, FuzzReport, Mismatch,
 };
-pub use knobs::{pf_queue_from_env, trace_chunk_from_env, PF_QUEUE_ENV, TRACE_CHUNK_ENV};
+pub use knobs::{
+    chaos_from_env, chaos_seed_from_env, pf_queue_from_env, qos_slo_from_env, trace_chunk_from_env,
+    CHAOS_ENV, CHAOS_SEED_ENV, DEFAULT_CHAOS_SEED, PF_QUEUE_ENV, QOS_SLO_ENV, TRACE_CHUNK_ENV,
+};
 pub use mix::{
     find_knee, CapacityCell, CapacitySearch, FairnessReport, MixAssignment, MixConfig, MixError,
     Pressure, Ramp, KNEE_FRACTION,
@@ -51,11 +54,12 @@ pub use perf_record::{
 pub use runner::{
     cell_key, cell_key_with_options, cell_key_with_telemetry, default_jobs, geometric_mean, mean,
     mix_cell_key, mix_solo_key, parallel_map, run_cell, run_cell_configured, run_mix_configured,
-    run_mix_solo_configured, run_one, run_one_configured, run_one_with_deadline, run_trace_cell,
-    run_trace_one_configured, telemetry_from_env, throttle_from_env, trace_cell_key, CellFailure,
-    CellOutcome, Evaluation, GridReport, Harness, MixCell, MixCellFailure, MixEvaluation,
-    MixGridReport, ParallelHarness, PrefetcherKind, RunScale, TraceCellFailure, TraceEvaluation,
-    TraceGridReport, CELL_TIMEOUT_ENV, TELEMETRY_ENV, THROTTLE_ENV,
+    run_mix_qos, run_mix_solo_configured, run_one, run_one_configured, run_one_with_deadline,
+    run_trace_cell, run_trace_one_configured, telemetry_from_env, throttle_from_env,
+    trace_cell_key, CellFailure, CellOutcome, Evaluation, GridReport, Harness, MixCell,
+    MixCellFailure, MixEvaluation, MixGridReport, ParallelHarness, PrefetcherKind, RunScale,
+    TraceCellFailure, TraceEvaluation, TraceGridReport, CELL_TIMEOUT_ENV, TELEMETRY_ENV,
+    THROTTLE_ENV,
 };
 pub use stats_export::{StatsExport, STATS_ENV};
 pub use table::{f2, pct, Table};

@@ -36,8 +36,8 @@ use bingo_baselines::{
     StridePrefetcher, Vldp, VldpConfig,
 };
 use bingo_sim::{
-    CoverageReport, FaultPlan, FaultyPrefetcher, NextLinePrefetcher, NoPrefetcher, Prefetcher,
-    SimAbort, SimResult, System, SystemConfig, TelemetryLevel, ThrottleMode,
+    ChaosInjector, CoverageReport, FaultPlan, FaultyPrefetcher, NextLinePrefetcher, NoPrefetcher,
+    Prefetcher, SimAbort, SimResult, System, SystemConfig, TelemetryLevel, ThrottleMode,
 };
 use bingo_workloads::{TraceWorkload, Workload};
 
@@ -332,8 +332,9 @@ pub fn telemetry_from_env() -> TelemetryLevel {
 
 /// Environment variable selecting the prefetch-throttle mode for CLI
 /// sweeps: `off` (default, bit-for-bit identical to a build without the
-/// throttle subsystem), `static` (pinned conservative degree), or
-/// `feedback` (closed-loop accuracy/bandwidth control).
+/// throttle subsystem), `static` (pinned conservative degree),
+/// `feedback` (closed-loop accuracy/bandwidth control), or `percore`
+/// (one feedback controller per core plus the starvation watchdog).
 pub const THROTTLE_ENV: &str = "BINGO_THROTTLE";
 
 /// Reads [`THROTTLE_ENV`], aborting loudly on garbage — a typo'd mode
@@ -345,7 +346,7 @@ pub const THROTTLE_ENV: &str = "BINGO_THROTTLE";
 pub fn throttle_from_env() -> ThrottleMode {
     knobs::from_env(
         THROTTLE_ENV,
-        "one of off/static/feedback",
+        "one of off/static/feedback/percore",
         ThrottleMode::parse,
     )
     .unwrap_or(ThrottleMode::Off)
@@ -552,7 +553,9 @@ pub fn cell_key_with_options(
     let base = cell_key_with_telemetry(scale, workload, kind, telemetry);
     match throttle {
         ThrottleMode::Off => base,
-        ThrottleMode::Static | ThrottleMode::Feedback => format!("{base}/throttle={throttle}"),
+        ThrottleMode::Static | ThrottleMode::Feedback | ThrottleMode::Percore => {
+            format!("{base}/throttle={throttle}")
+        }
     }
 }
 
@@ -651,7 +654,9 @@ pub fn trace_cell_key(
     };
     match throttle {
         ThrottleMode::Off => base,
-        ThrottleMode::Static | ThrottleMode::Feedback => format!("{base}/throttle={throttle}"),
+        ThrottleMode::Static | ThrottleMode::Feedback | ThrottleMode::Percore => {
+            format!("{base}/throttle={throttle}")
+        }
     }
 }
 
@@ -1891,6 +1896,52 @@ pub fn run_mix_configured(
     system.try_run()
 }
 
+/// [`run_mix_configured`] with the QoS extensions: an explicit
+/// starvation-SLO override for [`ThrottleMode::Percore`] (falling back
+/// to [`bingo_sim::DEFAULT_QOS_SLO`] when `None`) and an optional
+/// [`ChaosInjector`] perturbing the live run. A `None`/`None` call is
+/// bit-for-bit [`run_mix_configured`]: the config field stays at its
+/// default and no injector is attached.
+///
+/// # Errors
+///
+/// Same as [`run_mix_configured`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_mix_qos(
+    mix: &MixConfig,
+    cores: usize,
+    pressure: &Pressure,
+    scale: RunScale,
+    deadline: Option<Duration>,
+    throttle: ThrottleMode,
+    qos_slo: Option<f64>,
+    chaos: Option<ChaosInjector>,
+) -> Result<SimResult, SimAbort> {
+    assert!(cores > 0, "a mix machine needs at least one core");
+    let mut cfg = SystemConfig::paper().with_cores(cores);
+    pressure.apply(&mut cfg);
+    cfg.qos_slo = qos_slo;
+    let sources = (0..cores)
+        .map(|i| mix.assignment(i).workload.source_for_core(i, scale.seed))
+        .collect();
+    let prefetchers = (0..cores)
+        .map(|i| mix.assignment(i).prefetcher.build())
+        .collect();
+    let targets: Vec<u64> = (0..cores)
+        .map(|i| mix.assignment(i).instructions(scale.instructions_per_core))
+        .collect();
+    let mut system = System::new_heterogeneous(cfg, sources, prefetchers, &targets)
+        .with_warmup(scale.warmup_per_core)
+        .with_throttle(throttle);
+    if let Some(injector) = chaos {
+        system = system.with_chaos(injector);
+    }
+    if let Some(limit) = deadline {
+        system = system.with_time_limit(limit);
+    }
+    system.try_run()
+}
+
 /// Runs one mix slot *alone*: the identical instruction stream (same
 /// slot index, so same seed and address space), prefetcher, and
 /// instruction target as in the mix, but on a 1-core machine with the
@@ -1944,7 +1995,9 @@ fn decorate_mix_key(
     };
     match throttle {
         ThrottleMode::Off => base,
-        ThrottleMode::Static | ThrottleMode::Feedback => format!("{base}/throttle={throttle}"),
+        ThrottleMode::Static | ThrottleMode::Feedback | ThrottleMode::Percore => {
+            format!("{base}/throttle={throttle}")
+        }
     }
 }
 

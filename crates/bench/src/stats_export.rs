@@ -151,6 +151,7 @@ mod tests {
             prefetcher_metrics: vec![vec![]],
             telemetry: None,
             ingest: None,
+            qos: None,
         }
     }
 

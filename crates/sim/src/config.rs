@@ -113,6 +113,12 @@ pub struct SystemConfig {
     /// queue-full classification instead of issuing them; demand misses are
     /// never gated by this bound.
     pub prefetch_queue_depth: Option<usize>,
+    /// Starvation SLO for the per-core throttle mode: the minimum
+    /// acceptable min/max per-core progress ratio before the watchdog
+    /// clamps the offending core(s). `None` uses
+    /// [`throttle::DEFAULT_QOS_SLO`](crate::throttle::DEFAULT_QOS_SLO);
+    /// ignored by every other throttle mode.
+    pub qos_slo: Option<f64>,
 }
 
 impl SystemConfig {
@@ -161,6 +167,7 @@ impl SystemConfig {
             region: RegionGeometry::default(),
             llc_mshrs_reserved_for_demand: 32,
             prefetch_queue_depth: None,
+            qos_slo: None,
         }
     }
 
@@ -216,6 +223,7 @@ impl SystemConfig {
             region: RegionGeometry::default(),
             llc_mshrs_reserved_for_demand: 8,
             prefetch_queue_depth: None,
+            qos_slo: None,
         }
     }
 
@@ -267,6 +275,11 @@ impl SystemConfig {
             return Err("prefetch queue depth of 0 disables prefetching entirely; \
                         use a no-op prefetcher instead"
                 .into());
+        }
+        if let Some(slo) = self.qos_slo {
+            if !(slo.is_finite() && slo > 0.0 && slo <= 1.0) {
+                return Err(format!("qos_slo must be a ratio in (0, 1], got {slo}"));
+            }
         }
         Ok(())
     }

@@ -74,6 +74,9 @@ pub struct Dram {
     /// and bank counts are powers of two, reducing the per-read address
     /// map to shifts and masks instead of two integer divisions.
     pow2_map: Option<(u64, u32, u64)>,
+    /// Queue wait (cycles) of the most recent read — the per-core throttle
+    /// reads this right after a fill to attribute queueing to the issuer.
+    last_read_wait: u64,
     /// Statistics; reset with [`Dram::reset_stats`].
     pub stats: DramStats,
 }
@@ -104,6 +107,7 @@ impl Dram {
             channels,
             row_shift: row_blocks.trailing_zeros(),
             pow2_map,
+            last_read_wait: 0,
             stats: DramStats::default(),
         }
     }
@@ -111,6 +115,30 @@ impl Dram {
     /// The configuration this subsystem was built with.
     pub fn config(&self) -> &DramConfig {
         &self.cfg
+    }
+
+    /// Queue wait (cycles) incurred by the most recent read. Zero until the
+    /// first read.
+    pub fn last_read_wait(&self) -> u64 {
+        self.last_read_wait
+    }
+
+    /// Current per-transfer channel occupancy.
+    pub fn transfer_cycles(&self) -> u64 {
+        self.cfg.transfer_cycles
+    }
+
+    /// Overrides the per-transfer channel occupancy mid-run. Chaos hook:
+    /// a transient bandwidth collapse multiplies this up for a window and
+    /// restores it afterwards. Open rows and channel `free_at` bookkeeping
+    /// are untouched, so the change takes effect on the next transfer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is zero (infinite bandwidth is not modeled).
+    pub fn set_transfer_cycles(&mut self, cycles: u64) {
+        assert!(cycles > 0, "transfer_cycles must be nonzero");
+        self.cfg.transfer_cycles = cycles;
     }
 
     fn map(&self, block: BlockAddr) -> (usize, usize, u64) {
@@ -145,6 +173,7 @@ impl Dram {
         let ch = &mut self.channels[ch_idx];
         let start = now.max(ch.free_at);
         self.stats.queue_wait_cycles += start - now;
+        self.last_read_wait = start - now;
         if prefetch {
             self.stats.prefetch_reads += 1;
         } else {

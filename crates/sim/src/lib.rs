@@ -50,6 +50,7 @@
 
 pub mod addr;
 pub mod cache;
+pub mod chaos;
 pub mod config;
 pub mod core_model;
 pub mod dram;
@@ -66,6 +67,7 @@ pub mod trace;
 
 pub use addr::{Addr, BlockAddr, CoreId, Pc, RegionGeometry, RegionId, BLOCK_BYTES, BLOCK_SHIFT};
 pub use cache::{Cache, Evicted, Lookup, ReplacementPolicy};
+pub use chaos::{AppliedPerturbation, ChaosInjector, ChaosKind, ChaosPlan, PhaseFlipSource};
 pub use config::{CacheConfig, CoreConfig, DramConfig, SystemConfig};
 pub use core_model::{Instr, InstrSource, OooCore};
 pub use dram::{Dram, DramStats};
@@ -74,13 +76,18 @@ pub use memory::{IssueResult, MemorySystem};
 pub use openmap::OpenMap;
 pub use prefetch::{AccessInfo, FaultyPrefetcher, NextLinePrefetcher, NoPrefetcher, Prefetcher};
 pub use replay::{PrefetchEvent, PrefetchTrace, ReplayParseError, ReplayStep};
-pub use stats::{CacheStats, CoreStats, CoverageReport, IngestReport, SimResult};
+pub use stats::{
+    CacheStats, CoreQos, CoreStats, CoverageReport, IngestReport, QosReport, SimResult,
+};
 pub use system::{SimAbort, System};
 pub use telemetry::{
     DropReason, LifecycleEvent, LifecycleEventKind, PrefetchLedger, PrefetchSource, SourceCounters,
     TelemetryLevel, TelemetryReport,
 };
-pub use throttle::{ThrottleController, ThrottleLevel, ThrottleMode, ThrottleStats};
+pub use throttle::{
+    CoreSignals, PercoreThrottle, ThrottleController, ThrottleLevel, ThrottleMode, ThrottleStats,
+    WatchdogStats, DEFAULT_QOS_SLO,
+};
 pub use trace::{record, Trace, TraceError, TraceSource};
 
 /// Asserts an internal invariant, compiled in only under the `audit`

@@ -22,11 +22,14 @@ use crate::cache::{Cache, Lookup};
 use crate::config::SystemConfig;
 use crate::dram::Dram;
 use crate::prefetch::{AccessInfo, Prefetcher};
-use crate::stats::CacheStats;
+use crate::stats::{CacheStats, QosReport};
 use crate::telemetry::{
     DropReason, PrefetchLedger, PrefetchSource, TelemetryLevel, TelemetryReport,
 };
-use crate::throttle::{ThrottleController, ThrottleLevel, ThrottleMode, ThrottleStats};
+use crate::throttle::{
+    PercoreThrottle, ThrottleController, ThrottleLevel, ThrottleMode, ThrottleStats,
+    DEFAULT_QOS_SLO,
+};
 
 /// Result of issuing a memory operation.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -66,6 +69,10 @@ pub struct MemorySystem {
     /// `None` when `BINGO_THROTTLE=off`: the hot path then pays a single
     /// branch per access, and behavior is bit-for-bit the unthrottled one.
     throttle: Option<ThrottleController>,
+    /// Per-core throttle + starvation watchdog (`BINGO_THROTTLE=percore`).
+    /// Mutually exclusive with the chip-wide controller above; `None` in
+    /// every other mode, so the percore machinery cannot perturb them.
+    percore: Option<PercoreThrottle>,
     /// Per-core level of the most recent demand stall. Fresh whenever a
     /// core is currently mem-stalled (it re-stalled this very cycle).
     stall_level: Vec<StallLevel>,
@@ -97,6 +104,7 @@ impl MemorySystem {
             pf_buf: Vec::with_capacity(64),
             ledger: PrefetchLedger::new(TelemetryLevel::Off),
             throttle: None,
+            percore: None,
             stall_level: vec![StallLevel::L1; cfg.cores],
             cfg,
         }
@@ -113,15 +121,32 @@ impl MemorySystem {
     /// [`ThrottleMode::Off`] no controller exists at all, so disabled
     /// throttling cannot perturb a run.
     pub fn set_throttle(&mut self, mode: ThrottleMode) {
-        self.throttle = mode.enabled().then(|| {
-            ThrottleController::new(mode).with_dram_service_cycles(self.cfg.dram.transfer_cycles)
-        });
-        let level = self
-            .throttle
-            .as_ref()
-            .map_or(ThrottleLevel::Full, ThrottleController::level);
-        for pf in &mut self.prefetchers {
-            pf.set_throttle_level(level);
+        self.throttle = None;
+        self.percore = None;
+        if mode == ThrottleMode::Percore {
+            let slo = self.cfg.qos_slo.unwrap_or(DEFAULT_QOS_SLO);
+            self.percore = Some(
+                PercoreThrottle::new(self.cfg.cores, slo)
+                    .with_dram_service_cycles(self.cfg.dram.transfer_cycles),
+            );
+        } else if mode.enabled() {
+            self.throttle = Some(
+                ThrottleController::new(mode)
+                    .with_dram_service_cycles(self.cfg.dram.transfer_cycles),
+            );
+        }
+        if let Some(pt) = self.percore.as_ref() {
+            for (i, pf) in self.prefetchers.iter_mut().enumerate() {
+                pf.set_throttle_level(pt.level(i));
+            }
+        } else {
+            let level = self
+                .throttle
+                .as_ref()
+                .map_or(ThrottleLevel::Full, ThrottleController::level);
+            for pf in &mut self.prefetchers {
+                pf.set_throttle_level(level);
+            }
         }
     }
 
@@ -137,6 +162,17 @@ impl MemorySystem {
         self.throttle
             .as_ref()
             .map_or(ThrottleLevel::Full, ThrottleController::level)
+    }
+
+    /// The per-core throttle, when `BINGO_THROTTLE=percore` is active.
+    pub fn percore_throttle(&self) -> Option<&PercoreThrottle> {
+        self.percore.as_ref()
+    }
+
+    /// The per-core QoS attribution report; `None` unless the percore
+    /// throttle mode is active.
+    pub fn qos_report(&self) -> Option<QosReport> {
+        self.percore.as_ref().map(PercoreThrottle::report)
     }
 
     /// The prefetch-lifecycle ledger (off by default).
@@ -185,6 +221,37 @@ impl MemorySystem {
         &self.dram.stats
     }
 
+    /// Current DRAM per-transfer channel occupancy (chaos observability).
+    pub fn dram_transfer_cycles(&self) -> u64 {
+        self.dram.transfer_cycles()
+    }
+
+    /// Chaos hook: overrides the DRAM per-transfer occupancy mid-run to
+    /// model a transient bandwidth collapse. The throttle controllers keep
+    /// judging congestion against the *configured* service time, so a
+    /// collapse shows up to them as queueing — exactly how a real
+    /// controller experiences it.
+    pub fn set_dram_transfer_cycles(&mut self, cycles: u64) {
+        self.dram.set_transfer_cycles(cycles);
+    }
+
+    /// Current prefetch-queue bound (chaos observability).
+    pub fn prefetch_queue_depth(&self) -> Option<usize> {
+        self.cfg.prefetch_queue_depth
+    }
+
+    /// Chaos hook: squeezes (or restores) the prefetch-queue bound mid-run.
+    /// In-flight prefetches above a new lower bound are not cancelled —
+    /// like a real queue resize, the bound gates *admission* only.
+    pub fn set_prefetch_queue_depth(&mut self, depth: Option<usize>) {
+        assert!(
+            depth != Some(0),
+            "prefetch queue depth of 0 disables prefetching entirely; \
+             use a no-op prefetcher instead"
+        );
+        self.cfg.prefetch_queue_depth = depth;
+    }
+
     /// The per-core prefetcher, for storage accounting and diagnostics.
     pub fn prefetcher(&self, core: CoreId) -> &dyn Prefetcher {
         self.prefetchers[core.0].as_ref()
@@ -212,6 +279,10 @@ impl MemorySystem {
         if let Some(ctrl) = self.throttle.as_mut() {
             ctrl.on_stats_reset();
         }
+        // The percore throttle needs no reset hook: its signals are
+        // monotone cumulative counters private to it, and each controller
+        // judges deltas against its own snapshot, so the warmup stats reset
+        // cannot desynchronize it.
     }
 
     /// Processes all fills that are due at or before `now`. Must be called
@@ -242,6 +313,9 @@ impl MemorySystem {
                         }
                         if evicted.unused_prefetch {
                             self.ledger.evicted_unused(evicted.block.index(), now);
+                            if let Some(pt) = self.percore.as_mut() {
+                                pt.note_pf_evicted_unused(evicted.block.index());
+                            }
                         }
                         for pf in &mut self.prefetchers {
                             pf.on_eviction(evicted.block);
@@ -333,7 +407,7 @@ impl MemorySystem {
         let l1 = &mut self.l1s[core.0];
         match l1.demand_access(block, now, is_write) {
             Lookup::Hit { ready_at } | Lookup::PendingHit { ready_at } => {
-                self.tick_throttle();
+                self.tick_throttle(core.0);
                 return IssueResult::Done(ready_at);
             }
             Lookup::Miss => {}
@@ -372,11 +446,21 @@ impl MemorySystem {
                 }
                 self.llc.stats.demand_misses += 1;
                 let ready = self.dram.read(block, t_llc + self.cfg.llc.latency);
+                if let Some(pt) = self.percore.as_mut() {
+                    pt.note_demand_read(core.0, self.dram.last_read_wait());
+                }
                 self.llc.allocate_fill(block, ready, false);
                 self.schedule_fill(FillLevel::Llc, block, ready);
                 ready
             }
         };
+        if self.llc.stats.pf_useful > pf_useful_before || self.llc.stats.pf_late > pf_late_before {
+            // Credit the core that *issued* the prefetch (owner map), not
+            // the core that happened to demand the block.
+            if let Some(pt) = self.percore.as_mut() {
+                pt.note_pf_used(block.index());
+            }
+        }
         if self.ledger.enabled() {
             if self.llc.stats.pf_useful > pf_useful_before {
                 self.ledger.used_timely(block.index(), t_llc);
@@ -397,21 +481,29 @@ impl MemorySystem {
         // Train + trigger the core's prefetcher on this LLC access.
         self.run_prefetcher(core, pc, addr, is_write, llc_hit, t_llc);
 
-        self.tick_throttle();
+        self.tick_throttle(core.0);
         IssueResult::Done(data_ready + 1)
     }
 
-    /// Advances the throttle controller's epoch clock by one demand
-    /// access. Called only from the two paths where an access *resolves*
-    /// (L1 hit or committed miss), never on a `Stall` return: a stalled
-    /// access is retried every cycle, and counting retries would tie the
-    /// epoch length to contention — the very thing the controller
-    /// modulates — instead of program progress.
-    fn tick_throttle(&mut self) {
+    /// Advances the throttle epoch clock by one demand access of `core`.
+    /// Called only from the two paths where an access *resolves* (L1 hit or
+    /// committed miss), never on a `Stall` return: a stalled access is
+    /// retried every cycle, and counting retries would tie the epoch length
+    /// to contention — the very thing the controller modulates — instead of
+    /// program progress. The chip-wide controller ignores the core; the
+    /// percore throttle uses it for both the core's own epoch clock and the
+    /// watchdog's progress accounting.
+    fn tick_throttle(&mut self, core: usize) {
         if let Some(ctrl) = self.throttle.as_mut() {
             if let Some(level) = ctrl.on_access(&self.llc.stats, &self.dram.stats) {
                 for pf in &mut self.prefetchers {
                     pf.set_throttle_level(level);
+                }
+            }
+        } else if let Some(pt) = self.percore.as_mut() {
+            if pt.on_access(core) {
+                for (i, pf) in self.prefetchers.iter_mut().enumerate() {
+                    pf.set_throttle_level(pt.level(i));
                 }
             }
         }
@@ -455,7 +547,7 @@ impl MemorySystem {
             PrefetchSource::Unattributed
         };
         for &candidate in &buf {
-            self.issue_prefetch_attributed(candidate, cycle, source, pc.raw());
+            self.issue_prefetch_attributed(core, candidate, cycle, source, pc.raw());
         }
         self.pf_buf = buf;
     }
@@ -463,13 +555,14 @@ impl MemorySystem {
     /// Issues one prefetch candidate into the LLC at cycle `now`, applying
     /// duplicate filtering and MSHR limits. Exposed for prefetcher unit
     /// tests and the harness's direct-drive mode; telemetry records the
-    /// prefetch as unattributed.
+    /// prefetch as unattributed and core 0 is charged for it.
     pub fn issue_prefetch(&mut self, block: BlockAddr, now: u64) {
-        self.issue_prefetch_attributed(block, now, PrefetchSource::Unattributed, 0);
+        self.issue_prefetch_attributed(CoreId(0), block, now, PrefetchSource::Unattributed, 0);
     }
 
     fn issue_prefetch_attributed(
         &mut self,
+        core: CoreId,
         block: BlockAddr,
         now: u64,
         source: PrefetchSource,
@@ -478,8 +571,14 @@ impl MemorySystem {
         self.llc.stats.pf_requested += 1;
         if self.llc.probe(block) {
             self.llc.stats.pf_dropped_duplicate += 1;
-            self.ledger
-                .dropped(block.index(), pc, source, now, DropReason::Duplicate);
+            self.ledger.dropped(
+                core.0,
+                block.index(),
+                pc,
+                source,
+                now,
+                DropReason::Duplicate,
+            );
             return;
         }
         // The bounded prefetch queue sits in front of the MSHR file: a
@@ -489,8 +588,14 @@ impl MemorySystem {
         if let Some(depth) = self.cfg.prefetch_queue_depth {
             if self.llc.prefetches_in_flight() >= depth {
                 self.llc.stats.pf_dropped_queue += 1;
-                self.ledger
-                    .dropped(block.index(), pc, source, now, DropReason::QueueFull);
+                self.ledger.dropped(
+                    core.0,
+                    block.index(),
+                    pc,
+                    source,
+                    now,
+                    DropReason::QueueFull,
+                );
                 return;
             }
         }
@@ -500,16 +605,19 @@ impl MemorySystem {
         {
             self.llc.stats.pf_dropped_mshr += 1;
             self.ledger
-                .dropped(block.index(), pc, source, now, DropReason::MshrFull);
+                .dropped(core.0, block.index(), pc, source, now, DropReason::MshrFull);
             return;
         }
         let ready = self
             .dram
             .read_tagged(block, now + self.cfg.llc.latency, true);
+        if let Some(pt) = self.percore.as_mut() {
+            pt.note_pf_issued(core.0, block.index(), self.dram.last_read_wait());
+        }
         self.llc.allocate_fill(block, ready, true);
         self.schedule_fill(FillLevel::Llc, block, ready);
         self.llc.stats.pf_issued += 1;
-        self.ledger.issued(block.index(), pc, source, now);
+        self.ledger.issued(core.0, block.index(), pc, source, now);
         crate::audit_assert!(
             self.llc.prefetch_pending(block),
             "prefetch issue invariant: {block:?} not pending as a prefetch after issue"

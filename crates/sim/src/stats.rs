@@ -163,6 +163,60 @@ impl fmt::Display for IngestReport {
     }
 }
 
+/// One core's share of the chip's prefetch traffic and throttle activity
+/// in a [`ThrottleMode::Percore`] run — the per-core attribution the QoS
+/// model is built on.
+///
+/// [`ThrottleMode::Percore`]: crate::ThrottleMode::Percore
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CoreQos {
+    /// Resolved demand accesses by this core (the progress proxy the
+    /// starvation watchdog compares).
+    pub demand_accesses: u64,
+    /// Prefetches this core's prefetcher issued toward DRAM.
+    pub pf_issued: u64,
+    /// Issued prefetches later demanded (timely or late), credited to
+    /// the issuing core.
+    pub pf_used: u64,
+    /// DRAM reads carrying this core's prefetches.
+    pub prefetch_reads: u64,
+    /// All DRAM reads attributed to this core (demand misses plus its
+    /// prefetches).
+    pub reads: u64,
+    /// Per-core controller epochs completed.
+    pub epochs: u64,
+    /// Level degradations this core's controller applied (feedback and
+    /// watchdog clamps combined).
+    pub degrades: u64,
+    /// Level upgrades this core's controller applied.
+    pub upgrades: u64,
+    /// The core's final [`ThrottleLevel`] as a ladder index (0 = full,
+    /// 3 = stopped).
+    ///
+    /// [`ThrottleLevel`]: crate::ThrottleLevel
+    pub final_level: u8,
+}
+
+/// The per-core QoS accounting of a [`ThrottleMode::Percore`] run,
+/// attached to [`SimResult::qos`]. Every other throttle mode carries
+/// `None` — the field then serializes to nothing (like
+/// [`SimResult::ingest`]) and historical checkpoint files stay valid.
+///
+/// [`ThrottleMode::Percore`]: crate::ThrottleMode::Percore
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QosReport {
+    /// Per-core attribution and throttle activity, indexed by core id.
+    pub cores: Vec<CoreQos>,
+    /// Chip-level watchdog epochs completed.
+    pub watchdog_epochs: u64,
+    /// Watchdog epochs whose min/max progress ratio violated the SLO.
+    pub watchdog_starved_epochs: u64,
+    /// Forced degradations the watchdog applied to offender cores.
+    pub watchdog_clamps: u64,
+    /// Offenders spared by the never-all-stopped arbiter rule.
+    pub watchdog_exempted: u64,
+}
+
 /// The complete outcome of one simulation run.
 ///
 /// `PartialEq` compares every counter and debug string — used by the
@@ -193,6 +247,9 @@ pub struct SimResult {
     /// Trace-ingestion accounting summed over every instruction source;
     /// `None` when no source replays a trace (synthetic generators).
     pub ingest: Option<IngestReport>,
+    /// Per-core QoS attribution and watchdog activity; `None` unless the
+    /// run used [`ThrottleMode::Percore`](crate::ThrottleMode::Percore).
+    pub qos: Option<QosReport>,
 }
 
 impl SimResult {

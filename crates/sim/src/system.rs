@@ -7,6 +7,7 @@
 use std::time::{Duration, Instant};
 
 use crate::addr::CoreId;
+use crate::chaos::ChaosInjector;
 use crate::config::SystemConfig;
 use crate::core_model::{InstrSource, OooCore};
 use crate::memory::{MemorySystem, StallLevel};
@@ -63,6 +64,7 @@ pub struct System {
     measure_start: u64,
     deadline: Option<Duration>,
     fast_forward: bool,
+    chaos: Option<ChaosInjector>,
 }
 
 impl System {
@@ -125,6 +127,7 @@ impl System {
             measure_start: 0,
             deadline: None,
             fast_forward: true,
+            chaos: None,
         }
     }
 
@@ -186,6 +189,26 @@ impl System {
     pub fn with_throttle(mut self, mode: ThrottleMode) -> Self {
         self.mem.set_throttle(mode);
         self
+    }
+
+    /// Attaches a seeded [`ChaosInjector`] that perturbs the run live (see
+    /// the [`chaos`](crate::chaos) module for the taxonomy).
+    ///
+    /// Chaos runs step every cycle — the quiescent fast-forward is
+    /// disabled, because a jumped-over window would make the perturbation
+    /// schedule depend on the optimizer instead of the plan. Deliberately
+    /// *not* bit-for-bit comparable to a chaos-free run; determinism in
+    /// the seed is what the chaos suite asserts.
+    pub fn with_chaos(mut self, injector: ChaosInjector) -> Self {
+        self.chaos = Some(injector);
+        self.fast_forward = false;
+        self
+    }
+
+    /// The chaos injector, if one is attached — its perturbation log grows
+    /// as the run proceeds.
+    pub fn chaos(&self) -> Option<&ChaosInjector> {
+        self.chaos.as_ref()
     }
 
     /// Convenience constructor: every core gets a prefetcher from `make_pf`.
@@ -259,9 +282,20 @@ impl System {
             }
             iterations += 1;
             self.mem.tick(self.now);
+            let bubbled = match self.chaos.as_mut() {
+                Some(injector) => injector.on_cycle(self.now, &mut self.mem, self.cores.len()),
+                None => None,
+            };
             let mut all_done = true;
             for i in 0..self.cores.len() {
                 if !self.cores[i].is_done() {
+                    if bubbled == Some(i) {
+                        // Stall-bubble chaos: the core is frozen this cycle
+                        // but still counts as unfinished, so the run waits
+                        // out the (bounded) window.
+                        all_done = false;
+                        continue;
+                    }
                     let done =
                         self.cores[i].step(self.now, &mut self.mem, self.sources[i].as_mut());
                     all_done &= done;
@@ -305,6 +339,7 @@ impl System {
             prefetcher_metrics: self.mem.prefetcher_metrics(),
             telemetry: self.mem.telemetry_report(),
             ingest,
+            qos: self.mem.qos_report(),
         })
     }
 }

@@ -217,6 +217,9 @@ pub const HOT_PC_LIMIT: usize = 16;
 struct OpenRecord {
     source: PrefetchSource,
     pc: u64,
+    /// Core whose prefetcher issued this prefetch; per-core lifecycle
+    /// credit goes to the issuer even when another core demands the block.
+    core: usize,
     issued_at: u64,
     filled_at: Option<u64>,
     /// Whether the record's fill belongs to the measurement window. Records
@@ -254,6 +257,11 @@ pub struct PrefetchLedger {
     counts: LedgerCounts,
     by_source: [SourceCounters; SOURCE_SLOTS],
     by_pc: HashMap<u64, SourceCounters>,
+    /// Per-issuing-core lifecycle counters on the shared LLC/DRAM path,
+    /// indexed by core id and grown on demand. Deliberately *not* part of
+    /// [`TelemetryReport`]: adding fields there would invalidate the
+    /// committed differential-corpus golden results.
+    by_core: Vec<SourceCounters>,
     ring: VecDeque<LifecycleEvent>,
     in_flight_at_end: u64,
 }
@@ -268,9 +276,23 @@ impl PrefetchLedger {
             counts: LedgerCounts::default(),
             by_source: [SourceCounters::default(); SOURCE_SLOTS],
             by_pc: HashMap::new(),
+            by_core: Vec::new(),
             ring: VecDeque::new(),
             in_flight_at_end: 0,
         }
+    }
+
+    /// Per-issuing-core lifecycle counters (index = core id). Cores that
+    /// never issued a prefetch may be absent from the tail.
+    pub fn by_core(&self) -> &[SourceCounters] {
+        &self.by_core
+    }
+
+    fn core_mut(&mut self, core: usize) -> &mut SourceCounters {
+        if self.by_core.len() <= core {
+            self.by_core.resize(core + 1, SourceCounters::default());
+        }
+        &mut self.by_core[core]
     }
 
     /// The configured level.
@@ -300,19 +322,21 @@ impl PrefetchLedger {
         &self.ring
     }
 
-    /// Records a prefetch issued toward DRAM.
-    pub fn issued(&mut self, block: u64, pc: u64, source: PrefetchSource, cycle: u64) {
+    /// Records a prefetch issued toward DRAM on behalf of `core`.
+    pub fn issued(&mut self, core: usize, block: u64, pc: u64, source: PrefetchSource, cycle: u64) {
         if !self.enabled() {
             return;
         }
         self.counts.issued += 1;
         self.by_source[source.slot()].issued += 1;
         self.by_pc.entry(pc).or_default().issued += 1;
+        self.core_mut(core).issued += 1;
         if let Some(stale) = self.open.insert(
             block,
             OpenRecord {
                 source,
                 pc,
+                core,
                 issued_at: cycle,
                 filled_at: None,
                 measured: true,
@@ -329,9 +353,10 @@ impl PrefetchLedger {
         self.trace(cycle, block, LifecycleEventKind::Issued { source, pc });
     }
 
-    /// Records a candidate filtered before issue.
+    /// Records a candidate of `core` filtered before issue.
     pub fn dropped(
         &mut self,
+        core: usize,
         block: u64,
         pc: u64,
         source: PrefetchSource,
@@ -348,6 +373,7 @@ impl PrefetchLedger {
         }
         self.by_source[source.slot()].dropped += 1;
         self.by_pc.entry(pc).or_default().dropped += 1;
+        self.core_mut(core).dropped += 1;
         self.trace(cycle, block, LifecycleEventKind::Dropped { reason });
     }
 
@@ -387,6 +413,7 @@ impl PrefetchLedger {
             self.counts.timely += 1;
             self.by_source[rec.source.slot()].timely += 1;
             self.by_pc.entry(rec.pc).or_default().timely += 1;
+            self.core_mut(rec.core).timely += 1;
         }
         self.trace(cycle, block, LifecycleEventKind::UsedTimely);
     }
@@ -401,6 +428,7 @@ impl PrefetchLedger {
             self.counts.late += 1;
             self.by_source[rec.source.slot()].late += 1;
             self.by_pc.entry(rec.pc).or_default().late += 1;
+            self.core_mut(rec.core).late += 1;
         }
         self.trace(cycle, block, LifecycleEventKind::UsedLate);
     }
@@ -415,6 +443,7 @@ impl PrefetchLedger {
             self.counts.unused += 1;
             self.by_source[rec.source.slot()].unused += 1;
             self.by_pc.entry(rec.pc).or_default().unused += 1;
+            self.core_mut(rec.core).unused += 1;
         }
         self.trace(cycle, block, LifecycleEventKind::EvictedUnused);
     }
@@ -432,6 +461,7 @@ impl PrefetchLedger {
         self.counts = LedgerCounts::default();
         self.by_source = [SourceCounters::default(); SOURCE_SLOTS];
         self.by_pc.clear();
+        self.by_core.clear();
         self.ring.clear();
         self.in_flight_at_end = 0;
         for rec in self.open.values_mut() {
@@ -458,6 +488,7 @@ impl PrefetchLedger {
                 self.counts.unused += 1;
                 self.by_source[rec.source.slot()].unused += 1;
                 self.by_pc.entry(rec.pc).or_default().unused += 1;
+                self.core_mut(rec.core).unused += 1;
             }
         }
     }
@@ -611,7 +642,7 @@ mod tests {
     #[test]
     fn off_ledger_records_nothing_and_reports_none() {
         let mut led = PrefetchLedger::new(TelemetryLevel::Off);
-        led.issued(1, 0x400, PrefetchSource::LongEvent, 10);
+        led.issued(0, 1, 0x400, PrefetchSource::LongEvent, 10);
         led.filled(1, 50);
         led.used_timely(1, 60);
         led.finalize();
@@ -622,7 +653,7 @@ mod tests {
     #[test]
     fn timely_lifecycle_attributes_source_and_pc() {
         let mut led = counting_ledger();
-        led.issued(7, 0x400, PrefetchSource::LongEvent, 10);
+        led.issued(0, 7, 0x400, PrefetchSource::LongEvent, 10);
         led.filled(7, 100);
         led.used_timely(7, 150);
         led.finalize();
@@ -641,7 +672,7 @@ mod tests {
     #[test]
     fn late_use_settles_before_fill() {
         let mut led = counting_ledger();
-        led.issued(7, 0x400, PrefetchSource::ShortVote, 10);
+        led.issued(0, 7, 0x400, PrefetchSource::ShortVote, 10);
         led.used_late(7, 20);
         // The fill still lands later, but the record is already settled.
         led.filled(7, 100);
@@ -656,14 +687,14 @@ mod tests {
     #[test]
     fn unused_eviction_and_end_of_run_residue() {
         let mut led = counting_ledger();
-        led.issued(1, 0xa, PrefetchSource::Unattributed, 0);
+        led.issued(0, 1, 0xa, PrefetchSource::Unattributed, 0);
         led.filled(1, 10);
         led.evicted_unused(1, 99);
         // Second prefetch: filled, never used, still resident at drain.
-        led.issued(2, 0xa, PrefetchSource::Unattributed, 0);
+        led.issued(0, 2, 0xa, PrefetchSource::Unattributed, 0);
         led.filled(2, 10);
         // Third prefetch: still in flight at drain.
-        led.issued(3, 0xa, PrefetchSource::Unattributed, 0);
+        led.issued(0, 3, 0xa, PrefetchSource::Unattributed, 0);
         led.finalize();
         let r = led.report().unwrap();
         assert_eq!(r.unused, 2, "evicted + resident-unused both settle unused");
@@ -674,7 +705,7 @@ mod tests {
     #[test]
     fn finalize_is_idempotent() {
         let mut led = counting_ledger();
-        led.issued(1, 0xa, PrefetchSource::Unattributed, 0);
+        led.issued(0, 1, 0xa, PrefetchSource::Unattributed, 0);
         led.filled(1, 10);
         led.finalize();
         led.finalize();
@@ -684,9 +715,30 @@ mod tests {
     #[test]
     fn drops_are_counted_per_reason() {
         let mut led = counting_ledger();
-        led.dropped(1, 0x4, PrefetchSource::LongEvent, 0, DropReason::Duplicate);
-        led.dropped(2, 0x4, PrefetchSource::LongEvent, 0, DropReason::MshrFull);
-        led.dropped(3, 0x4, PrefetchSource::LongEvent, 0, DropReason::QueueFull);
+        led.dropped(
+            0,
+            1,
+            0x4,
+            PrefetchSource::LongEvent,
+            0,
+            DropReason::Duplicate,
+        );
+        led.dropped(
+            0,
+            2,
+            0x4,
+            PrefetchSource::LongEvent,
+            0,
+            DropReason::MshrFull,
+        );
+        led.dropped(
+            0,
+            3,
+            0x4,
+            PrefetchSource::LongEvent,
+            0,
+            DropReason::QueueFull,
+        );
         let r = led.report().unwrap();
         assert_eq!(r.dropped_duplicate, 1);
         assert_eq!(r.dropped_mshr, 1);
@@ -701,8 +753,8 @@ mod tests {
         led.evicted_unused(43, 6); // never issued
         led.filled(44, 7); // no record: ignored entirely
                            // Re-issue over an open record.
-        led.issued(45, 0x4, PrefetchSource::ShortVote, 0);
-        led.issued(45, 0x4, PrefetchSource::ShortVote, 1);
+        led.issued(0, 45, 0x4, PrefetchSource::ShortVote, 0);
+        led.issued(0, 45, 0x4, PrefetchSource::ShortVote, 1);
         let r = led.report().unwrap();
         assert_eq!(r.orphans, 3);
         assert_eq!((r.timely, r.late, r.unused), (0, 0, 0));
@@ -713,10 +765,10 @@ mod tests {
     fn warmup_reset_zeroes_counters_but_keeps_open_records() {
         let mut led = counting_ledger();
         // Filled pre-reset: excluded from finalize.
-        led.issued(1, 0xa, PrefetchSource::LongEvent, 0);
+        led.issued(0, 1, 0xa, PrefetchSource::LongEvent, 0);
         led.filled(1, 10);
         // In flight across the reset: fill lands post-reset, stays measured.
-        led.issued(2, 0xb, PrefetchSource::ShortVote, 5);
+        led.issued(0, 2, 0xb, PrefetchSource::ShortVote, 5);
         led.on_stats_reset();
         assert_eq!(led.report().unwrap().issued, 0, "counters wiped");
         led.filled(2, 20);
@@ -733,7 +785,7 @@ mod tests {
     fn trace_ring_is_bounded_and_ordered() {
         let mut led = PrefetchLedger::new(TelemetryLevel::Trace);
         for i in 0..(TRACE_RING_CAPACITY as u64 + 100) {
-            led.issued(i, 0x4, PrefetchSource::Unattributed, i);
+            led.issued(0, i, 0x4, PrefetchSource::Unattributed, i);
         }
         assert_eq!(led.events().len(), TRACE_RING_CAPACITY);
         assert_eq!(led.events().front().unwrap().cycle, 100, "oldest dropped");
@@ -746,7 +798,7 @@ mod tests {
     #[test]
     fn counts_level_keeps_no_ring() {
         let mut led = counting_ledger();
-        led.issued(1, 0x4, PrefetchSource::Unattributed, 0);
+        led.issued(0, 1, 0x4, PrefetchSource::Unattributed, 0);
         assert!(led.events().is_empty());
     }
 
@@ -757,7 +809,7 @@ mod tests {
             // Give PC 5 the most issues; everyone else one each.
             let n = if pc == 5 { 3 } else { 1 };
             for i in 0..n {
-                led.issued(pc * 1000 + i, pc, PrefetchSource::Unattributed, 0);
+                led.issued(0, pc * 1000 + i, pc, PrefetchSource::Unattributed, 0);
             }
         }
         let r = led.report().unwrap();
@@ -776,8 +828,55 @@ mod tests {
         // Deep cascade levels share the last slot rather than indexing out
         // of bounds.
         let mut led = counting_ledger();
-        led.issued(1, 0x4, PrefetchSource::CascadeLevel(200), 0);
+        led.issued(0, 1, 0x4, PrefetchSource::CascadeLevel(200), 0);
         assert_eq!(led.report().unwrap().source("cascade4+").unwrap().issued, 1);
+    }
+
+    #[test]
+    fn per_core_credit_follows_the_issuing_core() {
+        let mut led = counting_ledger();
+        // Core 1 issues; the demand that uses it could come from anyone —
+        // lifecycle credit stays with the issuer.
+        led.issued(1, 7, 0x400, PrefetchSource::LongEvent, 0);
+        led.filled(7, 50);
+        led.used_timely(7, 60);
+        // Core 0 issues one that settles unused, and drops a candidate.
+        led.issued(0, 8, 0x404, PrefetchSource::ShortVote, 0);
+        led.filled(8, 50);
+        led.evicted_unused(8, 99);
+        led.dropped(
+            0,
+            9,
+            0x404,
+            PrefetchSource::ShortVote,
+            1,
+            DropReason::Duplicate,
+        );
+        led.finalize();
+        let by_core = led.by_core();
+        assert_eq!(by_core.len(), 2);
+        assert_eq!(
+            (by_core[0].issued, by_core[0].unused, by_core[0].dropped),
+            (1, 1, 1)
+        );
+        assert_eq!((by_core[1].issued, by_core[1].timely), (1, 1));
+        // The report itself is unchanged — old golden results stay valid.
+        let r = led.report().unwrap();
+        assert_eq!((r.issued, r.timely, r.unused), (2, 1, 1));
+    }
+
+    #[test]
+    fn per_core_counters_survive_into_finalize_and_reset_clears_them() {
+        let mut led = counting_ledger();
+        led.issued(2, 7, 0x400, PrefetchSource::LongEvent, 0);
+        led.filled(7, 50);
+        led.finalize();
+        assert_eq!(led.by_core()[2].unused, 1, "resident-unused credits issuer");
+        led.on_stats_reset();
+        assert!(
+            led.by_core().is_empty(),
+            "warmup reset wipes per-core credit"
+        );
     }
 
     #[test]

@@ -17,9 +17,21 @@
 //! prediction set is a subset of what it would have emitted unthrottled,
 //! and training/table state evolves identically. The differential harness
 //! checks this against the executable specification.
+//!
+//! On a multi-core chip the single chip-wide controller has a measured
+//! fairness bug: one core's useless prefetch storm trips the shared
+//! verdict and clamps every core's prefetcher, starving the polite
+//! neighbors. [`ThrottleMode::Percore`] replaces it with one controller
+//! per core, each judging only that core's attributed share of the shared
+//! LLC/DRAM ([`CoreSignals`]), coordinated by a chip-level starvation
+//! watchdog ([`PercoreThrottle`]) that clamps *only* cores hogging
+//! prefetch bandwidth when the min/max per-core progress ratio crosses
+//! the QoS SLO.
+
+use std::collections::HashMap;
 
 use crate::dram::DramStats;
-use crate::stats::CacheStats;
+use crate::stats::{CacheStats, CoreQos, QosReport};
 
 /// How prefetch throttling is driven, selected by the `BINGO_THROTTLE`
 /// knob.
@@ -35,6 +47,12 @@ pub enum ThrottleMode {
     /// Closed-loop control: per-epoch accuracy, lateness, and bandwidth
     /// share move the level up and down the ladder with hysteresis.
     Feedback,
+    /// One [`Feedback`](ThrottleMode::Feedback)-style controller *per
+    /// core*, each judging its own attributed share of the shared
+    /// LLC/DRAM, plus the chip-level starvation watchdog
+    /// ([`PercoreThrottle`]). A storm core throttles alone; polite
+    /// neighbors keep their full aggressiveness.
+    Percore,
 }
 
 impl ThrottleMode {
@@ -44,13 +62,14 @@ impl ThrottleMode {
     }
 
     /// Parses the spelling used by the `BINGO_THROTTLE` knob
-    /// (case-insensitive `off` / `static` / `feedback`); `None` on
-    /// anything else so callers can abort loudly.
+    /// (case-insensitive `off` / `static` / `feedback` / `percore`);
+    /// `None` on anything else so callers can abort loudly.
     pub fn parse(value: &str) -> Option<Self> {
         match value.trim().to_ascii_lowercase().as_str() {
             "off" | "0" | "none" => Some(ThrottleMode::Off),
             "static" | "1" => Some(ThrottleMode::Static),
             "feedback" | "on" | "2" => Some(ThrottleMode::Feedback),
+            "percore" | "3" => Some(ThrottleMode::Percore),
             _ => None,
         }
     }
@@ -62,6 +81,7 @@ impl std::fmt::Display for ThrottleMode {
             ThrottleMode::Off => write!(f, "off"),
             ThrottleMode::Static => write!(f, "static"),
             ThrottleMode::Feedback => write!(f, "feedback"),
+            ThrottleMode::Percore => write!(f, "percore"),
         }
     }
 }
@@ -104,6 +124,18 @@ impl ThrottleLevel {
             ThrottleLevel::Full | ThrottleLevel::RaisedVote => ThrottleLevel::Full,
             ThrottleLevel::TriggerOnly => ThrottleLevel::RaisedVote,
             ThrottleLevel::Stopped => ThrottleLevel::TriggerOnly,
+        }
+    }
+
+    /// Ladder position (0 = [`Full`](ThrottleLevel::Full), 3 =
+    /// [`Stopped`](ThrottleLevel::Stopped)) — the stable numeric form
+    /// reports and checkpoints carry.
+    pub fn index(self) -> u8 {
+        match self {
+            ThrottleLevel::Full => 0,
+            ThrottleLevel::RaisedVote => 1,
+            ThrottleLevel::TriggerOnly => 2,
+            ThrottleLevel::Stopped => 3,
         }
     }
 }
@@ -189,6 +221,19 @@ pub const PROBE_WINDOW: u32 = 4;
 /// to [`UPGRADE_AFTER`] so genuine pressure relief still recovers fast.
 pub const MAX_UPGRADE_PATIENCE: u32 = 64;
 
+/// Default starvation SLO for [`ThrottleMode::Percore`]: the watchdog
+/// flags an epoch when the minimum-to-maximum per-core progress ratio
+/// falls *strictly below* this (a ratio exactly at the SLO is
+/// compliant). Deliberately loose — heterogeneous mixes have legitimate
+/// progress imbalance; the watchdog is a backstop against pathological
+/// starvation, not a fairness equalizer. Override with `BINGO_QOS_SLO`.
+pub const DEFAULT_QOS_SLO: f64 = 0.25;
+
+/// Consecutive starved watchdog epochs before the watchdog clamps the
+/// offending core(s) — the watchdog-side hysteresis, mirroring
+/// [`DEGRADE_AFTER`].
+pub const WATCHDOG_STARVED_AFTER: u32 = 2;
+
 /// Cumulative controller activity, for diagnostics.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct ThrottleStats {
@@ -227,6 +272,63 @@ impl Snapshot {
             queue_wait_cycles: dram.queue_wait_cycles,
         }
     }
+
+    /// The per-core view: one core's attributed counters in the same
+    /// shape the chip-wide judge reads, so both paths share the judging
+    /// math verbatim. Used prefetches are not split timely/late per core;
+    /// the judge only ever sums the two.
+    fn of_signals(sig: &CoreSignals) -> Self {
+        Snapshot {
+            pf_issued: sig.pf_issued,
+            pf_useful: sig.pf_used,
+            pf_late: 0,
+            prefetch_reads: sig.prefetch_reads,
+            reads: sig.reads,
+            queue_wait_cycles: sig.queue_wait_cycles,
+        }
+    }
+}
+
+/// Cumulative per-core attribution counters on the shared LLC/DRAM — the
+/// per-core analogue of the `(CacheStats, DramStats)` pair the chip-wide
+/// controller judges from. Maintained by the memory system only in
+/// [`ThrottleMode::Percore`]; the counters are monotone (they survive the
+/// warmup stats reset untouched), so epoch deltas are always well
+/// defined.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CoreSignals {
+    /// Resolved demand accesses issued by this core — the per-core epoch
+    /// clock and the watchdog's progress proxy.
+    pub demand_accesses: u64,
+    /// Prefetches this core's prefetcher issued toward DRAM.
+    pub pf_issued: u64,
+    /// Issued prefetches later demanded (timely or late), credited to
+    /// the *issuing* core regardless of which core demanded the line.
+    pub pf_used: u64,
+    /// DRAM reads carrying this core's prefetches.
+    pub prefetch_reads: u64,
+    /// All DRAM reads attributed to this core: its demand misses plus
+    /// its prefetches.
+    pub reads: u64,
+    /// DRAM queue-wait cycles attributed to this core's reads.
+    pub queue_wait_cycles: u64,
+}
+
+impl CoreSignals {
+    /// Counter deltas since `prev` (saturating, like the chip-wide
+    /// judge's snapshot arithmetic).
+    fn delta_since(&self, prev: &CoreSignals) -> CoreSignals {
+        CoreSignals {
+            demand_accesses: self.demand_accesses.saturating_sub(prev.demand_accesses),
+            pf_issued: self.pf_issued.saturating_sub(prev.pf_issued),
+            pf_used: self.pf_used.saturating_sub(prev.pf_used),
+            prefetch_reads: self.prefetch_reads.saturating_sub(prev.prefetch_reads),
+            reads: self.reads.saturating_sub(prev.reads),
+            queue_wait_cycles: self
+                .queue_wait_cycles
+                .saturating_sub(prev.queue_wait_cycles),
+        }
+    }
 }
 
 /// The per-epoch verdict driving the hysteresis streaks.
@@ -263,6 +365,10 @@ pub struct ThrottleController {
     /// memory system always supplies it; see
     /// [`with_dram_service_cycles`](ThrottleController::with_dram_service_cycles)).
     dram_service_cycles: Option<u64>,
+    /// Accesses per evaluation epoch; [`EPOCH_ACCESSES`] for the chip-wide
+    /// controller, scaled down by the core count for per-core controllers
+    /// (see [`with_epoch_accesses`](ThrottleController::with_epoch_accesses)).
+    epoch_accesses: u64,
     /// Cumulative controller activity.
     pub stats: ThrottleStats,
 }
@@ -289,8 +395,26 @@ impl ThrottleController {
             upgrade_patience: UPGRADE_AFTER,
             probe: None,
             dram_service_cycles: None,
+            epoch_accesses: EPOCH_ACCESSES,
             stats: ThrottleStats::default(),
         }
+    }
+
+    /// Overrides the accesses-per-epoch clock. A per-core controller sees
+    /// only its own core's demand accesses — roughly a `1/n` slice of the
+    /// chip's — so [`PercoreThrottle`] sets `EPOCH_ACCESSES / n` to keep
+    /// the reaction *cadence* (and the per-core evidence behind each
+    /// verdict) equal to the chip-wide controller's. Without the scaling a
+    /// per-core ladder walks `n`× slower than the chip-wide one and loses
+    /// the graceful-degradation bound on short adversarial runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero epoch length.
+    pub fn with_epoch_accesses(mut self, accesses: u64) -> Self {
+        assert!(accesses > 0, "epoch length must be nonzero");
+        self.epoch_accesses = accesses;
+        self
     }
 
     /// Supplies the DRAM per-transfer service time so the controller can
@@ -319,10 +443,25 @@ impl ThrottleController {
     #[inline]
     pub fn on_access(&mut self, llc: &CacheStats, dram: &DramStats) -> Option<ThrottleLevel> {
         self.accesses += 1;
-        if self.accesses < EPOCH_ACCESSES {
+        if self.accesses < self.epoch_accesses {
             return None;
         }
-        self.epoch_boundary(llc, dram)
+        self.epoch_boundary(Snapshot::of(llc, dram))
+    }
+
+    /// The per-core twin of [`on_access`](ThrottleController::on_access):
+    /// counts one of the owning core's demand accesses and judges epochs
+    /// from that core's attributed [`CoreSignals`] instead of the
+    /// chip-wide counters. Same verdict math, same hysteresis; the epoch
+    /// clock is scaled to the core count by [`PercoreThrottle`] (see
+    /// [`with_epoch_accesses`](ThrottleController::with_epoch_accesses)).
+    #[inline]
+    pub fn on_core_access(&mut self, sig: &CoreSignals) -> Option<ThrottleLevel> {
+        self.accesses += 1;
+        if self.accesses < self.epoch_accesses {
+            return None;
+        }
+        self.epoch_boundary(Snapshot::of_signals(sig))
     }
 
     /// The 1-in-[`EPOCH_ACCESSES`] slow path of
@@ -330,11 +469,11 @@ impl ThrottleController {
     /// the per-access counter bump inlines into the memory system's demand
     /// path without dragging the epoch-judging code with it.
     #[inline(never)]
-    fn epoch_boundary(&mut self, llc: &CacheStats, dram: &DramStats) -> Option<ThrottleLevel> {
+    fn epoch_boundary(&mut self, now: Snapshot) -> Option<ThrottleLevel> {
         self.accesses = 0;
         self.stats.epochs += 1;
-        let verdict = self.judge(llc, dram);
-        self.snap = Snapshot::of(llc, dram);
+        let verdict = self.judge(&now);
+        self.snap = now;
         if self.mode == ThrottleMode::Static {
             // Static mode keeps its fixed conservative level; epochs are
             // still counted so diagnostics stay comparable.
@@ -390,6 +529,27 @@ impl ThrottleController {
         (self.level != before).then_some(self.level)
     }
 
+    /// One externally forced step down the ladder — the starvation
+    /// watchdog's clamp. Streaks clear, any outstanding probe is
+    /// cancelled, and the upgrade patience doubles (capped at
+    /// [`MAX_UPGRADE_PATIENCE`]), so a clamped core neither climbs
+    /// straight back out of the clamp nor probes into it at the old
+    /// cadence — repeated interventions get geometrically rarer probes,
+    /// exactly like organically failed ones.
+    pub fn force_degrade(&mut self) -> Option<ThrottleLevel> {
+        let before = self.level;
+        self.level = self.level.degraded();
+        self.bad_streak = 0;
+        self.good_streak = 0;
+        self.probe = None;
+        self.upgrade_patience = (self.upgrade_patience * 2).min(MAX_UPGRADE_PATIENCE);
+        if self.level == before {
+            return None;
+        }
+        self.stats.degrades += 1;
+        Some(self.level)
+    }
+
     /// Re-bases the counter snapshot after external statistics resets (the
     /// end-of-warmup reset), keeping the learned level and streaks — like
     /// predictor tables, controller state survives warmup.
@@ -398,15 +558,15 @@ impl ThrottleController {
         self.accesses = 0;
     }
 
-    fn judge(&self, llc: &CacheStats, dram: &DramStats) -> Verdict {
+    fn judge(&self, now: &Snapshot) -> Verdict {
         // saturating_sub: an external reset between boundaries (warmup)
         // re-bases via on_stats_reset, but stay safe against torn views.
-        let useful = llc.pf_useful.saturating_sub(self.snap.pf_useful);
-        let late = llc.pf_late.saturating_sub(self.snap.pf_late);
-        let issued = llc.pf_issued.saturating_sub(self.snap.pf_issued);
-        let pf_reads = dram.prefetch_reads.saturating_sub(self.snap.prefetch_reads);
-        let reads = dram.reads.saturating_sub(self.snap.reads);
-        let queue_wait = dram
+        let useful = now.pf_useful.saturating_sub(self.snap.pf_useful);
+        let late = now.pf_late.saturating_sub(self.snap.pf_late);
+        let issued = now.pf_issued.saturating_sub(self.snap.pf_issued);
+        let pf_reads = now.prefetch_reads.saturating_sub(self.snap.prefetch_reads);
+        let reads = now.reads.saturating_sub(self.snap.reads);
+        let queue_wait = now
             .queue_wait_cycles
             .saturating_sub(self.snap.queue_wait_cycles);
         let used = useful + late;
@@ -447,6 +607,344 @@ impl ThrottleController {
             Verdict::Good
         } else {
             Verdict::Neutral
+        }
+    }
+}
+
+/// Cumulative starvation-watchdog activity, for diagnostics and the
+/// [`QosReport`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct WatchdogStats {
+    /// Completed chip-level watchdog epochs.
+    pub epochs: u64,
+    /// Epochs whose min/max progress ratio fell below the SLO.
+    pub starved_epochs: u64,
+    /// Forced level degradations applied to offender cores.
+    pub clamps: u64,
+    /// Offenders spared by the never-all-stopped arbiter rule.
+    pub exempted: u64,
+}
+
+/// The chip-level starvation watchdog coordinating the per-core
+/// controllers.
+///
+/// Every [`EPOCH_ACCESSES`] resolved demand accesses *chip-wide* it
+/// compares per-core progress (resolved demand accesses in the window, the
+/// in-simulator proxy for per-core IPC). When the minimum-to-maximum
+/// ratio over active cores falls strictly below the SLO for
+/// [`WATCHDOG_STARVED_AFTER`] consecutive epochs, it force-degrades only
+/// the cores consuming more than their fair share of prefetch bandwidth —
+/// never the starved core, and never the last core standing (see
+/// [`Watchdog::decide`]).
+#[derive(Debug)]
+struct Watchdog {
+    slo: f64,
+    accesses: u64,
+    prev: Vec<CoreSignals>,
+    starved_streak: u32,
+    stats: WatchdogStats,
+}
+
+/// The watchdog's verdict for one chip epoch: which cores to clamp, and
+/// whether an offender was exempted to satisfy the never-all-stopped
+/// invariant.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct WatchdogVerdict {
+    starved: bool,
+    clamp: Vec<usize>,
+    exempted: bool,
+}
+
+impl Watchdog {
+    /// Pure clamp decision for one epoch window. `levels` are the cores'
+    /// current throttle levels, `delta` their window counter deltas.
+    /// Separated from the counter plumbing so the edge cases (exact-SLO
+    /// ratio, all-cores-offending) are unit-testable in isolation.
+    fn decide(&mut self, levels: &[ThrottleLevel], delta: &[CoreSignals]) -> WatchdogVerdict {
+        self.stats.epochs += 1;
+        let n = levels.len();
+        let mut verdict = WatchdogVerdict::default();
+        // A core with zero window progress is idle (it met its
+        // instruction target), not starved — contention in this machine
+        // slows demand down, it cannot stop it entirely. Fewer than two
+        // active cores means there is no contention question to judge.
+        let active: Vec<usize> = (0..n).filter(|&i| delta[i].demand_accesses > 0).collect();
+        if active.len() < 2 {
+            self.starved_streak = 0;
+            return verdict;
+        }
+        let progress = |i: usize| delta[i].demand_accesses;
+        let max = active.iter().map(|&i| progress(i)).max().expect("active");
+        let starved_core = *active
+            .iter()
+            .min_by_key(|&&i| (progress(i), i))
+            .expect("active");
+        // Strict comparison: a ratio exactly at the SLO is compliant.
+        if progress(starved_core) as f64 / max as f64 >= self.slo {
+            self.starved_streak = 0;
+            return verdict;
+        }
+        verdict.starved = true;
+        self.stats.starved_epochs += 1;
+        self.starved_streak += 1;
+        if self.starved_streak < WATCHDOG_STARVED_AFTER {
+            return verdict;
+        }
+        self.starved_streak = 0;
+        let total_pf: u64 = delta.iter().map(|d| d.prefetch_reads).sum();
+        if total_pf == 0 {
+            // Imbalance without prefetch traffic is not ours to fix.
+            return verdict;
+        }
+        // Offenders: every core (other than the starved one) drawing more
+        // than its fair 1/n share of the window's prefetch bandwidth;
+        // if nobody crosses that bar, the single largest consumer.
+        let fair = total_pf as f64 / n as f64;
+        let mut clamp: Vec<usize> = (0..n)
+            .filter(|&i| i != starved_core && delta[i].prefetch_reads as f64 > fair)
+            .collect();
+        if clamp.is_empty() {
+            let top = (0..n)
+                .filter(|&i| i != starved_core && delta[i].prefetch_reads > 0)
+                .max_by_key(|&i| (delta[i].prefetch_reads, std::cmp::Reverse(i)));
+            match top {
+                Some(i) => clamp.push(i),
+                None => return verdict, // all prefetch traffic is the starved core's own
+            }
+        }
+        // Never clamp the whole chip to Stopped: if applying the clamps
+        // would leave every core at Stopped, spare the offender whose
+        // window accuracy is best (ties: fewer prefetch reads, then lower
+        // index) so at least one prefetcher keeps probing for recovery.
+        let clamped_level = |i: usize, clamp: &[usize]| {
+            if clamp.contains(&i) {
+                levels[i].degraded()
+            } else {
+                levels[i]
+            }
+        };
+        if (0..n).all(|i| clamped_level(i, &clamp) == ThrottleLevel::Stopped) {
+            let accuracy = |i: usize| {
+                if delta[i].pf_issued == 0 {
+                    1.0
+                } else {
+                    delta[i].pf_used as f64 / delta[i].pf_issued as f64
+                }
+            };
+            let spare = clamp
+                .iter()
+                .copied()
+                .reduce(|best, i| {
+                    match accuracy(i).total_cmp(&accuracy(best)).then(
+                        delta[best]
+                            .prefetch_reads
+                            .cmp(&delta[i].prefetch_reads)
+                            .then(best.cmp(&i)),
+                    ) {
+                        std::cmp::Ordering::Greater => i,
+                        _ => best,
+                    }
+                })
+                .expect("clamp set is non-empty");
+            clamp.retain(|&i| i != spare);
+            verdict.exempted = true;
+            self.stats.exempted += 1;
+        }
+        verdict.clamp = clamp;
+        verdict
+    }
+}
+
+/// Per-core prefetch throttling for [`ThrottleMode::Percore`]: one
+/// [`ThrottleController`] per core, fed that core's attributed
+/// [`CoreSignals`], plus the chip-level starvation [`Watchdog`].
+///
+/// Owned by the memory system only when the mode is `Percore` — every
+/// other mode leaves this struct unconstructed, which is what keeps the
+/// new path bit-for-bit invisible to `off`/`static`/`feedback` runs.
+#[derive(Debug)]
+pub struct PercoreThrottle {
+    cores: Vec<ThrottleController>,
+    signals: Vec<CoreSignals>,
+    /// In-flight-or-resident prefetched blocks mapped to their issuing
+    /// core, so demand uses credit the issuer. Entries close on use or
+    /// on unused eviction; bounded by resident + in-flight prefetches.
+    owner: HashMap<u64, usize>,
+    watchdog: Watchdog,
+}
+
+impl PercoreThrottle {
+    /// Creates one feedback controller per core and the watchdog.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cores` is zero or `slo` is not a ratio in `(0, 1]`.
+    pub fn new(cores: usize, slo: f64) -> Self {
+        assert!(cores > 0, "per-core throttling needs at least one core");
+        assert!(
+            slo.is_finite() && slo > 0.0 && slo <= 1.0,
+            "QoS SLO must be a ratio in (0, 1], got {slo}"
+        );
+        // A per-core controller only sees its core's ~1/n slice of the
+        // chip's demand accesses, so its epoch clock is scaled to keep
+        // the reaction cadence — and the per-core evidence behind each
+        // verdict — equal to the chip-wide feedback controller's. The
+        // floor keeps a many-core epoch from shrinking into sampling
+        // noise territory.
+        let epoch = (EPOCH_ACCESSES / cores as u64).max(4 * MIN_EVIDENCE);
+        PercoreThrottle {
+            // Each per-core controller runs the feedback policy over its
+            // core's attributed signals; Percore is the chip-level mode.
+            cores: (0..cores)
+                .map(|_| ThrottleController::new(ThrottleMode::Feedback).with_epoch_accesses(epoch))
+                .collect(),
+            signals: vec![CoreSignals::default(); cores],
+            owner: HashMap::new(),
+            watchdog: Watchdog {
+                slo,
+                accesses: 0,
+                prev: vec![CoreSignals::default(); cores],
+                starved_streak: 0,
+                stats: WatchdogStats::default(),
+            },
+        }
+    }
+
+    /// Supplies the DRAM per-transfer service time to every per-core
+    /// controller (see
+    /// [`ThrottleController::with_dram_service_cycles`]).
+    pub fn with_dram_service_cycles(mut self, transfer_cycles: u64) -> Self {
+        for c in &mut self.cores {
+            *c = std::mem::replace(c, ThrottleController::new(ThrottleMode::Feedback))
+                .with_dram_service_cycles(transfer_cycles);
+        }
+        self
+    }
+
+    /// Number of cores under control.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The current effective level of one core's prefetcher.
+    pub fn level(&self, core: usize) -> ThrottleLevel {
+        self.cores[core].level()
+    }
+
+    /// One core's controller activity counters.
+    pub fn controller_stats(&self, core: usize) -> &ThrottleStats {
+        &self.cores[core].stats
+    }
+
+    /// The watchdog's activity counters.
+    pub fn watchdog_stats(&self) -> &WatchdogStats {
+        &self.watchdog.stats
+    }
+
+    /// Counts one resolved demand access by `core`: ticks that core's
+    /// epoch clock and controller, and the chip-wide watchdog clock.
+    /// Returns whether *any* core's level changed — the caller then
+    /// re-pushes every core's level to its prefetcher (cheap: epoch
+    /// boundaries only).
+    #[inline]
+    pub fn on_access(&mut self, core: usize) -> bool {
+        self.signals[core].demand_accesses += 1;
+        let mut changed = self.cores[core]
+            .on_core_access(&self.signals[core])
+            .is_some();
+        self.watchdog.accesses += 1;
+        if self.watchdog.accesses >= EPOCH_ACCESSES {
+            self.watchdog.accesses = 0;
+            changed |= self.watchdog_epoch();
+        }
+        changed
+    }
+
+    /// Chip-level watchdog epoch: snapshot the window deltas, decide,
+    /// clamp. Out of line for the same reason as
+    /// [`ThrottleController::epoch_boundary`].
+    #[inline(never)]
+    fn watchdog_epoch(&mut self) -> bool {
+        let delta: Vec<CoreSignals> = self
+            .signals
+            .iter()
+            .zip(&self.watchdog.prev)
+            .map(|(now, prev)| now.delta_since(prev))
+            .collect();
+        self.watchdog.prev.copy_from_slice(&self.signals);
+        let levels: Vec<ThrottleLevel> = self.cores.iter().map(ThrottleController::level).collect();
+        let verdict = self.watchdog.decide(&levels, &delta);
+        let mut changed = false;
+        for &i in &verdict.clamp {
+            if self.cores[i].force_degrade().is_some() {
+                self.watchdog.stats.clamps += 1;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Attributes an issued prefetch (and its tagged DRAM read) to the
+    /// issuing core.
+    pub fn note_pf_issued(&mut self, core: usize, block: u64, queue_wait: u64) {
+        let s = &mut self.signals[core];
+        s.pf_issued += 1;
+        s.prefetch_reads += 1;
+        s.reads += 1;
+        s.queue_wait_cycles += queue_wait;
+        self.owner.insert(block, core);
+    }
+
+    /// Credits a demanded prefetched line (timely or late) to the core
+    /// that issued it.
+    pub fn note_pf_used(&mut self, block: u64) {
+        if let Some(core) = self.owner.remove(&block) {
+            self.signals[core].pf_used += 1;
+        }
+    }
+
+    /// Closes the attribution entry of a prefetched line evicted unused.
+    pub fn note_pf_evicted_unused(&mut self, block: u64) {
+        self.owner.remove(&block);
+    }
+
+    /// Attributes a demand DRAM read (and its queue wait) to the core
+    /// that missed.
+    pub fn note_demand_read(&mut self, core: usize, queue_wait: u64) {
+        let s = &mut self.signals[core];
+        s.reads += 1;
+        s.queue_wait_cycles += queue_wait;
+    }
+
+    /// One core's cumulative attributed signals.
+    pub fn signals(&self, core: usize) -> &CoreSignals {
+        &self.signals[core]
+    }
+
+    /// Builds the end-of-run [`QosReport`] from the per-core signals,
+    /// controller stats, and watchdog stats.
+    pub fn report(&self) -> QosReport {
+        QosReport {
+            cores: self
+                .cores
+                .iter()
+                .zip(&self.signals)
+                .map(|(ctrl, sig)| CoreQos {
+                    demand_accesses: sig.demand_accesses,
+                    pf_issued: sig.pf_issued,
+                    pf_used: sig.pf_used,
+                    prefetch_reads: sig.prefetch_reads,
+                    reads: sig.reads,
+                    epochs: ctrl.stats.epochs,
+                    degrades: ctrl.stats.degrades,
+                    upgrades: ctrl.stats.upgrades,
+                    final_level: ctrl.level().index(),
+                })
+                .collect(),
+            watchdog_epochs: self.watchdog.stats.epochs,
+            watchdog_starved_epochs: self.watchdog.stats.starved_epochs,
+            watchdog_clamps: self.watchdog.stats.clamps,
+            watchdog_exempted: self.watchdog.stats.exempted,
         }
     }
 }
@@ -492,8 +990,16 @@ mod tests {
             Some(ThrottleMode::Feedback)
         );
         assert_eq!(ThrottleMode::parse("none"), Some(ThrottleMode::Off));
+        assert_eq!(ThrottleMode::parse("percore"), Some(ThrottleMode::Percore));
+        assert_eq!(
+            ThrottleMode::parse(" PerCore "),
+            Some(ThrottleMode::Percore)
+        );
+        assert_eq!(ThrottleMode::parse("3"), Some(ThrottleMode::Percore));
         assert_eq!(ThrottleMode::parse("aggressive"), None);
         assert_eq!(ThrottleMode::parse(""), None);
+        assert_eq!(ThrottleMode::Percore.to_string(), "percore");
+        assert!(ThrottleMode::Percore.enabled());
     }
 
     #[test]
@@ -740,5 +1246,286 @@ mod tests {
         tick_epoch(&mut c, &llc2, &dram2);
         assert_eq!(c.stats.epochs, 2);
         assert_eq!(c.stats.good_epochs, 2);
+    }
+
+    #[test]
+    fn force_degrade_steps_cancels_probe_and_backs_off() {
+        let mut c = ThrottleController::new(ThrottleMode::Feedback);
+        assert_eq!(c.force_degrade(), Some(ThrottleLevel::RaisedVote));
+        assert_eq!(c.upgrade_patience, UPGRADE_AFTER * 2);
+        assert_eq!(c.stats.degrades, 1);
+        assert_eq!(c.force_degrade(), Some(ThrottleLevel::TriggerOnly));
+        assert_eq!(c.force_degrade(), Some(ThrottleLevel::Stopped));
+        // Saturated: no level change, still backs the patience off.
+        assert_eq!(c.force_degrade(), None);
+        assert_eq!(c.stats.degrades, 3);
+        assert_eq!(c.upgrade_patience, UPGRADE_AFTER * 16);
+        assert!(c.probe.is_none());
+    }
+
+    /// Satellite: backed-off patience must saturate, never wrap, over
+    /// runs long enough for thousands of failed probes.
+    #[test]
+    fn probe_backoff_saturates_without_overflow_on_long_runs() {
+        let mut c = ThrottleController::new(ThrottleMode::Feedback);
+        let mut llc = CacheStats::default();
+        let dram = DramStats::default();
+        for _ in 0..20_000 {
+            llc.pf_issued += 100;
+            if c.level() != ThrottleLevel::Full {
+                llc.pf_useful += 100; // accurate only while throttled
+            }
+            tick_epoch(&mut c, &llc, &dram);
+            assert!(c.upgrade_patience <= MAX_UPGRADE_PATIENCE);
+        }
+        // Probes became geometrically rare but never stopped entirely.
+        assert!(c.stats.upgrades > 0);
+        assert!(c.stats.degrades >= c.stats.upgrades);
+        // And hammering force_degrade on top cannot wrap either.
+        for _ in 0..10_000 {
+            c.force_degrade();
+            assert!(c.upgrade_patience <= MAX_UPGRADE_PATIENCE);
+        }
+    }
+
+    // ---- per-core bank + starvation watchdog ------------------------
+
+    /// Ticks `pt` for one full chip epoch with per-core access shares
+    /// given in `share` (must sum to EPOCH_ACCESSES), interleaved
+    /// round-robin so per-core and chip clocks advance together.
+    fn tick_chip_epoch(pt: &mut PercoreThrottle, share: &[u64]) {
+        assert_eq!(share.iter().sum::<u64>(), EPOCH_ACCESSES);
+        let mut left: Vec<u64> = share.to_vec();
+        let mut remaining: u64 = left.iter().sum();
+        while remaining > 0 {
+            for (core, l) in left.iter_mut().enumerate() {
+                if *l > 0 {
+                    *l -= 1;
+                    remaining -= 1;
+                    pt.on_access(core);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio in (0, 1]")]
+    fn percore_rejects_slo_above_one() {
+        let _ = PercoreThrottle::new(2, 1.5);
+    }
+
+    #[test]
+    fn storm_core_throttles_alone() {
+        let mut pt = PercoreThrottle::new(2, DEFAULT_QOS_SLO);
+        // Each chip epoch is split between the two cores, so a per-core
+        // controller epoch takes two outer iterations; 16 iterations give
+        // each controller 8 epochs — enough for the full ladder descent.
+        for _ in 0..16 {
+            // Core 0: accurate prefetching. Core 1: pure waste. Both also
+            // carry demand reads so the bandwidth share stays moderate.
+            for _ in 0..(EPOCH_ACCESSES / 2) {
+                pt.note_pf_issued(0, u64::MAX, 0);
+                pt.note_pf_used(u64::MAX);
+                pt.note_pf_issued(1, 0, 0);
+                for core in 0..2 {
+                    pt.note_demand_read(core, 0);
+                    pt.note_demand_read(core, 0);
+                }
+            }
+            tick_chip_epoch(&mut pt, &[EPOCH_ACCESSES / 2, EPOCH_ACCESSES / 2]);
+        }
+        assert_eq!(pt.level(0), ThrottleLevel::Full, "polite core untouched");
+        assert_eq!(pt.level(1), ThrottleLevel::Stopped, "storm core clamped");
+        assert!(pt.controller_stats(1).degrades >= 3);
+        assert_eq!(pt.controller_stats(0).degrades, 0);
+    }
+
+    #[test]
+    fn percore_report_carries_attribution_and_levels() {
+        let mut pt = PercoreThrottle::new(2, DEFAULT_QOS_SLO);
+        pt.note_pf_issued(0, 7, 5);
+        pt.note_pf_used(7);
+        pt.note_demand_read(1, 9);
+        pt.on_access(0);
+        pt.on_access(1);
+        let r = pt.report();
+        assert_eq!(r.cores.len(), 2);
+        assert_eq!(r.cores[0].pf_issued, 1);
+        assert_eq!(r.cores[0].pf_used, 1);
+        assert_eq!(r.cores[0].prefetch_reads, 1);
+        assert_eq!(r.cores[0].demand_accesses, 1);
+        assert_eq!(r.cores[1].reads, 1);
+        assert_eq!(r.cores[1].pf_issued, 0);
+        assert_eq!(r.cores[0].final_level, 0);
+    }
+
+    #[test]
+    fn used_prefetches_credit_the_issuing_core() {
+        let mut pt = PercoreThrottle::new(2, DEFAULT_QOS_SLO);
+        pt.note_pf_issued(1, 42, 0);
+        // Core 0 demands the line core 1 prefetched: the credit is the
+        // issuer's.
+        pt.note_pf_used(42);
+        assert_eq!(pt.signals(1).pf_used, 1);
+        assert_eq!(pt.signals(0).pf_used, 0);
+        // Closed entries do not double-credit.
+        pt.note_pf_used(42);
+        assert_eq!(pt.signals(1).pf_used, 1);
+        // Unused evictions close silently.
+        pt.note_pf_issued(0, 43, 0);
+        pt.note_pf_evicted_unused(43);
+        pt.note_pf_used(43);
+        assert_eq!(pt.signals(0).pf_used, 0);
+    }
+
+    /// Helper for direct watchdog-decision tests.
+    fn watchdog(slo: f64, cores: usize) -> Watchdog {
+        Watchdog {
+            slo,
+            accesses: 0,
+            prev: vec![CoreSignals::default(); cores],
+            starved_streak: 0,
+            stats: WatchdogStats::default(),
+        }
+    }
+
+    fn delta(progress: u64, pf_reads: u64) -> CoreSignals {
+        CoreSignals {
+            demand_accesses: progress,
+            pf_issued: pf_reads,
+            pf_used: 0,
+            prefetch_reads: pf_reads,
+            reads: progress + pf_reads,
+            queue_wait_cycles: 0,
+        }
+    }
+
+    /// Satellite: an epoch whose progress ratio lands *exactly* on the
+    /// SLO threshold is compliant — only strictly-below counts as
+    /// starved.
+    #[test]
+    fn progress_ratio_exactly_at_the_slo_is_compliant() {
+        let levels = [ThrottleLevel::Full, ThrottleLevel::Full];
+        let mut wd = watchdog(0.5, 2);
+        for _ in 0..4 {
+            let v = wd.decide(&levels, &[delta(1000, 500), delta(2000, 0)]);
+            assert!(!v.starved, "ratio == SLO must not count as starved");
+            assert!(v.clamp.is_empty());
+        }
+        assert_eq!(wd.stats.starved_epochs, 0);
+        // One access less — with the fast core hogging the prefetch
+        // bandwidth — and the same windows are starved epochs.
+        let v = wd.decide(&levels, &[delta(999, 0), delta(2000, 500)]);
+        assert!(v.starved);
+        assert_eq!(wd.starved_streak, 1, "first starved epoch arms hysteresis");
+        assert!(v.clamp.is_empty(), "hysteresis defers the clamp");
+        let v = wd.decide(&levels, &[delta(999, 0), delta(2000, 500)]);
+        assert_eq!(v.clamp, vec![1], "second consecutive starved epoch clamps");
+    }
+
+    #[test]
+    fn watchdog_clamps_only_bandwidth_hogs_never_the_starved_core() {
+        let levels = [ThrottleLevel::Full; 3];
+        let mut wd = watchdog(0.5, 3);
+        // Core 0 starves; cores 1 and 2 split prefetch traffic, but only
+        // core 2 exceeds the fair 1/3 share.
+        let window = [delta(100, 0), delta(2000, 100), delta(2000, 500)];
+        wd.decide(&levels, &window);
+        let v = wd.decide(&levels, &window);
+        assert_eq!(v.clamp, vec![2]);
+    }
+
+    #[test]
+    fn compliant_epochs_reset_the_starved_streak() {
+        let levels = [ThrottleLevel::Full, ThrottleLevel::Full];
+        let mut wd = watchdog(0.5, 2);
+        let starving = [delta(100, 0), delta(2000, 800)];
+        let fine = [delta(2000, 0), delta(2000, 800)];
+        wd.decide(&levels, &starving);
+        wd.decide(&levels, &fine);
+        let v = wd.decide(&levels, &starving);
+        assert!(
+            v.clamp.is_empty(),
+            "a compliant epoch between two starved ones must disarm the clamp"
+        );
+    }
+
+    #[test]
+    fn idle_cores_are_not_starved_cores() {
+        let levels = [ThrottleLevel::Full, ThrottleLevel::Full];
+        let mut wd = watchdog(0.5, 2);
+        // Core 0 finished its instruction target: zero progress, but that
+        // is idleness, not starvation.
+        for _ in 0..4 {
+            let v = wd.decide(&levels, &[delta(0, 0), delta(2000, 800)]);
+            assert!(!v.starved);
+            assert!(v.clamp.is_empty());
+        }
+    }
+
+    /// Satellite: simultaneous degrade pressure on every core must never
+    /// clamp the whole chip to Stopped — the best-accuracy offender is
+    /// spared.
+    #[test]
+    fn watchdog_never_clamps_every_core_to_stopped() {
+        let mut pt = PercoreThrottle::new(3, 0.9);
+        // Drive every core's controller to TriggerOnly, one forced step
+        // at a time, so any further clamp would mean Stopped.
+        for core in 0..3 {
+            pt.cores[core].force_degrade();
+            pt.cores[core].force_degrade();
+        }
+        // Core 0 starves; cores 1 and 2 both hog prefetch bandwidth, but
+        // core 2 is the (relatively) accurate one.
+        let mut window = [delta(100, 0), delta(2000, 900), delta(2000, 900)];
+        window[2].pf_used = 500;
+        // Starved core 0 is already headed to Stopped too via its own
+        // controller in the worst case; force it there outright.
+        pt.cores[0].force_degrade();
+        let levels_now: Vec<ThrottleLevel> = (0..3).map(|i| pt.level(i)).collect();
+        assert_eq!(levels_now[0], ThrottleLevel::Stopped);
+        pt.watchdog.decide(&levels_now, &window); // arm hysteresis
+        let v = pt.watchdog.decide(&levels_now, &window);
+        assert_eq!(v.clamp, vec![1], "the accurate offender is spared");
+        assert!(v.exempted);
+        for &i in &v.clamp {
+            pt.cores[i].force_degrade();
+        }
+        assert!(
+            (0..3).any(|i| pt.level(i) != ThrottleLevel::Stopped),
+            "some core must stay un-stopped"
+        );
+        assert_eq!(pt.watchdog_stats().exempted, 1);
+    }
+
+    /// The recovery-time bound the chaos property suite leans on: once
+    /// signals turn clean, a clamped core returns to Full within
+    /// `MAX_UPGRADE_PATIENCE + 3 * (UPGRADE_AFTER + PROBE_WINDOW) + 8`
+    /// of its own epochs, even from Stopped with fully backed-off
+    /// patience.
+    #[test]
+    fn clamped_core_recovers_within_the_bounded_epoch_count() {
+        let mut pt = PercoreThrottle::new(2, DEFAULT_QOS_SLO);
+        for _ in 0..6 {
+            pt.cores[1].force_degrade(); // Stopped, patience saturated
+        }
+        assert_eq!(pt.level(1), ThrottleLevel::Stopped);
+        let bound = MAX_UPGRADE_PATIENCE + 3 * (UPGRADE_AFTER + PROBE_WINDOW) + 8;
+        let mut epochs = 0u32;
+        while pt.level(1) != ThrottleLevel::Full {
+            // Clean epoch: no prefetch activity on core 1 at all (the
+            // prefetcher is stopped), both cores progressing equally.
+            tick_chip_epoch(&mut pt, &[EPOCH_ACCESSES / 2, EPOCH_ACCESSES / 2]);
+            // Two controller epochs per chip epoch do not fire here: each
+            // core only saw half an epoch of accesses, so count chip
+            // epochs until the per-core epoch lands.
+            epochs += 1;
+            assert!(
+                epochs <= 2 * bound,
+                "recovery exceeded the bound at {}",
+                pt.level(1)
+            );
+        }
+        assert!(pt.controller_stats(1).upgrades >= 3);
     }
 }

@@ -8,6 +8,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# ISSUE.md describes the PR in flight; sessions that land it may remove
+# the file, so its absence is a warning, never a failure.
+if [[ ! -f ISSUE.md ]]; then
+    echo "warning: ISSUE.md not found (no PR brief in flight); continuing" >&2
+fi
+
 echo "==> cargo build --release"
 cargo build --release
 
